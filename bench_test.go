@@ -1,0 +1,358 @@
+package kcenter
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// section (Figures 2-8), plus micro-benchmarks of the substrates and ablation
+// benchmarks for the design choices called out in DESIGN.md.
+//
+// The per-figure benchmarks run a reduced single-dataset configuration so the
+// whole suite completes in minutes; the full sweeps (all datasets, larger
+// sizes, more repetitions) are produced by `go run ./cmd/experiments`.
+
+import (
+	"math/rand"
+	"testing"
+
+	"coresetclustering/internal/core"
+	"coresetclustering/internal/coreset"
+	"coresetclustering/internal/dataset"
+	"coresetclustering/internal/experiments"
+	"coresetclustering/internal/gmm"
+	"coresetclustering/internal/metric"
+	"coresetclustering/internal/outliers"
+	"coresetclustering/internal/streaming"
+)
+
+func benchDatasets() []dataset.Name { return []dataset.Name{dataset.Higgs} }
+
+// BenchmarkFigure2MapReduceKCenter reproduces Figure 2: MapReduce k-center
+// approximation ratio versus coreset multiplier and parallelism.
+func BenchmarkFigure2MapReduceKCenter(b *testing.B) {
+	cfg := experiments.Figure2Config{
+		Datasets: benchDatasets(),
+		N:        4000,
+		K:        20,
+		Ells:     []int{2, 4, 8, 16},
+		Mus:      []int{1, 2, 4, 8},
+		Runs:     1,
+		Seed:     1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3StreamingKCenter reproduces Figure 3: streaming k-center
+// ratio and throughput versus space for CoresetStream and BaseStream.
+func BenchmarkFigure3StreamingKCenter(b *testing.B) {
+	cfg := experiments.Figure3Config{
+		Datasets:    benchDatasets(),
+		N:           4000,
+		K:           20,
+		Multipliers: []int{1, 2, 4, 8, 16},
+		Runs:        1,
+		Seed:        2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4MapReduceOutliers reproduces Figure 4: deterministic versus
+// randomized MapReduce k-center with outliers under adversarial partitioning.
+func BenchmarkFigure4MapReduceOutliers(b *testing.B) {
+	cfg := experiments.Figure4Config{
+		Datasets: benchDatasets(),
+		N:        1500,
+		K:        8,
+		Z:        20,
+		Ell:      8,
+		Mus:      []int{1, 2, 4},
+		EpsHat:   0.25,
+		Runs:     1,
+		Seed:     3,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5StreamingOutliers reproduces Figure 5: streaming k-center
+// with outliers, CoresetOutliers versus BaseOutliers.
+func BenchmarkFigure5StreamingOutliers(b *testing.B) {
+	cfg := experiments.Figure5Config{
+		Datasets:    benchDatasets(),
+		N:           2000,
+		K:           8,
+		Z:           20,
+		Multipliers: []int{1, 2, 4},
+		EpsHat:      0.25,
+		Runs:        1,
+		Seed:        4,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6ScalabilitySize reproduces Figure 6: running time of the
+// randomized MapReduce algorithm on inflated dataset instances.
+func BenchmarkFigure6ScalabilitySize(b *testing.B) {
+	cfg := experiments.Figure6Config{
+		Datasets: benchDatasets(),
+		BaseN:    4000,
+		Factors:  []int{1, 2, 4},
+		K:        8,
+		Z:        20,
+		Ell:      8,
+		Mu:       2,
+		EpsHat:   0.25,
+		Runs:     1,
+		Seed:     5,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7ScalabilityProcessors reproduces Figure 7: running time
+// versus parallelism at a fixed coreset-union size, split into the coreset
+// phase and the OutliersCluster phase.
+func BenchmarkFigure7ScalabilityProcessors(b *testing.B) {
+	cfg := experiments.Figure7Config{
+		Datasets: benchDatasets(),
+		N:        20000,
+		K:        8,
+		Z:        20,
+		Ells:     []int{1, 2, 4, 8},
+		EpsHat:   0.25,
+		Runs:     1,
+		Seed:     6,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8Sequential reproduces Figure 8: sequential running time and
+// radius of CharikarEtAl, MalkomesEtAl (mu=1) and the coreset algorithm with
+// mu = 2, 4, 8 on a dataset sample.
+func BenchmarkFigure8Sequential(b *testing.B) {
+	cfg := experiments.Figure8Config{
+		Datasets: benchDatasets(),
+		SampleN:  800,
+		K:        8,
+		Z:        20,
+		Mus:      []int{2, 4, 8},
+		EpsHat:   0.25,
+		Runs:     1,
+		Seed:     7,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the substrates -----------------------------------
+
+func benchPoints(n, dim int, seed int64) metric.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := make(metric.Dataset, n)
+	for i := range ds {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		ds[i] = p
+	}
+	return ds
+}
+
+// BenchmarkEuclideanDistance measures the cost of one distance evaluation,
+// the dominant primitive of every algorithm here.
+func BenchmarkEuclideanDistance(b *testing.B) {
+	for _, dim := range []int{7, 50} {
+		ds := benchPoints(2, dim, 1)
+		b.Run(map[int]string{7: "dim7", 50: "dim50"}[dim], func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += metric.Euclidean(ds[0], ds[1])
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkGMM measures the Gonzalez greedy on 10k points.
+func BenchmarkGMM(b *testing.B) {
+	ds := benchPoints(10000, 7, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gmm.Run(metric.Euclidean, ds, 20, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoresetConstruction measures one partition's coreset build (the
+// first-round work of the MapReduce algorithms).
+func BenchmarkCoresetConstruction(b *testing.B) {
+	ds := benchPoints(10000, 7, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := coreset.Build(metric.Euclidean, ds, coreset.Spec{Size: 200, RefCenters: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamingDoubling measures the per-point cost of the weighted
+// doubling algorithm (the streaming coreset construction).
+func BenchmarkStreamingDoubling(b *testing.B) {
+	ds := benchPoints(20000, 7, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := streaming.NewDoubling(metric.Euclidean, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range ds {
+			if err := d.Process(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkOutliersCluster measures one invocation of the weighted
+// OutliersCluster greedy on a coreset-sized input.
+func BenchmarkOutliersCluster(b *testing.B) {
+	ds := benchPoints(1000, 7, 5)
+	set := metric.Unweighted(ds)
+	diam := metric.Diameter(metric.Euclidean, ds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := outliers.Cluster(metric.Euclidean, set, 10, diam/10, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks ----------------------------------------------------
+
+// BenchmarkAblationStoppingRule compares the two coreset stopping rules: the
+// eps-driven rule of the analysis versus the fixed-size rule used by the
+// experiments.
+func BenchmarkAblationStoppingRule(b *testing.B) {
+	ds := benchPoints(5000, 7, 6)
+	b.Run("eps-rule", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := coreset.Build(metric.Euclidean, ds, coreset.Spec{Eps: 0.5, RefCenters: 20}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fixed-size", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := coreset.Build(metric.Euclidean, ds, coreset.Spec{Size: 80, RefCenters: 20}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRadiusSearch compares the paper's binary + geometric
+// radius search against the exhaustive linear scan over candidate radii.
+func BenchmarkAblationRadiusSearch(b *testing.B) {
+	ds := benchPoints(400, 7, 7)
+	set := metric.Unweighted(ds)
+	b.Run("binary-geometric", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := outliers.Solve(metric.Euclidean, set, 8, 10, 0.25, outliers.SearchBinaryGeometric); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := outliers.Solve(metric.Euclidean, set, 8, 10, 0.25, outliers.SearchExhaustive); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPartitioning compares the deterministic and randomized
+// first-round partitioning of the outlier algorithm on the same input (with
+// the injected outliers placed adversarially for the deterministic variant,
+// as in Figure 4).
+func BenchmarkAblationPartitioning(b *testing.B) {
+	base := benchPoints(2000, 7, 8)
+	inj, err := dataset.InjectOutliers(base, 20, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, z, ell := 8, 20, 8
+	b.Run("deterministic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := core.KCenterOutliers(inj.Points, core.OutliersConfig{
+				K: k, Z: z, Ell: ell, CoresetSize: 2 * (k + z), EpsHat: 0.25,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("randomized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := core.KCenterOutliers(inj.Points, core.OutliersConfig{
+				K: k, Z: z, Ell: ell, CoresetSize: 2 * (k + 6*z/ell), EpsHat: 0.25,
+				Randomized: true, Rand: rand.New(rand.NewSource(int64(i))),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPublicAPICluster measures the end-to-end public API on a mid-size
+// input (quick regression guard for the default configuration).
+func BenchmarkPublicAPICluster(b *testing.B) {
+	ds := Dataset(benchPoints(20000, 7, 10))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(ds, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"coresetclustering/internal/dataset"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "points.csv")
+	err := run([]string{"-family", "power", "-n", "250", "-outliers", "5", "-inflate", "2", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.LoadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 250 points inflated x2 plus 5 outliers.
+	if len(ds) != 505 {
+		t.Errorf("generated %d points, want 505", len(ds))
+	}
+	if ds.Dim() != 7 {
+		t.Errorf("dimension = %d, want 7", ds.Dim())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-family", "bogus", "-n", "10"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-family", "higgs", "-n", "10", "-out", "/no/such/dir/x.csv"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseDatasets(t *testing.T) {
+	names, err := parseDatasets("higgs, wiki")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("parsed %d names, want 2", len(names))
+	}
+	if _, err := parseDatasets("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if names, err := parseDatasets("  "); err != nil || names != nil {
+		t.Errorf("blank input: %v %v", names, err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-figure", "1"}, &out); err == nil {
+		t.Error("figure 1 accepted")
+	}
+	if err := run([]string{"-figure", "9"}, &out); err == nil {
+		t.Error("figure 9 accepted")
+	}
+	if err := run([]string{"-scale", "0"}, &out); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if err := run([]string{"-datasets", "bogus"}, &out); err == nil {
+		t.Error("bogus dataset accepted")
+	}
+	if err := run([]string{"-nosuchflag"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestRunSingleFigureSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping end-to-end experiment run in -short mode")
+	}
+	var out bytes.Buffer
+	// Figure 3 at a tiny scale on a single dataset finishes in a few seconds.
+	err := run([]string{"-figure", "3", "-datasets", "higgs", "-runs", "1", "-scale", "0.1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 3") || !strings.Contains(s, "CoresetStream") {
+		t.Errorf("unexpected output:\n%s", s)
+	}
+}

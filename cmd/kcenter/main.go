@@ -1,0 +1,225 @@
+// Command kcenter clusters a CSV dataset with the coreset-based k-center
+// algorithms of this repository: the parallel MapReduce-style algorithm
+// (default), the variant with outliers, or the one-pass streaming algorithms.
+//
+// Usage:
+//
+//	kcenter -input points.csv -k 20
+//	kcenter -input points.csv -k 20 -z 200 -randomized
+//	kcenter -input points.csv -k 20 -z 200 -streaming -budget 880
+//	kcenter -generate higgs -n 50000 -k 50 -mu 8
+//
+// The tool prints the clustering radius, the per-phase running times, and
+// (optionally) writes the selected centers to a CSV file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	kcenter "coresetclustering"
+	"coresetclustering/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kcenter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kcenter", flag.ContinueOnError)
+	var (
+		input      = fs.String("input", "", "input CSV file (one point per line)")
+		generate   = fs.String("generate", "", "generate a synthetic dataset instead of reading one: higgs, power or wiki")
+		n          = fs.Int("n", 10000, "number of points to generate (with -generate)")
+		seed       = fs.Int64("seed", 42, "random seed for generation and randomized partitioning")
+		k          = fs.Int("k", 10, "number of centers")
+		z          = fs.Int("z", 0, "number of outliers to disregard (0 = plain k-center)")
+		mu         = fs.Int("mu", 4, "coreset multiplier (per-partition coreset size = mu*(k+z))")
+		eps        = fs.Float64("eps", 0, "precision parameter; overrides -mu when positive")
+		ell        = fs.Int("ell", 0, "number of partitions (0 = sqrt(n/(k+z)))")
+		randomized = fs.Bool("randomized", false, "use randomized partitioning (outlier variant only)")
+		streamFlag = fs.Bool("streaming", false, "use the one-pass streaming algorithm instead of the MapReduce one")
+		budget     = fs.Int("budget", 0, "streaming working-memory budget in points (default mu*(k+z))")
+		centersOut = fs.String("centers", "", "write the selected centers to this CSV file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *k <= 0 {
+		return fmt.Errorf("k must be positive, got %d", *k)
+	}
+
+	points, err := loadPoints(*input, *generate, *n, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dataset: %d points, %d dimensions\n", len(points), points.Dim())
+
+	var centers kcenter.Dataset
+	var radius float64
+	switch {
+	case *streamFlag:
+		centers, radius, err = runStreaming(points, *k, *z, *mu, *budget)
+	case *z > 0:
+		centers, radius, err = runOutliers(points, *k, *z, *mu, *eps, *ell, *randomized, *seed, out)
+	default:
+		centers, radius, err = runPlain(points, *k, *mu, *eps, *ell, out)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "centers: %d\n", len(centers))
+	fmt.Fprintf(out, "radius:  %.6g\n", radius)
+	if *centersOut != "" {
+		if err := dataset.SaveCSVFile(*centersOut, centers); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "centers written to %s\n", *centersOut)
+	}
+	return nil
+}
+
+func loadPoints(input, generate string, n int, seed int64) (kcenter.Dataset, error) {
+	switch {
+	case input != "" && generate != "":
+		return nil, fmt.Errorf("use either -input or -generate, not both")
+	case input != "":
+		return dataset.LoadCSVFile(input)
+	case generate != "":
+		return dataset.Generate(dataset.Name(generate), n, seed)
+	default:
+		return nil, fmt.Errorf("one of -input or -generate is required")
+	}
+}
+
+func options(mu int, eps float64, ell int, randomized bool, seed int64) []kcenter.Option {
+	var opts []kcenter.Option
+	if eps > 0 {
+		opts = append(opts, kcenter.WithPrecision(eps))
+	} else if mu > 0 {
+		opts = append(opts, kcenter.WithCoresetMultiplier(mu))
+	}
+	if ell > 0 {
+		opts = append(opts, kcenter.WithPartitions(ell))
+	}
+	if randomized {
+		opts = append(opts, kcenter.WithRandomizedPartitioning(seed))
+	}
+	return opts
+}
+
+func runPlain(points kcenter.Dataset, k, mu int, eps float64, ell int, out io.Writer) (kcenter.Dataset, float64, error) {
+	res, err := kcenter.Cluster(points, k, options(mu, eps, ell, false, 0)...)
+	if err != nil {
+		return nil, 0, err
+	}
+	fmt.Fprintf(out, "algorithm: MapReduce k-center (%d partitions, coreset union %d points)\n",
+		res.Stats.Partitions, res.Stats.CoresetUnionSize)
+	fmt.Fprintf(out, "phase times: coreset %v, final %v\n", res.Stats.CoresetTime, res.Stats.FinalTime)
+	return res.Centers, res.Radius, nil
+}
+
+func runOutliers(points kcenter.Dataset, k, z, mu int, eps float64, ell int, randomized bool, seed int64, out io.Writer) (kcenter.Dataset, float64, error) {
+	res, err := kcenter.ClusterWithOutliers(points, k, z, options(mu, eps, ell, randomized, seed)...)
+	if err != nil {
+		return nil, 0, err
+	}
+	variant := "deterministic"
+	if randomized {
+		variant = "randomized"
+	}
+	fmt.Fprintf(out, "algorithm: MapReduce k-center with %d outliers (%s, %d partitions, coreset union %d points)\n",
+		z, variant, res.Stats.Partitions, res.Stats.CoresetUnionSize)
+	fmt.Fprintf(out, "phase times: coreset %v, solve %v\n", res.Stats.CoresetTime, res.Stats.FinalTime)
+	return res.Centers, res.Radius, nil
+}
+
+func runStreaming(points kcenter.Dataset, k, z, mu, budget int) (kcenter.Dataset, float64, error) {
+	if budget <= 0 {
+		budget = mu * (k + z)
+		if budget < k+z+1 {
+			budget = k + z + 1
+		}
+	}
+	if z > 0 {
+		s, err := kcenter.NewStreamingOutliers(k, z, budget)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := s.ObserveAll(points); err != nil {
+			return nil, 0, err
+		}
+		centers, err := s.Centers()
+		if err != nil {
+			return nil, 0, err
+		}
+		return centers, outlierRadius(points, centers, z), nil
+	}
+	s, err := kcenter.NewStreamingKCenter(k, budget)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := s.ObserveAll(points); err != nil {
+		return nil, 0, err
+	}
+	centers, err := s.Centers()
+	if err != nil {
+		return nil, 0, err
+	}
+	return centers, plainRadius(points, centers), nil
+}
+
+func plainRadius(points, centers kcenter.Dataset) float64 {
+	var r float64
+	for _, p := range points {
+		best := -1.0
+		for _, c := range centers {
+			d := kcenter.Euclidean(p, c)
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		if best > r {
+			r = best
+		}
+	}
+	return r
+}
+
+func outlierRadius(points, centers kcenter.Dataset, z int) float64 {
+	dists := make([]float64, 0, len(points))
+	for _, p := range points {
+		best := -1.0
+		for _, c := range centers {
+			d := kcenter.Euclidean(p, c)
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		dists = append(dists, best)
+	}
+	// Drop the z largest.
+	for i := 0; i < z && len(dists) > 0; i++ {
+		maxIdx := 0
+		for j, d := range dists {
+			if d > dists[maxIdx] {
+				maxIdx = j
+			}
+		}
+		dists[maxIdx] = dists[len(dists)-1]
+		dists = dists[:len(dists)-1]
+	}
+	var r float64
+	for _, d := range dists {
+		if d > r {
+			r = d
+		}
+	}
+	return r
+}

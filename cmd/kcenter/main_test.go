@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coresetclustering/internal/dataset"
+)
+
+func TestRunGenerateFlow(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-generate", "higgs", "-n", "400", "-k", "5", "-mu", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "radius:") || !strings.Contains(s, "MapReduce k-center") {
+		t.Errorf("unexpected output:\n%s", s)
+	}
+}
+
+func TestRunOutliersFlow(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-generate", "power", "-n", "300", "-k", "4", "-z", "5", "-mu", "2", "-randomized"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "outliers") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunStreamingFlow(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-generate", "higgs", "-n", "300", "-k", "4", "-z", "5", "-streaming"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "radius:") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-generate", "higgs", "-n", "300", "-k", "4", "-streaming"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVInputAndCenterOutput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	centers := filepath.Join(dir, "centers.csv")
+	ds, err := dataset.Generate(dataset.Higgs, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.SaveCSVFile(in, ds); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-input", in, "-k", "3", "-centers", centers}, &out); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := dataset.LoadCSVFile(centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(saved) != 3 {
+		t.Errorf("saved centers = %d, want 3", len(saved))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-k", "3"}, &out); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run([]string{"-generate", "higgs", "-input", "x.csv"}, &out); err == nil {
+		t.Error("both -input and -generate accepted")
+	}
+	if err := run([]string{"-generate", "higgs", "-k", "0"}, &out); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := run([]string{"-generate", "nope", "-k", "2"}, &out); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := run([]string{"-input", "/does/not/exist.csv", "-k", "2"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

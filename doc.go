@@ -1,0 +1,38 @@
+// Package kcenter is a coreset-based library for the k-center clustering
+// problem, with and without outliers, in the sequential, MapReduce-style
+// parallel, and streaming settings.
+//
+// It reproduces the algorithms of
+//
+//	M. Ceccarello, A. Pietracaprina, G. Pucci:
+//	"Solving k-center Clustering (with Outliers) in MapReduce and Streaming,
+//	almost as Accurately as Sequentially", PVLDB 12(7), 2019.
+//
+// # Overview
+//
+// The k-center problem asks for k centers minimising the maximum distance of
+// any point to its closest center; the variant with z outliers allows the z
+// farthest points to be discarded. Both are NP-hard; the best polynomial-time
+// sequential approximations are 2 (Gonzalez) and 3 (Charikar et al.)
+// respectively. The algorithms implemented here achieve 2+eps and 3+eps in
+// two MapReduce rounds (or one streaming pass for the outlier variant) by
+// building composable coresets with an incremental greedy: selecting more
+// than k points per partition makes the union of the coresets an arbitrarily
+// good summary of the input, at a space cost governed by the doubling
+// dimension of the data.
+//
+// # Entry points
+//
+//   - Cluster: k-center on an in-memory dataset, parallelised over
+//     goroutine-backed partitions (the MapReduce algorithm of the paper).
+//   - ClusterWithOutliers: k-center with z outliers, deterministic or
+//     randomized partitioning.
+//   - Gonzalez: the classic sequential 2-approximation (GMM), exposed as a
+//     baseline and building block.
+//   - NewStreamingKCenter / NewStreamingOutliers: one-pass streaming
+//     algorithms with a fixed working-memory budget.
+//
+// The cmd/ directory provides a clustering CLI, a dataset generator, and a
+// driver that reproduces every figure of the paper's evaluation; the
+// examples/ directory contains runnable programs for common scenarios.
+package kcenter

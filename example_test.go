@@ -1,0 +1,76 @@
+package kcenter_test
+
+import (
+	"fmt"
+
+	kcenter "coresetclustering"
+)
+
+// ExampleCluster demonstrates plain k-center clustering on a small dataset.
+func ExampleCluster() {
+	points := kcenter.Dataset{
+		{0, 0}, {1, 0}, {0, 1},
+		{100, 100}, {101, 100}, {100, 101},
+	}
+	res, err := kcenter.Cluster(points, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", len(res.Centers))
+	fmt.Printf("radius: %.2f\n", res.Radius)
+	// Output:
+	// clusters: 2
+	// radius: 1.41
+}
+
+// ExampleClusterWithOutliers shows how a single far-away point is absorbed by
+// the outlier budget instead of distorting the clustering.
+func ExampleClusterWithOutliers() {
+	points := kcenter.Dataset{
+		{0, 0}, {1, 0}, {0, 1},
+		{100, 100}, {101, 100}, {100, 101},
+		{100000, 100000}, // a corrupted reading
+	}
+	res, err := kcenter.ClusterWithOutliers(points, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("radius stays small:", res.Radius < 5)
+	fmt.Println("outlier index:", res.Outliers[0])
+	// Output:
+	// radius stays small: true
+	// outlier index: 6
+}
+
+// ExampleGonzalez runs the classic sequential 2-approximation.
+func ExampleGonzalez() {
+	points := kcenter.Dataset{{0}, {1}, {10}, {11}}
+	res, err := kcenter.Gonzalez(points, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("radius: %.0f\n", res.Radius)
+	// Output:
+	// radius: 1
+}
+
+// ExampleStreamingKCenter maintains a clustering of a stream under a fixed
+// memory budget.
+func ExampleStreamingKCenter() {
+	s, err := kcenter.NewStreamingKCenter(2, 16)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = s.Observe(kcenter.Point{float64(i % 2 * 100), float64(i % 3)})
+	}
+	centers, err := s.Centers()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("centers:", len(centers))
+	fmt.Println("memory bounded:", s.WorkingMemory() <= 16)
+	// Output:
+	// centers: 2
+	// memory bounded: true
+}

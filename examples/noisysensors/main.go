@@ -1,0 +1,79 @@
+// Noisy sensors: cluster telemetry readings that contain corrupted
+// measurements, using k-center with outliers so the glitches do not distort
+// the cluster radii.
+//
+// A fleet of sensors reports (temperature, humidity, vibration) tuples.
+// Sensors operate in three regimes, but a handful of readings are corrupted
+// by transmission errors and take absurd values. Plain k-center would burn
+// a center (or blow up the radius) on the corrupted readings; the outlier
+// variant ignores them.
+//
+// Run with:
+//
+//	go run ./examples/noisysensors
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	kcenter "coresetclustering"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Three operating regimes (idle, nominal, high-load).
+	regimes := []kcenter.Point{
+		{20, 40, 0.1}, // idle:     cool, moderate humidity, little vibration
+		{45, 35, 1.5}, // nominal:  warm, vibrating
+		{80, 20, 4.0}, // high load: hot, dry, strong vibration
+	}
+	var readings kcenter.Dataset
+	for _, r := range regimes {
+		for i := 0; i < 400; i++ {
+			readings = append(readings, kcenter.Point{
+				r[0] + rng.NormFloat64()*2,
+				r[1] + rng.NormFloat64()*3,
+				r[2] + rng.NormFloat64()*0.2,
+			})
+		}
+	}
+	// A few corrupted readings: impossible temperatures and vibrations.
+	const corrupted = 8
+	for i := 0; i < corrupted; i++ {
+		readings = append(readings, kcenter.Point{
+			5000 + rng.Float64()*1000,
+			-300 + rng.Float64()*10,
+			900 + rng.Float64()*100,
+		})
+	}
+	rng.Shuffle(len(readings), func(i, j int) { readings[i], readings[j] = readings[j], readings[i] })
+
+	// Plain k-center: the corrupted readings dominate the radius.
+	plain, err := kcenter.Cluster(readings, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// k-center with z outliers: allow up to `corrupted` readings to be
+	// disregarded. Randomized partitioning keeps the corrupted readings from
+	// concentrating in one partition.
+	robust, err := kcenter.ClusterWithOutliers(readings, 3, corrupted,
+		kcenter.WithCoresetMultiplier(4),
+		kcenter.WithRandomizedPartitioning(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("readings: %d (of which %d corrupted)\n", len(readings), corrupted)
+	fmt.Printf("plain k-center radius:        %8.2f   <- inflated by the corrupted readings\n", plain.Radius)
+	fmt.Printf("k-center with outliers radius:%8.2f   <- the real regime spread\n", robust.Radius)
+	fmt.Println("regime centers found (temperature, humidity, vibration):")
+	for i, c := range robust.Centers {
+		fmt.Printf("  regime %d: (%.1f, %.1f, %.2f)\n", i, c[0], c[1], c[2])
+	}
+	fmt.Printf("readings flagged as outliers: %d\n", len(robust.Outliers))
+}

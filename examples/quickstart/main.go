@@ -1,0 +1,53 @@
+// Quickstart: cluster a small synthetic dataset with the coreset-based
+// k-center algorithm and print the resulting centers and radius.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	kcenter "coresetclustering"
+)
+
+func main() {
+	// Build a toy dataset: four Gaussian blobs in the plane.
+	rng := rand.New(rand.NewSource(1))
+	blobCenters := []kcenter.Point{{0, 0}, {50, 0}, {0, 50}, {50, 50}}
+	var points kcenter.Dataset
+	for _, c := range blobCenters {
+		for i := 0; i < 500; i++ {
+			points = append(points, kcenter.Point{
+				c[0] + rng.NormFloat64(),
+				c[1] + rng.NormFloat64(),
+			})
+		}
+	}
+
+	// Cluster with k = 4. The library partitions the data, builds a coreset
+	// per partition on parallel goroutines, and solves k-center on the union
+	// of the coresets — the 2-round algorithm of the paper.
+	res, err := kcenter.Cluster(points, 4, kcenter.WithCoresetMultiplier(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clustered %d points into %d clusters\n", len(points), len(res.Centers))
+	fmt.Printf("radius: %.3f (blob standard deviation is 1.0)\n", res.Radius)
+	for i, c := range res.Centers {
+		fmt.Printf("center %d: (%.1f, %.1f)\n", i, c[0], c[1])
+	}
+	fmt.Printf("coreset union: %d points, partitions: %d\n",
+		res.Stats.CoresetUnionSize, res.Stats.Partitions)
+
+	// Each input point is assigned to its closest center.
+	sizes := make([]int, len(res.Centers))
+	for _, ci := range res.Assignment {
+		sizes[ci]++
+	}
+	fmt.Println("cluster sizes:", sizes)
+}

@@ -1,0 +1,95 @@
+// Streaming trends: maintain a k-center summary of an unbounded stream of
+// embedding vectors (e.g. social-media posts mapped to a topic space) using a
+// fixed working-memory budget, the scenario that motivates the paper's
+// 1-pass streaming algorithms.
+//
+// The stream drifts over time: new topics appear while the summary is
+// running. The streaming clusterer keeps a weighted coreset of bounded size
+// and can produce up-to-date centers at any moment.
+//
+// Run with:
+//
+//	go run ./examples/streamingtrends
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	kcenter "coresetclustering"
+)
+
+// topic returns a synthetic "embedding" near one of the topic anchors.
+func topic(rng *rand.Rand, anchor int) kcenter.Point {
+	p := make(kcenter.Point, 10)
+	for d := range p {
+		p[d] = rng.NormFloat64() * 0.3
+	}
+	p[anchor%len(p)] += 10 // each topic lives along its own axis
+	return p
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	const (
+		k      = 6
+		noisy  = 50 // sporadic junk posts (spam) to tolerate
+		budget = 8 * (k + noisy)
+	)
+
+	// The outlier-aware streaming clusterer: at most `budget` points are ever
+	// retained, regardless of how long the stream runs.
+	summary, err := kcenter.NewStreamingOutliers(k, noisy, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: three topics are trending.
+	for i := 0; i < 30000; i++ {
+		if err := summary.Observe(topic(rng, rng.Intn(3))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Occasional spam: points nowhere near any topic.
+	for i := 0; i < noisy/2; i++ {
+		spam := make(kcenter.Point, 10)
+		for d := range spam {
+			spam[d] = 500 + rng.Float64()*100
+		}
+		if err := summary.Observe(spam); err != nil {
+			log.Fatal(err)
+		}
+	}
+	centers, err := summary.Centers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after %d posts: %d trend centers, working memory %d points (budget %d)\n",
+		summary.Observed(), len(centers), summary.WorkingMemory(), budget)
+
+	// Phase 2: three new topics emerge; the summary adapts without replaying
+	// the stream.
+	for i := 0; i < 30000; i++ {
+		if err := summary.Observe(topic(rng, 3+rng.Intn(3))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	centers, err = summary.Centers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after %d posts: %d trend centers, working memory %d points (budget %d)\n",
+		summary.Observed(), len(centers), summary.WorkingMemory(), budget)
+
+	fmt.Println("current trend centers (dominant axis per topic):")
+	for i, c := range centers {
+		best, bestVal := 0, c[0]
+		for d, v := range c {
+			if v > bestVal {
+				best, bestVal = d, v
+			}
+		}
+		fmt.Printf("  trend %d: axis %d (coordinate %.1f)\n", i, best, bestVal)
+	}
+}

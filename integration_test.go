@@ -1,0 +1,206 @@
+package kcenter
+
+// Cross-algorithm integration tests: the MapReduce, streaming and sequential
+// paths are run on the same workloads and their results compared against each
+// other and against the planted cluster structure.
+
+import (
+	"math/rand"
+	"testing"
+
+	"coresetclustering/internal/dataset"
+	"coresetclustering/internal/metric"
+)
+
+func plantedWorkload(t *testing.T, name dataset.Name, n, z int, seed int64) (Dataset, []int) {
+	t.Helper()
+	base, err := dataset.Generate(name, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z == 0 {
+		return base, nil
+	}
+	inj, err := dataset.InjectOutliers(base, z, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj.Points, inj.OutlierIndices
+}
+
+func TestIntegrationMapReduceMatchesGonzalez(t *testing.T) {
+	for _, name := range dataset.Names() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			points, _ := plantedWorkload(t, name, 2000, 0, 11)
+			k := 15
+			seq, err := Gonzalez(points, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mr, err := Cluster(points, k, WithCoresetMultiplier(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Gonzalez is a 2-approximation, the MapReduce algorithm 2+eps;
+			// empirically their radii should be within a factor ~2 of each
+			// other in both directions.
+			if mr.Radius > 2.2*seq.Radius {
+				t.Errorf("MapReduce radius %v far worse than Gonzalez %v", mr.Radius, seq.Radius)
+			}
+			if seq.Radius > 2.2*mr.Radius {
+				t.Errorf("Gonzalez radius %v far worse than MapReduce %v", seq.Radius, mr.Radius)
+			}
+		})
+	}
+}
+
+func TestIntegrationOutlierPathsAgree(t *testing.T) {
+	points, outIdx := plantedWorkload(t, dataset.Higgs, 1500, 12, 13)
+	k, z := 8, 12
+
+	mrDet, err := ClusterWithOutliers(points, k, z, WithCoresetMultiplier(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrRand, err := ClusterWithOutliers(points, k, z, WithCoresetMultiplier(4), WithRandomizedPartitioning(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ClusterWithOutliers(points, k, z, WithCoresetMultiplier(4), WithPartitions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := NewStreamingOutliers(k, z, 8*(k+z))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.ObserveAll(dataset.Shuffle(points, 3)); err != nil {
+		t.Fatal(err)
+	}
+	streamCenters, err := stream.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamRadius := metric.RadiusExcluding(Euclidean, points, streamCenters, z)
+
+	radii := map[string]float64{
+		"mapreduce-deterministic": mrDet.Radius,
+		"mapreduce-randomized":    mrRand.Radius,
+		"sequential":              seq.Radius,
+		"streaming":               streamRadius,
+	}
+	// The injected outliers sit at 100*r_MEB; a clustering that failed to
+	// treat them as outliers would have a radius orders of magnitude larger
+	// than one that did. All four paths must land in the "small" regime, and
+	// within a moderate factor of each other.
+	var minR, maxR float64
+	first := true
+	for name, r := range radii {
+		if r <= 0 {
+			t.Errorf("%s returned non-positive radius %v", name, r)
+		}
+		if first {
+			minR, maxR, first = r, r, false
+			continue
+		}
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR > 6*minR {
+		t.Errorf("outlier-aware radii spread too wide: %v", radii)
+	}
+
+	// Every path must identify the planted outliers as the farthest points:
+	// check the deterministic MapReduce result explicitly.
+	planted := map[int]bool{}
+	for _, i := range outIdx {
+		planted[i] = true
+	}
+	for _, oi := range mrDet.Outliers {
+		if !planted[oi] {
+			t.Errorf("reported outlier %d was not an injected point", oi)
+		}
+	}
+}
+
+func TestIntegrationStreamingMatchesBatch(t *testing.T) {
+	points, _ := plantedWorkload(t, dataset.Power, 3000, 0, 17)
+	k := 12
+	batch, err := Cluster(points, k, WithCoresetMultiplier(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreamingKCenter(k, 16*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveAll(dataset.Shuffle(points, 5)); err != nil {
+		t.Fatal(err)
+	}
+	centers, err := s.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamRadius := metric.Radius(Euclidean, points, centers)
+	if streamRadius > 4*batch.Radius {
+		t.Errorf("streaming radius %v too far from batch radius %v", streamRadius, batch.Radius)
+	}
+}
+
+func TestIntegrationDuplicateHeavyInput(t *testing.T) {
+	// Failure-injection: an input dominated by duplicates with a few distinct
+	// locations must not break any path.
+	var points Dataset
+	for i := 0; i < 500; i++ {
+		points = append(points, Point{1, 1})
+	}
+	for i := 0; i < 20; i++ {
+		points = append(points, Point{float64(i * 10), 0})
+	}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(points), func(i, j int) { points[i], points[j] = points[j], points[i] })
+
+	if _, err := Cluster(points, 5); err != nil {
+		t.Errorf("Cluster on duplicate-heavy input: %v", err)
+	}
+	if _, err := ClusterWithOutliers(points, 5, 3); err != nil {
+		t.Errorf("ClusterWithOutliers on duplicate-heavy input: %v", err)
+	}
+	s, err := NewStreamingKCenter(5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveAll(points); err != nil {
+		t.Errorf("streaming on duplicate-heavy input: %v", err)
+	}
+	if _, err := s.Centers(); err != nil {
+		t.Errorf("streaming centers on duplicate-heavy input: %v", err)
+	}
+}
+
+func TestIntegrationHighDimensionalWiki(t *testing.T) {
+	// The 50-dimensional Wiki-like family is the paper's stress case; make
+	// sure the full pipeline handles it end to end.
+	points, outIdx := plantedWorkload(t, dataset.Wiki, 800, 8, 23)
+	res, err := ClusterWithOutliers(points, 10, 8, WithCoresetMultiplier(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) == 0 {
+		t.Fatal("no centers returned")
+	}
+	// The injected outliers are enormously far away; the outlier-aware radius
+	// must not be dominated by them.
+	full := metric.Radius(Euclidean, points, res.Centers)
+	if res.Radius >= full {
+		t.Errorf("outlier-aware radius %v not below full radius %v", res.Radius, full)
+	}
+	if len(outIdx) != 8 {
+		t.Fatalf("expected 8 injected outliers, got %d", len(outIdx))
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKCenterViaEngineMatchesDriver(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	k := 4
+	ds := clusteredDataset(rng, k, 80, 3, 100, 1)
+	cfg := KCenterConfig{K: k, Ell: 4, CoresetSize: 4 * k}
+
+	engine, err := KCenterViaEngine(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver, err := KCenter(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(engine.Centers) != k {
+		t.Fatalf("engine centers = %d, want %d", len(engine.Centers), k)
+	}
+	// Both formulations implement the same algorithm; on well-separated blobs
+	// both must land in the "one center per blob" regime.
+	if engine.Radius > 10 || driver.Radius > 10 {
+		t.Errorf("radii too large: engine %v, driver %v", engine.Radius, driver.Radius)
+	}
+	if engine.CoresetUnionSize != driver.CoresetUnionSize {
+		t.Errorf("coreset union sizes differ: engine %d, driver %d",
+			engine.CoresetUnionSize, driver.CoresetUnionSize)
+	}
+	if engine.LocalMemoryPeak <= 0 {
+		t.Error("engine local memory not recorded")
+	}
+}
+
+func TestKCenterViaEngineValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ds := randomDataset(rng, 30, 2, 10)
+	if _, err := KCenterViaEngine(nil, KCenterConfig{K: 2, Ell: 2, CoresetSize: 4}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := KCenterViaEngine(ds, KCenterConfig{K: 0, Ell: 2, CoresetSize: 4}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KCenterViaEngine(ds, KCenterConfig{K: 2, Ell: 2}); err == nil {
+		t.Error("missing coreset rule accepted")
+	}
+}
+
+func TestKCenterViaEngineEpsRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ds := clusteredDataset(rng, 3, 40, 2, 50, 0.5)
+	res, err := KCenterViaEngine(ds, KCenterConfig{K: 3, Ell: 3, Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 {
+		t.Fatalf("centers = %d, want 3", len(res.Centers))
+	}
+	if res.Radius > 10 {
+		t.Errorf("radius = %v, want small", res.Radius)
+	}
+}

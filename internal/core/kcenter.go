@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"coresetclustering/internal/coreset"
+	"coresetclustering/internal/gmm"
+	"coresetclustering/internal/mapreduce"
+	"coresetclustering/internal/metric"
+)
+
+// Common configuration errors.
+var (
+	ErrEmptyInput   = errors.New("core: empty input dataset")
+	ErrInvalidK     = errors.New("core: k must be positive and smaller than |S|")
+	ErrInvalidEll   = errors.New("core: number of partitions ell must be positive")
+	ErrInvalidSpec  = errors.New("core: exactly one of Eps and CoresetSize must be positive")
+	ErrInvalidZ     = errors.New("core: z must be non-negative and k+z must be smaller than |S|")
+	ErrNilDistance  = errors.New("core: nil distance function")
+	ErrNilPartition = errors.New("core: nil partitioner")
+)
+
+// KCenterConfig configures the 2-round MapReduce algorithm for the k-center
+// problem (Section 3.1 of the paper).
+type KCenterConfig struct {
+	// K is the number of centers.
+	K int
+	// Ell is the number of partitions (the parallelism of the first round).
+	Ell int
+	// Eps is the precision parameter of the coreset stopping rule. Exactly
+	// one of Eps and CoresetSize must be positive.
+	Eps float64
+	// CoresetSize is the per-partition coreset size tau (the experiments use
+	// tau = mu*K). Exactly one of Eps and CoresetSize must be positive.
+	CoresetSize int
+	// Distance is the metric; nil defaults to Euclidean.
+	Distance metric.Distance
+	// Partitioner splits the input in the first round; nil defaults to
+	// UniformPartitioner (the paper's equal-size split).
+	Partitioner mapreduce.Partitioner
+	// Parallelism bounds the number of partitions processed concurrently;
+	// zero means one goroutine per available CPU.
+	Parallelism int
+	// MaxCoresetSize caps the eps-driven coreset size per partition
+	// (0 = unbounded); ignored by the fixed-size rule.
+	MaxCoresetSize int
+}
+
+func (c *KCenterConfig) normalize(n int) error {
+	if n == 0 {
+		return ErrEmptyInput
+	}
+	if c.K <= 0 || c.K >= n {
+		return fmt.Errorf("%w: k=%d, |S|=%d", ErrInvalidK, c.K, n)
+	}
+	if c.Ell <= 0 {
+		return ErrInvalidEll
+	}
+	if (c.Eps > 0) == (c.CoresetSize > 0) {
+		return fmt.Errorf("%w: eps=%v coresetSize=%d", ErrInvalidSpec, c.Eps, c.CoresetSize)
+	}
+	if c.Eps < 0 || c.CoresetSize < 0 {
+		return fmt.Errorf("%w: eps=%v coresetSize=%d", ErrInvalidSpec, c.Eps, c.CoresetSize)
+	}
+	if c.Distance == nil {
+		c.Distance = metric.Euclidean
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = mapreduce.UniformPartitioner{}
+	}
+	return nil
+}
+
+// KCenterResult is the outcome of the 2-round MapReduce k-center algorithm.
+type KCenterResult struct {
+	// Centers are the K centers returned by the second round.
+	Centers metric.Dataset
+	// Radius is r_T(S) computed over the full input (the clustering radius).
+	Radius float64
+	// CoresetUnionSize is |T|, the number of points gathered by the second
+	// round's reducer.
+	CoresetUnionSize int
+	// LocalMemoryPeak is the largest number of points held by a single
+	// reducer across the two rounds (max of |S|/ell and |T|).
+	LocalMemoryPeak int
+	// CoresetTime and FinalTime are the wall-clock durations of the first
+	// round (coreset construction) and of the second round (GMM on the
+	// union).
+	CoresetTime time.Duration
+	FinalTime   time.Duration
+	// PartitionSizes records |S_i| for each partition.
+	PartitionSizes []int
+	// CoresetSizes records |T_i| for each partition.
+	CoresetSizes []int
+}
+
+// KCenter runs the deterministic 2-round MapReduce algorithm for the k-center
+// problem: round 1 builds a composable coreset on every partition with
+// incremental GMM; round 2 gathers the union of the coresets and runs GMM on
+// it to select the final K centers.
+func KCenter(points metric.Dataset, cfg KCenterConfig) (*KCenterResult, error) {
+	if err := cfg.normalize(len(points)); err != nil {
+		return nil, err
+	}
+
+	parts, err := cfg.Partitioner.Partition(points, cfg.Ell)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning failed: %w", err)
+	}
+
+	// Round 1: per-partition coresets.
+	spec := coreset.Spec{
+		Eps:        cfg.Eps,
+		Size:       cfg.CoresetSize,
+		RefCenters: cfg.K,
+		MaxSize:    cfg.MaxCoresetSize,
+	}
+	start := time.Now()
+	coresets, execStats, err := mapreduce.MapPartitions(
+		mapreduce.ExecConfig{Parallelism: cfg.Parallelism},
+		parts,
+		func(i int, part metric.Dataset) (*coreset.Coreset, error) {
+			if len(part) == 0 {
+				return nil, nil
+			}
+			return coreset.Build(cfg.Distance, part, spec)
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	coresetTime := time.Since(start)
+
+	union := coreset.UnionPoints(coresets...)
+	if len(union) == 0 {
+		return nil, errors.New("core: empty coreset union")
+	}
+
+	// Round 2: GMM on the union of the coresets.
+	start = time.Now()
+	final, err := gmm.Run(cfg.Distance, union, cfg.K, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: final GMM failed: %w", err)
+	}
+	finalTime := time.Since(start)
+
+	res := &KCenterResult{
+		Centers:          final.Centers,
+		Radius:           metric.Radius(cfg.Distance, points, final.Centers),
+		CoresetUnionSize: len(union),
+		LocalMemoryPeak:  maxInt(execStats.LocalMemoryPeak, len(union)),
+		CoresetTime:      coresetTime,
+		FinalTime:        finalTime,
+		PartitionSizes:   make([]int, len(parts)),
+		CoresetSizes:     make([]int, len(coresets)),
+	}
+	for i, p := range parts {
+		res.PartitionSizes[i] = len(p)
+	}
+	for i, c := range coresets {
+		if c != nil {
+			res.CoresetSizes[i] = c.Size()
+		}
+	}
+	return res, nil
+}
+
+// SequentialKCenter is the ell = 1 instantiation of KCenter: a purely
+// sequential coreset-accelerated k-center algorithm. It is exposed separately
+// for clarity; semantically it is KCenter with Ell = 1.
+func SequentialKCenter(points metric.Dataset, k int, coresetSize int, dist metric.Distance) (*KCenterResult, error) {
+	return KCenter(points, KCenterConfig{
+		K:           k,
+		Ell:         1,
+		CoresetSize: coresetSize,
+		Distance:    dist,
+		Parallelism: 1,
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

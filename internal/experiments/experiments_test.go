@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"coresetclustering/internal/dataset"
+)
+
+// tiny returns a fast, single-dataset variant of each default config so the
+// integration tests stay quick; the full-scale sweeps run from
+// cmd/experiments and the benchmarks.
+func tinyDatasets() []dataset.Name { return []dataset.Name{dataset.Higgs} }
+
+func TestBuildWorkloads(t *testing.T) {
+	ws, err := buildWorkloads(nil, 200, func(n dataset.Name) int { return 5 }, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("workloads = %d, want 3 (all families)", len(ws))
+	}
+	for _, w := range ws {
+		if len(w.Points) != 200 || w.K != 5 || w.Z != 0 {
+			t.Errorf("workload %s malformed: n=%d k=%d z=%d", w.Name, len(w.Points), w.K, w.Z)
+		}
+	}
+	ws, err = buildWorkloads(tinyDatasets(), 150, func(n dataset.Name) int { return 4 }, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || len(ws[0].Points) != 160 || len(ws[0].OutlierIndices) != 10 {
+		t.Errorf("outlier workload malformed: %+v", ws[0])
+	}
+	if _, err := buildWorkloads(tinyDatasets(), 0, func(n dataset.Name) int { return 4 }, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestRatioTracker(t *testing.T) {
+	rt := newRatioTracker()
+	rt.observe("a", 4)
+	rt.observe("a", 2)
+	rt.observe("b", 10)
+	if got := rt.ratio("a", 4); got != 2 {
+		t.Errorf("ratio = %v, want 2", got)
+	}
+	if got := rt.ratio("b", 10); got != 1 {
+		t.Errorf("ratio = %v, want 1", got)
+	}
+}
+
+func TestClampRuns(t *testing.T) {
+	if got := clampRuns(0); got != defaultRuns {
+		t.Errorf("clampRuns(0) = %d, want %d", got, defaultRuns)
+	}
+	if got := clampRuns(7); got != 7 {
+		t.Errorf("clampRuns(7) = %d, want 7", got)
+	}
+}
+
+func TestRunFigure2(t *testing.T) {
+	cfg := Figure2Config{
+		Datasets: tinyDatasets(),
+		N:        600,
+		K:        8,
+		Ells:     []int{2, 4},
+		Mus:      []int{1, 4},
+		Runs:     2,
+		Seed:     1,
+	}
+	res, err := RunFigure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	// Every ratio is at least 1 by definition of the protocol.
+	for _, row := range res.Rows {
+		if row.Ratio.Mean < 1-1e-9 {
+			t.Errorf("%s ell=%d mu=%d ratio %v < 1", row.Dataset, row.Ell, row.Mu, row.Ratio.Mean)
+		}
+	}
+	// The headline claim: for fixed ell, mu=4 is not worse than mu=1 (allow a
+	// small tolerance for run-to-run noise).
+	byKey := map[[2]int]float64{}
+	for _, row := range res.Rows {
+		byKey[[2]int{row.Ell, row.Mu}] = row.Ratio.Mean
+	}
+	for _, ell := range cfg.Ells {
+		if byKey[[2]int{ell, 4}] > byKey[[2]int{ell, 1}]*1.15 {
+			t.Errorf("ell=%d: mu=4 ratio (%v) worse than mu=1 (%v)", ell, byKey[[2]int{ell, 4}], byKey[[2]int{ell, 1}])
+		}
+	}
+	if !strings.Contains(res.Table().String(), "Figure 2") {
+		t.Error("table rendering broken")
+	}
+	if _, err := RunFigure2(Figure2Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunFigure3(t *testing.T) {
+	cfg := Figure3Config{
+		Datasets:    tinyDatasets(),
+		N:           800,
+		K:           8,
+		Multipliers: []int{1, 4},
+		Runs:        2,
+		Seed:        2,
+	}
+	res, err := RunFigure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two algorithms x two multipliers x one dataset.
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Ratio.Mean < 1-1e-9 {
+			t.Errorf("%s %s ratio %v < 1", row.Dataset, row.Algorithm, row.Ratio.Mean)
+		}
+		if row.Throughput.Mean <= 0 {
+			t.Errorf("%s %s throughput not positive", row.Dataset, row.Algorithm)
+		}
+		if row.Space <= 0 {
+			t.Errorf("%s %s space not recorded", row.Dataset, row.Algorithm)
+		}
+	}
+	if !strings.Contains(res.Table().String(), "Figure 3") {
+		t.Error("table rendering broken")
+	}
+	if _, err := RunFigure3(Figure3Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunFigure4(t *testing.T) {
+	cfg := Figure4Config{
+		Datasets: tinyDatasets(),
+		N:        500,
+		K:        4,
+		Z:        10,
+		Ell:      4,
+		Mus:      []int{1, 4},
+		EpsHat:   0.25,
+		Runs:     2,
+		Seed:     3,
+	}
+	res, err := RunFigure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two variants x two multipliers x one dataset.
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	var detMu1, detMu4 float64
+	for _, row := range res.Rows {
+		if row.Ratio.Mean < 1-1e-9 {
+			t.Errorf("%s %s mu=%d ratio %v < 1", row.Dataset, row.Variant, row.Mu, row.Ratio.Mean)
+		}
+		if row.Time.Mean < 0 {
+			t.Errorf("negative time for %s %s", row.Dataset, row.Variant)
+		}
+		if row.Variant == "deterministic" && row.Mu == 1 {
+			detMu1 = row.Ratio.Mean
+		}
+		if row.Variant == "deterministic" && row.Mu == 4 {
+			detMu4 = row.Ratio.Mean
+		}
+	}
+	// The Figure 4 shape: with adversarial partitioning the deterministic
+	// algorithm improves (or at least does not get worse) as mu grows.
+	if detMu4 > detMu1*1.15 {
+		t.Errorf("deterministic mu=4 ratio (%v) worse than mu=1 (%v)", detMu4, detMu1)
+	}
+	if !strings.Contains(res.Table().String(), "Figure 4") {
+		t.Error("table rendering broken")
+	}
+	if _, err := RunFigure4(Figure4Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunFigure5(t *testing.T) {
+	cfg := Figure5Config{
+		Datasets:    tinyDatasets(),
+		N:           600,
+		K:           4,
+		Z:           10,
+		Multipliers: []int{1, 2},
+		EpsHat:      0.25,
+		Runs:        2,
+		Seed:        4,
+	}
+	res, err := RunFigure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	spaceByAlgo := map[string]int{}
+	for _, row := range res.Rows {
+		if row.Ratio.Mean < 1-1e-9 {
+			t.Errorf("%s %s ratio %v < 1", row.Dataset, row.Algorithm, row.Ratio.Mean)
+		}
+		if row.Throughput.Mean <= 0 {
+			t.Errorf("%s %s throughput not positive", row.Dataset, row.Algorithm)
+		}
+		if row.Multiplier == 2 {
+			spaceByAlgo[row.Algorithm] = row.Space
+		}
+	}
+	// The Figure 5 shape: the coreset algorithm uses less memory than the
+	// baseline at the same multiplier.
+	if spaceByAlgo["CoresetOutliers"] >= spaceByAlgo["BaseOutliers"] {
+		t.Errorf("CoresetOutliers space (%d) not below BaseOutliers space (%d)",
+			spaceByAlgo["CoresetOutliers"], spaceByAlgo["BaseOutliers"])
+	}
+	if !strings.Contains(res.Table().String(), "Figure 5") {
+		t.Error("table rendering broken")
+	}
+	if _, err := RunFigure5(Figure5Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunFigure6(t *testing.T) {
+	cfg := Figure6Config{
+		Datasets: tinyDatasets(),
+		BaseN:    400,
+		Factors:  []int{1, 2},
+		K:        4,
+		Z:        8,
+		Ell:      4,
+		Mu:       2,
+		EpsHat:   0.25,
+		Runs:     2,
+		Seed:     5,
+	}
+	res, err := RunFigure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[1].N <= res.Rows[0].N {
+		t.Errorf("inflation did not grow the dataset: %d vs %d", res.Rows[1].N, res.Rows[0].N)
+	}
+	for _, row := range res.Rows {
+		if row.TotalTime.Mean <= 0 {
+			t.Errorf("non-positive total time for factor %d", row.Factor)
+		}
+	}
+	if !strings.Contains(res.Table().String(), "Figure 6") {
+		t.Error("table rendering broken")
+	}
+	if _, err := RunFigure6(Figure6Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunFigure7(t *testing.T) {
+	cfg := Figure7Config{
+		Datasets: tinyDatasets(),
+		N:        2000,
+		K:        4,
+		Z:        8,
+		Ells:     []int{1, 4},
+		EpsHat:   0.25,
+		Runs:     2,
+		Seed:     6,
+	}
+	res, err := RunFigure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	// tau shrinks as ell grows (fixed union size).
+	if res.Rows[1].Tau > res.Rows[0].Tau {
+		t.Errorf("tau did not shrink with ell: %d -> %d", res.Rows[0].Tau, res.Rows[1].Tau)
+	}
+	if !strings.Contains(res.Table().String(), "Figure 7") {
+		t.Error("table rendering broken")
+	}
+	if _, err := RunFigure7(Figure7Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunFigure8(t *testing.T) {
+	cfg := Figure8Config{
+		Datasets: tinyDatasets(),
+		SampleN:  300,
+		K:        4,
+		Z:        8,
+		Mus:      []int{2, 4},
+		EpsHat:   0.25,
+		Runs:     2,
+		Seed:     7,
+	}
+	res, err := RunFigure8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CharikarEtAl + MalkomesEtAl + 2 coreset multipliers = 4 rows.
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	times := map[string]float64{}
+	radii := map[string]float64{}
+	for _, row := range res.Rows {
+		if row.Time.Mean <= 0 {
+			t.Errorf("%s time not positive", row.Algorithm)
+		}
+		times[row.Algorithm] = row.Time.Mean
+		radii[row.Algorithm] = row.Radius.Mean
+	}
+	// Figure 8 shape: the coreset-based algorithms are faster than the
+	// quadratic baseline, and the mu>=2 variants do not lose much quality.
+	if times["Ours(mu=2)"] >= times["CharikarEtAl"] {
+		t.Errorf("Ours(mu=2) time (%v) not below CharikarEtAl (%v)", times["Ours(mu=2)"], times["CharikarEtAl"])
+	}
+	if radii["Ours(mu=4)"] > 3*radii["CharikarEtAl"]+1e-9 {
+		t.Errorf("Ours(mu=4) radius (%v) far worse than CharikarEtAl (%v)", radii["Ours(mu=4)"], radii["CharikarEtAl"])
+	}
+	if !strings.Contains(res.Table().String(), "Figure 8") {
+		t.Error("table rendering broken")
+	}
+	if _, err := RunFigure8(Figure8Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDefaultConfigsAreValidShapes(t *testing.T) {
+	// The defaults must at least pass their own validation (we do not run
+	// them here; they power cmd/experiments and the benchmarks).
+	if cfg := DefaultFigure2Config(); cfg.N <= 0 || len(cfg.Mus) == 0 || len(cfg.Ells) == 0 {
+		t.Error("bad Figure 2 defaults")
+	}
+	if cfg := DefaultFigure3Config(); cfg.N <= 0 || len(cfg.Multipliers) == 0 {
+		t.Error("bad Figure 3 defaults")
+	}
+	if cfg := DefaultFigure4Config(); cfg.N <= 0 || cfg.K <= 0 || len(cfg.Mus) == 0 {
+		t.Error("bad Figure 4 defaults")
+	}
+	if cfg := DefaultFigure5Config(); cfg.N <= 0 || cfg.K <= 0 || len(cfg.Multipliers) == 0 {
+		t.Error("bad Figure 5 defaults")
+	}
+	if cfg := DefaultFigure6Config(); cfg.BaseN <= 0 || len(cfg.Factors) == 0 {
+		t.Error("bad Figure 6 defaults")
+	}
+	if cfg := DefaultFigure7Config(); cfg.N <= 0 || len(cfg.Ells) == 0 {
+		t.Error("bad Figure 7 defaults")
+	}
+	if cfg := DefaultFigure8Config(); cfg.SampleN <= 0 || len(cfg.Mus) == 0 {
+		t.Error("bad Figure 8 defaults")
+	}
+}

@@ -1,0 +1,414 @@
+// Package gmm implements Gonzalez' greedy farthest-point algorithm (GMM) for
+// the k-center problem, both in its classic fixed-k form and in the
+// incremental form the paper uses to grow composable coresets: keep selecting
+// centers beyond k until the residual radius drops below a target fraction of
+// the k-center radius.
+//
+// GMM is a 2-approximation for k-center (Gonzalez, 1985) and, crucially for
+// the coreset constructions, Lemma 1 of the paper shows that when run on a
+// subset X of S it still guarantees r_T(X) <= 2 * r*_k(S).
+package gmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"coresetclustering/internal/metric"
+)
+
+// ErrEmptyInput is returned when the input dataset is empty.
+var ErrEmptyInput = errors.New("gmm: empty input dataset")
+
+// ErrInvalidK is returned when k is not positive.
+var ErrInvalidK = errors.New("gmm: k must be positive")
+
+// Result describes the outcome of a GMM run.
+type Result struct {
+	// Centers are the selected centers, in selection order (the first center
+	// is the seed, each subsequent one is the point farthest from the
+	// previously selected set).
+	Centers metric.Dataset
+	// CenterIndices are the indices of the centers within the input dataset,
+	// in the same order as Centers.
+	CenterIndices []int
+	// Radius is the radius of the input with respect to Centers, i.e.
+	// max_s d(s, Centers).
+	Radius float64
+	// RadiusAtK is the radius after the first k centers were selected. For a
+	// plain Run it equals Radius; for incremental runs it is the reference
+	// value the stopping rule compares against.
+	RadiusAtK float64
+	// Assignment maps every input point to the index (into Centers) of its
+	// closest center.
+	Assignment []int
+}
+
+// Run executes the classic GMM algorithm selecting exactly k centers
+// (or len(points) centers if k >= len(points)). The first center is
+// points[seedIndex]; pass 0 for the conventional deterministic choice.
+func Run(dist metric.Distance, points metric.Dataset, k int, seedIndex int) (*Result, error) {
+	if len(points) == 0 {
+		return nil, ErrEmptyInput
+	}
+	if k <= 0 {
+		return nil, ErrInvalidK
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	if seedIndex < 0 || seedIndex >= len(points) {
+		return nil, fmt.Errorf("gmm: seed index %d out of range [0,%d)", seedIndex, len(points))
+	}
+	st := newState(dist, points, seedIndex)
+	for st.size() < k {
+		if !st.addFarthest() {
+			break
+		}
+	}
+	return st.result(k), nil
+}
+
+// RunIncremental executes GMM incrementally: it always selects at least
+// minCenters centers and keeps adding centers until the residual radius is at
+// most stopFraction times the radius attained after the first minCenters
+// centers (the paper's stopping rule with stopFraction = eps/2), or until the
+// dataset is exhausted, or until maxCenters centers have been selected
+// (maxCenters <= 0 means unbounded).
+//
+// This is the first-round computation of the MapReduce coreset construction:
+// minCenters = k (or k+z), stopFraction = eps/2.
+func RunIncremental(dist metric.Distance, points metric.Dataset, minCenters int, stopFraction float64, maxCenters int, seedIndex int) (*Result, error) {
+	if len(points) == 0 {
+		return nil, ErrEmptyInput
+	}
+	if minCenters <= 0 {
+		return nil, ErrInvalidK
+	}
+	if stopFraction < 0 {
+		return nil, fmt.Errorf("gmm: negative stop fraction %v", stopFraction)
+	}
+	if seedIndex < 0 || seedIndex >= len(points) {
+		return nil, fmt.Errorf("gmm: seed index %d out of range [0,%d)", seedIndex, len(points))
+	}
+	if minCenters > len(points) {
+		minCenters = len(points)
+	}
+	st := newState(dist, points, seedIndex)
+	for st.size() < minCenters {
+		if !st.addFarthest() {
+			break
+		}
+	}
+	radiusAtMin := st.currentRadius()
+	target := stopFraction * radiusAtMin
+	for st.currentRadius() > target {
+		if maxCenters > 0 && st.size() >= maxCenters {
+			break
+		}
+		if !st.addFarthest() {
+			break
+		}
+	}
+	res := st.result(minCenters)
+	res.RadiusAtK = radiusAtMin
+	return res, nil
+}
+
+// RunToSize executes GMM until exactly targetSize centers have been selected
+// (or the dataset is exhausted), recording the radius attained after the first
+// refCenters centers. This mirrors how the paper's experiments size coresets
+// directly (tau = mu*k or mu*(k+z)) instead of going through the precision
+// parameter eps.
+func RunToSize(dist metric.Distance, points metric.Dataset, targetSize, refCenters, seedIndex int) (*Result, error) {
+	if len(points) == 0 {
+		return nil, ErrEmptyInput
+	}
+	if targetSize <= 0 {
+		return nil, ErrInvalidK
+	}
+	if refCenters <= 0 {
+		refCenters = targetSize
+	}
+	if seedIndex < 0 || seedIndex >= len(points) {
+		return nil, fmt.Errorf("gmm: seed index %d out of range [0,%d)", seedIndex, len(points))
+	}
+	if targetSize > len(points) {
+		targetSize = len(points)
+	}
+	if refCenters > len(points) {
+		refCenters = len(points)
+	}
+	st := newState(dist, points, seedIndex)
+	radiusAtRef := math.NaN()
+	for st.size() < targetSize {
+		if st.size() == refCenters && math.IsNaN(radiusAtRef) {
+			radiusAtRef = st.currentRadius()
+		}
+		if !st.addFarthest() {
+			break
+		}
+	}
+	if math.IsNaN(radiusAtRef) {
+		radiusAtRef = st.currentRadius()
+	}
+	res := st.result(refCenters)
+	res.RadiusAtK = radiusAtRef
+	return res, nil
+}
+
+// RunToRadius executes GMM until the residual radius is at most targetRadius
+// (or the dataset is exhausted, or maxCenters centers are selected when
+// maxCenters > 0). It supports the "grow until a target radius is achieved"
+// usage mentioned in Section 2 of the paper.
+func RunToRadius(dist metric.Distance, points metric.Dataset, targetRadius float64, maxCenters, seedIndex int) (*Result, error) {
+	if len(points) == 0 {
+		return nil, ErrEmptyInput
+	}
+	if targetRadius < 0 {
+		return nil, fmt.Errorf("gmm: negative target radius %v", targetRadius)
+	}
+	if seedIndex < 0 || seedIndex >= len(points) {
+		return nil, fmt.Errorf("gmm: seed index %d out of range [0,%d)", seedIndex, len(points))
+	}
+	st := newState(dist, points, seedIndex)
+	for st.currentRadius() > targetRadius {
+		if maxCenters > 0 && st.size() >= maxCenters {
+			break
+		}
+		if !st.addFarthest() {
+			break
+		}
+	}
+	return st.result(st.size()), nil
+}
+
+// state maintains, for every input point, the distance to the closest center
+// selected so far, allowing each new center to be added in O(n) distance
+// evaluations (the standard O(k*n) implementation of GMM).
+type state struct {
+	dist    metric.Distance
+	points  metric.Dataset
+	centers []int     // indices into points, in selection order
+	minDist []float64 // minDist[i] = d(points[i], current centers)
+	closest []int     // closest[i] = index into centers of the closest center
+	radii   []float64 // radii[j] = radius after j+1 centers were selected
+}
+
+func newState(dist metric.Distance, points metric.Dataset, seedIndex int) *state {
+	st := &state{
+		dist:    dist,
+		points:  points,
+		minDist: make([]float64, len(points)),
+		closest: make([]int, len(points)),
+	}
+	seed := points[seedIndex]
+	for i, p := range points {
+		st.minDist[i] = dist(seed, p)
+		st.closest[i] = 0
+	}
+	st.centers = append(st.centers, seedIndex)
+	st.radii = append(st.radii, maxOf(st.minDist))
+	return st
+}
+
+func (st *state) size() int { return len(st.centers) }
+
+func (st *state) currentRadius() float64 { return st.radii[len(st.radii)-1] }
+
+// addFarthest selects the point farthest from the current center set as the
+// next center and updates the cached distances. It returns false when every
+// point is already a center (radius 0 with all points covered exactly), in
+// which case no new center is added.
+func (st *state) addFarthest() bool {
+	if len(st.centers) >= len(st.points) {
+		return false
+	}
+	// Find the farthest point.
+	far, farDist := -1, -1.0
+	for i, d := range st.minDist {
+		if d > farDist {
+			farDist = d
+			far = i
+		}
+	}
+	if far < 0 {
+		return false
+	}
+	if farDist == 0 {
+		// Every remaining point coincides with an existing center; adding
+		// duplicates would not decrease the radius. Still allow growth so
+		// callers asking for exactly k centers get k of them.
+		far = st.firstNonCenter()
+		if far < 0 {
+			return false
+		}
+	}
+	newIdx := len(st.centers)
+	st.centers = append(st.centers, far)
+	c := st.points[far]
+	for i, p := range st.points {
+		if d := st.dist(c, p); d < st.minDist[i] {
+			st.minDist[i] = d
+			st.closest[i] = newIdx
+		}
+	}
+	st.radii = append(st.radii, maxOf(st.minDist))
+	return true
+}
+
+// firstNonCenter returns the index of the first point that is not already a
+// center, or -1 if all points are centers.
+func (st *state) firstNonCenter() int {
+	isCenter := make(map[int]bool, len(st.centers))
+	for _, c := range st.centers {
+		isCenter[c] = true
+	}
+	for i := range st.points {
+		if !isCenter[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// result snapshots the state into a Result. refCenters selects which entry of
+// the radius history populates RadiusAtK.
+func (st *state) result(refCenters int) *Result {
+	centers := make(metric.Dataset, len(st.centers))
+	indices := make([]int, len(st.centers))
+	for i, ci := range st.centers {
+		centers[i] = st.points[ci]
+		indices[i] = ci
+	}
+	assignment := make([]int, len(st.points))
+	copy(assignment, st.closest)
+	radiusAtK := st.currentRadius()
+	if refCenters >= 1 && refCenters <= len(st.radii) {
+		radiusAtK = st.radii[refCenters-1]
+	}
+	return &Result{
+		Centers:       centers,
+		CenterIndices: indices,
+		Radius:        st.currentRadius(),
+		RadiusAtK:     radiusAtK,
+		Assignment:    assignment,
+	}
+}
+
+// RadiusHistory exposes, for testing and diagnostics, the sequence of radii
+// attained after each center selection of a full GMM run on the dataset (up to
+// maxCenters centers, or all points if maxCenters <= 0). The sequence is
+// non-increasing.
+func RadiusHistory(dist metric.Distance, points metric.Dataset, maxCenters, seedIndex int) ([]float64, error) {
+	if len(points) == 0 {
+		return nil, ErrEmptyInput
+	}
+	if seedIndex < 0 || seedIndex >= len(points) {
+		return nil, fmt.Errorf("gmm: seed index %d out of range [0,%d)", seedIndex, len(points))
+	}
+	if maxCenters <= 0 || maxCenters > len(points) {
+		maxCenters = len(points)
+	}
+	st := newState(dist, points, seedIndex)
+	for st.size() < maxCenters {
+		if !st.addFarthest() {
+			break
+		}
+	}
+	out := make([]float64, len(st.radii))
+	copy(out, st.radii)
+	return out, nil
+}
+
+func maxOf(v []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// BruteForceOptimalRadius computes the exact optimal k-center radius of a
+// small dataset by exhaustive search over all k-subsets of candidate centers.
+// It is exponential in k and intended exclusively for tests that validate the
+// approximation guarantees on tiny instances.
+func BruteForceOptimalRadius(dist metric.Distance, points metric.Dataset, k int) (float64, error) {
+	n := len(points)
+	if n == 0 {
+		return 0, ErrEmptyInput
+	}
+	if k <= 0 {
+		return 0, ErrInvalidK
+	}
+	if k >= n {
+		return 0, nil
+	}
+	best := math.Inf(1)
+	idx := make([]int, k)
+	var rec func(start, pos int)
+	rec = func(start, pos int) {
+		if pos == k {
+			centers := make(metric.Dataset, k)
+			for i, ci := range idx {
+				centers[i] = points[ci]
+			}
+			if r := metric.Radius(dist, points, centers); r < best {
+				best = r
+			}
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[pos] = i
+			rec(i+1, pos+1)
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}
+
+// BruteForceOptimalRadiusWithOutliers computes the exact optimal radius of the
+// k-center problem with z outliers on a small dataset by exhaustive search
+// over all k-subsets of centers, discarding the z farthest points for each
+// candidate set. Exponential in k; tests only.
+func BruteForceOptimalRadiusWithOutliers(dist metric.Distance, points metric.Dataset, k, z int) (float64, error) {
+	n := len(points)
+	if n == 0 {
+		return 0, ErrEmptyInput
+	}
+	if k <= 0 {
+		return 0, ErrInvalidK
+	}
+	if z < 0 {
+		z = 0
+	}
+	if k+z >= n {
+		return 0, nil
+	}
+	best := math.Inf(1)
+	idx := make([]int, k)
+	var rec func(start, pos int)
+	rec = func(start, pos int) {
+		if pos == k {
+			centers := make(metric.Dataset, k)
+			for i, ci := range idx {
+				centers[i] = points[ci]
+			}
+			if r := metric.RadiusExcluding(dist, points, centers, z); r < best {
+				best = r
+			}
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[pos] = i
+			rec(i+1, pos+1)
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}

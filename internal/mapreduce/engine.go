@@ -1,0 +1,207 @@
+// Package mapreduce provides an in-process MapReduce/MPC simulator: the
+// substrate on which the paper's 2-round algorithms run in this repository
+// (standing in for the 16-node Spark cluster of the original experiments).
+//
+// It has two layers:
+//
+//   - a faithful, generic key-value engine (Engine) that executes rounds of
+//     map and reduce functions over key-value pairs, shuffling by key and
+//     running reducers on parallel goroutines, with local- and aggregate-
+//     memory accounting in the spirit of the MR(ML, MA) model;
+//   - higher-level helpers (Partitioner, RunRound) used directly by the
+//     clustering algorithms, which are "reducer-heavy" algorithms whose map
+//     phase is a trivial constant-space key assignment.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Pair is a key-value pair processed by the engine.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Mapper transforms one input pair into zero or more output pairs.
+type Mapper[K1 comparable, V1 any, K2 comparable, V2 any] func(Pair[K1, V1]) ([]Pair[K2, V2], error)
+
+// Reducer transforms the group of values sharing one key into zero or more
+// output pairs.
+type Reducer[K comparable, V any, K2 comparable, V2 any] func(key K, values []V) ([]Pair[K2, V2], error)
+
+// RoundStats records the resource usage of one engine round, mirroring the
+// parameters of the MapReduce model used in the paper: ML (local memory, the
+// largest number of values any single reducer receives) and MA (aggregate
+// memory, the total number of values across all reducers).
+type RoundStats struct {
+	// InputPairs is the number of pairs entering the round.
+	InputPairs int
+	// ShuffledPairs is the number of pairs produced by the map phase.
+	ShuffledPairs int
+	// OutputPairs is the number of pairs produced by the reduce phase.
+	OutputPairs int
+	// ReducerCount is the number of distinct keys (reducer instances).
+	ReducerCount int
+	// LocalMemory is the maximum number of values received by one reducer.
+	LocalMemory int
+	// AggregateMemory is the total number of values across reducers.
+	AggregateMemory int
+}
+
+// Config controls engine execution.
+type Config struct {
+	// Workers is the number of goroutines used for the map and reduce phases.
+	// Zero means runtime.NumCPU().
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Round executes one MapReduce round: the mapper is applied to every input
+// pair, the intermediate pairs are grouped by key, and the reducer is applied
+// to every group. The reducers for distinct keys run on parallel goroutines,
+// bounded by cfg.Workers.
+func Round[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	cfg Config,
+	input []Pair[K1, V1],
+	mapper Mapper[K1, V1, K2, V2],
+	reducer Reducer[K2, V2, K3, V3],
+) ([]Pair[K3, V3], RoundStats, error) {
+	stats := RoundStats{InputPairs: len(input)}
+	if mapper == nil || reducer == nil {
+		return nil, stats, errors.New("mapreduce: nil mapper or reducer")
+	}
+
+	// Map phase (parallel over input chunks).
+	workers := cfg.workers()
+	type mapOut[K comparable, V any] struct {
+		pairs []Pair[K, V]
+		err   error
+	}
+	chunks := splitIndexes(len(input), workers)
+	results := make([]mapOut[K2, V2], len(chunks))
+	var wg sync.WaitGroup
+	for ci, ch := range chunks {
+		wg.Add(1)
+		go func(ci int, lo, hi int) {
+			defer wg.Done()
+			var out []Pair[K2, V2]
+			for i := lo; i < hi; i++ {
+				pairs, err := mapper(input[i])
+				if err != nil {
+					results[ci] = mapOut[K2, V2]{err: fmt.Errorf("mapreduce: map of pair %d: %w", i, err)}
+					return
+				}
+				out = append(out, pairs...)
+			}
+			results[ci] = mapOut[K2, V2]{pairs: out}
+		}(ci, ch[0], ch[1])
+	}
+	wg.Wait()
+	var shuffled []Pair[K2, V2]
+	for _, r := range results {
+		if r.err != nil {
+			return nil, stats, r.err
+		}
+		shuffled = append(shuffled, r.pairs...)
+	}
+	stats.ShuffledPairs = len(shuffled)
+
+	// Shuffle: group by key.
+	groups := make(map[K2][]V2)
+	for _, p := range shuffled {
+		groups[p.Key] = append(groups[p.Key], p.Value)
+	}
+	stats.ReducerCount = len(groups)
+	for _, vs := range groups {
+		stats.AggregateMemory += len(vs)
+		if len(vs) > stats.LocalMemory {
+			stats.LocalMemory = len(vs)
+		}
+	}
+
+	// Reduce phase (parallel over keys, bounded by workers).
+	keys := make([]K2, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	// Sort keys when they are ordered for deterministic output order; for
+	// unordered key types fall back to map order. We sort via formatted
+	// strings to stay generic and deterministic.
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+
+	type redOut[K comparable, V any] struct {
+		pairs []Pair[K, V]
+		err   error
+	}
+	redResults := make([]redOut[K3, V3], len(keys))
+	sem := make(chan struct{}, workers)
+	var rwg sync.WaitGroup
+	for i, k := range keys {
+		rwg.Add(1)
+		sem <- struct{}{}
+		go func(i int, k K2) {
+			defer rwg.Done()
+			defer func() { <-sem }()
+			pairs, err := reducer(k, groups[k])
+			if err != nil {
+				redResults[i] = redOut[K3, V3]{err: fmt.Errorf("mapreduce: reduce of key %v: %w", k, err)}
+				return
+			}
+			redResults[i] = redOut[K3, V3]{pairs: pairs}
+		}(i, k)
+	}
+	rwg.Wait()
+
+	var out []Pair[K3, V3]
+	for _, r := range redResults {
+		if r.err != nil {
+			return nil, stats, r.err
+		}
+		out = append(out, r.pairs...)
+	}
+	stats.OutputPairs = len(out)
+	return out, stats, nil
+}
+
+// splitIndexes divides [0,n) into at most parts contiguous half-open ranges of
+// near-equal length. Empty ranges are omitted.
+func splitIndexes(n, parts int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if parts <= 0 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	base := n / parts
+	rem := n % parts
+	start := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}

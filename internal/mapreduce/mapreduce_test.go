@@ -1,0 +1,356 @@
+package mapreduce
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coresetclustering/internal/metric"
+)
+
+func randomDataset(rng *rand.Rand, n, dim int) metric.Dataset {
+	ds := make(metric.Dataset, n)
+	for i := range ds {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		ds[i] = p
+	}
+	return ds
+}
+
+func TestSplitIndexes(t *testing.T) {
+	tests := []struct {
+		n, parts int
+		want     int // number of ranges
+	}{
+		{10, 3, 3},
+		{10, 10, 10},
+		{3, 10, 3},
+		{0, 4, 0},
+		{5, 0, 1},
+		{7, -2, 1},
+	}
+	for _, tt := range tests {
+		got := splitIndexes(tt.n, tt.parts)
+		if len(got) != tt.want {
+			t.Errorf("splitIndexes(%d,%d) ranges = %d, want %d", tt.n, tt.parts, len(got), tt.want)
+		}
+		// Ranges must cover [0,n) contiguously.
+		covered := 0
+		prev := 0
+		for _, r := range got {
+			if r[0] != prev {
+				t.Errorf("splitIndexes(%d,%d) gap at %d", tt.n, tt.parts, r[0])
+			}
+			covered += r[1] - r[0]
+			prev = r[1]
+		}
+		if covered != tt.n {
+			t.Errorf("splitIndexes(%d,%d) covers %d, want %d", tt.n, tt.parts, covered, tt.n)
+		}
+	}
+}
+
+func TestRoundWordCount(t *testing.T) {
+	// Classic word count: validates mapping, shuffling by key, reducing and
+	// stats accounting.
+	docs := []Pair[int, string]{
+		{Key: 1, Value: "a b a"},
+		{Key: 2, Value: "b c"},
+		{Key: 3, Value: "a"},
+	}
+	mapper := func(p Pair[int, string]) ([]Pair[string, int], error) {
+		var out []Pair[string, int]
+		for _, w := range strings.Fields(p.Value) {
+			out = append(out, Pair[string, int]{Key: w, Value: 1})
+		}
+		return out, nil
+	}
+	reducer := func(key string, values []int) ([]Pair[string, int], error) {
+		sum := 0
+		for _, v := range values {
+			sum += v
+		}
+		return []Pair[string, int]{{Key: key, Value: sum}}, nil
+	}
+	out, stats, err := Round(Config{Workers: 2}, docs, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, p := range out {
+		counts[p.Key] = p.Value
+	}
+	if counts["a"] != 3 || counts["b"] != 2 || counts["c"] != 1 {
+		t.Errorf("word counts = %v", counts)
+	}
+	if stats.InputPairs != 3 || stats.ShuffledPairs != 6 || stats.ReducerCount != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.LocalMemory != 3 {
+		t.Errorf("LocalMemory = %d, want 3 (key 'a')", stats.LocalMemory)
+	}
+	if stats.AggregateMemory != 6 {
+		t.Errorf("AggregateMemory = %d, want 6", stats.AggregateMemory)
+	}
+	if stats.OutputPairs != 3 {
+		t.Errorf("OutputPairs = %d, want 3", stats.OutputPairs)
+	}
+}
+
+func TestRoundErrors(t *testing.T) {
+	input := []Pair[int, int]{{Key: 1, Value: 1}}
+	id := func(p Pair[int, int]) ([]Pair[int, int], error) { return []Pair[int, int]{p}, nil }
+	sum := func(k int, vs []int) ([]Pair[int, int], error) { return nil, nil }
+	if _, _, err := Round[int, int, int, int, int, int](Config{}, input, nil, sum); err == nil {
+		t.Error("nil mapper accepted")
+	}
+	if _, _, err := Round[int, int, int, int, int, int](Config{}, input, id, nil); err == nil {
+		t.Error("nil reducer accepted")
+	}
+	failMap := func(p Pair[int, int]) ([]Pair[int, int], error) { return nil, errors.New("boom") }
+	if _, _, err := Round(Config{}, input, failMap, sum); err == nil {
+		t.Error("mapper error not propagated")
+	}
+	failRed := func(k int, vs []int) ([]Pair[int, int], error) { return nil, errors.New("boom") }
+	if _, _, err := Round(Config{}, input, id, failRed); err == nil {
+		t.Error("reducer error not propagated")
+	}
+}
+
+func TestRoundEmptyInput(t *testing.T) {
+	id := func(p Pair[int, int]) ([]Pair[int, int], error) { return []Pair[int, int]{p}, nil }
+	count := func(k int, vs []int) ([]Pair[int, int], error) {
+		return []Pair[int, int]{{Key: k, Value: len(vs)}}, nil
+	}
+	out, stats, err := Round(Config{}, nil, id, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || stats.InputPairs != 0 {
+		t.Errorf("empty input produced output %v, stats %+v", out, stats)
+	}
+}
+
+func TestUniformPartitioner(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := randomDataset(rng, 103, 2)
+	parts, err := UniformPartitioner{}.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts, want 4", len(parts))
+	}
+	if err := CheckPartition(parts, len(ds)); err != nil {
+		t.Error(err)
+	}
+	// Sizes differ by at most one.
+	minSize, maxSize := len(parts[0]), len(parts[0])
+	for _, p := range parts {
+		if len(p) < minSize {
+			minSize = len(p)
+		}
+		if len(p) > maxSize {
+			maxSize = len(p)
+		}
+	}
+	if maxSize-minSize > 1 {
+		t.Errorf("unbalanced uniform partition: min %d max %d", minSize, maxSize)
+	}
+	if _, err := (UniformPartitioner{}).Partition(ds, 0); err == nil {
+		t.Error("ell=0 accepted")
+	}
+	if got := (UniformPartitioner{}).Name(); got != "uniform" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestUniformPartitionerMorePartsThanPoints(t *testing.T) {
+	ds := metric.Dataset{{1}, {2}}
+	parts, err := UniformPartitioner{}.Partition(ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 5 {
+		t.Fatalf("got %d parts, want 5", len(parts))
+	}
+	if err := CheckPartition(parts, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomPartitionerProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		ell := 1 + rng.Intn(8)
+		ds := randomDataset(rng, n, 2)
+		parts, err := RandomPartitioner{Rand: rng}.Partition(ds, ell)
+		if err != nil {
+			return false
+		}
+		if len(parts) != ell {
+			return false
+		}
+		return CheckPartition(parts, n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	if _, err := (RandomPartitioner{}).Partition(metric.Dataset{{1}}, -1); err == nil {
+		t.Error("negative ell accepted")
+	}
+	if got := (RandomPartitioner{}).Name(); got != "random" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestRandomPartitionerNilRandIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := randomDataset(rng, 50, 2)
+	a, err := RandomPartitioner{}.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomPartitioner{}.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("nil-Rand partitioning not deterministic: part %d sizes %d vs %d", i, len(a[i]), len(b[i]))
+		}
+	}
+}
+
+func TestAdversarialPartitioner(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := randomDataset(rng, 40, 2)
+	targeted := []int{35, 36, 37, 38, 39}
+	ap := AdversarialPartitioner{Targeted: targeted}
+	parts, err := ap.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPartition(parts, len(ds)); err != nil {
+		t.Error(err)
+	}
+	// All targeted points are in part 0.
+	if len(parts[0]) < len(targeted) {
+		t.Errorf("part 0 has %d points, want at least %d", len(parts[0]), len(targeted))
+	}
+	for _, ti := range targeted {
+		found := false
+		for _, p := range parts[0] {
+			if p.Equal(ds[ti]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("targeted point %d not in part 0", ti)
+		}
+	}
+	if _, err := (AdversarialPartitioner{Targeted: []int{99}}).Partition(ds, 2); err == nil {
+		t.Error("out-of-range targeted index accepted")
+	}
+	if _, err := ap.Partition(ds, 0); err == nil {
+		t.Error("ell=0 accepted")
+	}
+	if got := ap.Name(); got != "adversarial" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestCheckPartition(t *testing.T) {
+	parts := []metric.Dataset{{{1}}, {{2}, {3}}}
+	if err := CheckPartition(parts, 3); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	if err := CheckPartition(parts, 4); err == nil {
+		t.Error("invalid partition accepted")
+	}
+}
+
+func TestMapPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := randomDataset(rng, 120, 2)
+	parts, err := UniformPartitioner{}.Partition(ds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, stats, err := MapPartitions(ExecConfig{Parallelism: 3}, parts, func(i int, part metric.Dataset) (int, error) {
+		return len(part), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 120 {
+		t.Errorf("total mapped points = %d, want 120", total)
+	}
+	if stats.LocalMemoryPeak != 20 {
+		t.Errorf("LocalMemoryPeak = %d, want 20", stats.LocalMemoryPeak)
+	}
+	if stats.AggregateMemory != 120 {
+		t.Errorf("AggregateMemory = %d, want 120", stats.AggregateMemory)
+	}
+	if stats.Workers != 3 {
+		t.Errorf("Workers = %d, want 3", stats.Workers)
+	}
+}
+
+func TestMapPartitionsErrors(t *testing.T) {
+	parts := []metric.Dataset{{{1}}, {{2}}}
+	if _, _, err := MapPartitions[int](ExecConfig{}, parts, nil); err == nil {
+		t.Error("nil function accepted")
+	}
+	_, _, err := MapPartitions(ExecConfig{}, parts, func(i int, part metric.Dataset) (int, error) {
+		if i == 1 {
+			return 0, errors.New("boom")
+		}
+		return len(part), nil
+	})
+	if err == nil {
+		t.Error("partition error not propagated")
+	}
+}
+
+func TestMapPartitionsResultsInOrder(t *testing.T) {
+	parts := make([]metric.Dataset, 10)
+	for i := range parts {
+		parts[i] = metric.Dataset{{float64(i)}}
+	}
+	idx, _, err := MapPartitions(ExecConfig{Parallelism: 4}, parts, func(i int, part metric.Dataset) (int, error) {
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range idx {
+		if v != i {
+			t.Errorf("result %d = %d, want in-order", i, v)
+		}
+	}
+}
+
+func TestMapPartitionsDefaultParallelism(t *testing.T) {
+	parts := []metric.Dataset{{{1}}, {{2}}}
+	_, stats, err := MapPartitions(ExecConfig{}, parts, func(i int, part metric.Dataset) (int, error) {
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers <= 0 {
+		t.Errorf("default workers = %d, want > 0", stats.Workers)
+	}
+}

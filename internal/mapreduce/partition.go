@@ -1,0 +1,123 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"coresetclustering/internal/metric"
+)
+
+// Partitioner splits a dataset into ell parts, the first-round distribution of
+// the 2-round algorithms. Implementations must return exactly ell parts whose
+// concatenation is a permutation of the input; empty parts are allowed when
+// ell exceeds the input size.
+type Partitioner interface {
+	// Partition splits points into ell parts.
+	Partition(points metric.Dataset, ell int) ([]metric.Dataset, error)
+	// Name identifies the partitioner in experiment reports.
+	Name() string
+}
+
+// ErrInvalidPartitions is returned when ell is not positive.
+var ErrInvalidPartitions = errors.New("mapreduce: number of partitions must be positive")
+
+// UniformPartitioner assigns points to parts in contiguous equally-sized
+// blocks (the deterministic "split into ell subsets of equal size" of the
+// paper's deterministic algorithms).
+type UniformPartitioner struct{}
+
+// Name implements Partitioner.
+func (UniformPartitioner) Name() string { return "uniform" }
+
+// Partition implements Partitioner.
+func (UniformPartitioner) Partition(points metric.Dataset, ell int) ([]metric.Dataset, error) {
+	if ell <= 0 {
+		return nil, ErrInvalidPartitions
+	}
+	parts := make([]metric.Dataset, ell)
+	ranges := splitIndexes(len(points), ell)
+	for i, r := range ranges {
+		parts[i] = points[r[0]:r[1]]
+	}
+	return parts, nil
+}
+
+// RandomPartitioner assigns each point to a part chosen uniformly and
+// independently at random — the first round of the randomized algorithm of
+// Section 3.2.1. A nil Rand uses a fixed seed so runs are reproducible unless
+// the caller opts into true randomness.
+type RandomPartitioner struct {
+	Rand *rand.Rand
+}
+
+// Name implements Partitioner.
+func (RandomPartitioner) Name() string { return "random" }
+
+// Partition implements Partitioner.
+func (rp RandomPartitioner) Partition(points metric.Dataset, ell int) ([]metric.Dataset, error) {
+	if ell <= 0 {
+		return nil, ErrInvalidPartitions
+	}
+	rng := rp.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0x5eed))
+	}
+	parts := make([]metric.Dataset, ell)
+	for _, p := range points {
+		i := rng.Intn(ell)
+		parts[i] = append(parts[i], p)
+	}
+	return parts, nil
+}
+
+// AdversarialPartitioner places a designated set of point indices (the
+// injected outliers of the experiments) all in the first part and spreads the
+// remaining points round-robin over all parts. This is the adversarial
+// placement used by Figure 4 to stress the deterministic algorithm.
+type AdversarialPartitioner struct {
+	// Targeted holds the indices (into the input dataset) forced into part 0.
+	Targeted []int
+}
+
+// Name implements Partitioner.
+func (AdversarialPartitioner) Name() string { return "adversarial" }
+
+// Partition implements Partitioner.
+func (ap AdversarialPartitioner) Partition(points metric.Dataset, ell int) ([]metric.Dataset, error) {
+	if ell <= 0 {
+		return nil, ErrInvalidPartitions
+	}
+	targeted := make(map[int]bool, len(ap.Targeted))
+	for _, i := range ap.Targeted {
+		if i < 0 || i >= len(points) {
+			return nil, fmt.Errorf("mapreduce: targeted index %d out of range [0,%d)", i, len(points))
+		}
+		targeted[i] = true
+	}
+	parts := make([]metric.Dataset, ell)
+	next := 0
+	for i, p := range points {
+		if targeted[i] {
+			parts[0] = append(parts[0], p)
+			continue
+		}
+		parts[next%ell] = append(parts[next%ell], p)
+		next++
+	}
+	return parts, nil
+}
+
+// CheckPartition verifies that parts is a valid partition of a dataset of the
+// given size: the part sizes sum to n. It is a cheap sanity check used by
+// tests and by the algorithm drivers in debug paths.
+func CheckPartition(parts []metric.Dataset, n int) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != n {
+		return fmt.Errorf("mapreduce: partition sizes sum to %d, want %d", total, n)
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package metric
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Distance computes the distance between two points of equal dimensionality.
+// Implementations must satisfy the metric axioms (non-negativity, identity of
+// indiscernibles, symmetry, and the triangle inequality); the approximation
+// guarantees of every algorithm in this repository depend on them.
+type Distance func(a, b Point) float64
+
+// Euclidean is the L2 distance, the metric used by all experiments in the
+// paper.
+func Euclidean(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SquaredEuclidean returns the squared L2 distance. It is NOT a metric (it
+// violates the triangle inequality) and must not be passed to the clustering
+// algorithms; it is exposed only for nearest-neighbour style comparisons where
+// monotonicity suffices.
+func SquaredEuclidean(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Manhattan is the L1 distance.
+func Manhattan(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Chebyshev is the L-infinity distance.
+func Chebyshev(a, b Point) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Cosine is the cosine distance 1 - cos(a, b), clamped to [0, 2]. For vectors
+// normalised to the unit sphere (as word2vec-style embeddings typically are)
+// it is topologically equivalent to the angular metric; strictly speaking it
+// does not satisfy the triangle inequality for arbitrary vectors, so prefer
+// Angular for correctness-critical uses.
+func Cosine(a, b Point) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		if na == 0 && nb == 0 {
+			return 0
+		}
+		return 1
+	}
+	c := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return 1 - c
+}
+
+// Angular is the angular distance acos(cos(a,b))/pi, normalised to [0,1]. It
+// is a proper metric on the unit sphere.
+func Angular(a, b Point) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		if na == 0 && nb == 0 {
+			return 0
+		}
+		return 0.5
+	}
+	c := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return math.Acos(c) / math.Pi
+}
+
+// Minkowski returns the Lp distance for the given order p >= 1.
+func Minkowski(p float64) Distance {
+	return func(a, b Point) float64 {
+		var s float64
+		for i := range a {
+			s += math.Pow(math.Abs(a[i]-b[i]), p)
+		}
+		return math.Pow(s, 1/p)
+	}
+}
+
+// Counter wraps a Distance and counts how many times it is invoked. Distance
+// evaluations dominate the running time of every algorithm here, so the
+// experiment harness and the ablation benchmarks report them alongside
+// wall-clock time. Counter is safe for concurrent use.
+type Counter struct {
+	dist  Distance
+	calls atomic.Int64
+}
+
+// NewCounter returns a counting wrapper around dist.
+func NewCounter(dist Distance) *Counter {
+	return &Counter{dist: dist}
+}
+
+// Distance returns the wrapped distance function; each call increments the
+// counter.
+func (c *Counter) Distance(a, b Point) float64 {
+	c.calls.Add(1)
+	return c.dist(a, b)
+}
+
+// Calls returns the number of distance evaluations so far.
+func (c *Counter) Calls() int64 { return c.calls.Load() }
+
+// Reset sets the call counter back to zero.
+func (c *Counter) Reset() { c.calls.Store(0) }
+
+// DistanceToSet returns min_{x in set} dist(p, x) together with the index of
+// the closest point. An empty set yields (+Inf, -1).
+func DistanceToSet(dist Distance, p Point, set Dataset) (float64, int) {
+	best := math.Inf(1)
+	idx := -1
+	for i, q := range set {
+		if d := dist(p, q); d < best {
+			best = d
+			idx = i
+		}
+	}
+	return best, idx
+}
+
+// Radius returns max_{s in points} d(s, centers), i.e. r_T(S) in the paper's
+// notation. An empty center set yields +Inf (for non-empty points) and an
+// empty point set yields 0.
+func Radius(dist Distance, points Dataset, centers Dataset) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	var r float64
+	for _, p := range points {
+		d, _ := DistanceToSet(dist, p, centers)
+		if d > r {
+			r = d
+		}
+	}
+	return r
+}
+
+// RadiusExcluding returns r_{T,Z_T}(S): the maximum distance from points to
+// centers after discarding the z points farthest from the centers (the
+// outlier-aware radius of the k-center problem with z outliers). It returns 0
+// when z >= len(points).
+func RadiusExcluding(dist Distance, points Dataset, centers Dataset, z int) float64 {
+	if len(points) == 0 || z >= len(points) {
+		return 0
+	}
+	if z <= 0 {
+		return Radius(dist, points, centers)
+	}
+	dists := make([]float64, len(points))
+	for i, p := range points {
+		dists[i], _ = DistanceToSet(dist, p, centers)
+	}
+	// The radius with z outliers is the (n-z)-th smallest distance, i.e. we
+	// drop the z largest. Select rather than sort: len(points) can be large.
+	return kthSmallest(dists, len(dists)-z-1)
+}
+
+// Assign maps every point to the index of its closest center, producing the
+// clustering induced by the center set.
+func Assign(dist Distance, points Dataset, centers Dataset) []int {
+	out := make([]int, len(points))
+	for i, p := range points {
+		_, idx := DistanceToSet(dist, p, centers)
+		out[i] = idx
+	}
+	return out
+}
+
+// kthSmallest returns the element with rank k (0-based) of values using an
+// in-place iterative quickselect with median-of-three pivoting. The slice is
+// reordered.
+func kthSmallest(values []float64, k int) float64 {
+	lo, hi := 0, len(values)-1
+	if k < 0 {
+		k = 0
+	}
+	if k > hi {
+		k = hi
+	}
+	for lo < hi {
+		p := partition(values, lo, hi)
+		switch {
+		case k == p:
+			return values[k]
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+	return values[k]
+}
+
+// partition performs Hoare-style partitioning around a median-of-three pivot
+// and returns the final pivot index.
+func partition(v []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three: order v[lo], v[mid], v[hi].
+	if v[mid] < v[lo] {
+		v[mid], v[lo] = v[lo], v[mid]
+	}
+	if v[hi] < v[lo] {
+		v[hi], v[lo] = v[lo], v[hi]
+	}
+	if v[hi] < v[mid] {
+		v[hi], v[mid] = v[mid], v[hi]
+	}
+	pivot := v[mid]
+	// Move pivot out of the way.
+	v[mid], v[hi-1] = v[hi-1], v[mid]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if v[j] < pivot {
+			v[i], v[j] = v[j], v[i]
+			i++
+		}
+	}
+	v[i], v[hi-1] = v[hi-1], v[i]
+	return i
+}
+
+// PairwiseDistances returns all n*(n-1)/2 distinct pairwise distances of the
+// dataset in an unspecified order. It is used by the exhaustive radius search
+// of the CharikarEtAl baseline and by small-instance brute-force tests.
+func PairwiseDistances(dist Distance, points Dataset) []float64 {
+	n := len(points)
+	if n < 2 {
+		return nil
+	}
+	out := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, dist(points[i], points[j]))
+		}
+	}
+	return out
+}
+
+// Diameter returns the maximum pairwise distance of the dataset (0 for fewer
+// than two points).
+func Diameter(dist Distance, points Dataset) float64 {
+	var m float64
+	for i := 0; i < len(points); i++ {
+		for j := i + 1; j < len(points); j++ {
+			if d := dist(points[i], points[j]); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// MinPairwiseDistance returns the minimum distance between two distinct points
+// of the dataset, or +Inf if there are fewer than two points. It is used by
+// the streaming doubling algorithm to initialise its lower bound phi.
+func MinPairwiseDistance(dist Distance, points Dataset) float64 {
+	m := math.Inf(1)
+	for i := 0; i < len(points); i++ {
+		for j := i + 1; j < len(points); j++ {
+			if d := dist(points[i], points[j]); d < m {
+				m = d
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,124 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+)
+
+// EstimateDoublingDimension returns an empirical estimate of the doubling
+// dimension D of the dataset: the smallest D such that every ball of radius r
+// can be covered by at most 2^D balls of radius r/2.
+//
+// Computing the exact doubling dimension is intractable, so we use the
+// standard sampling heuristic: for a sample of anchor points and a geometric
+// grid of radii, greedily cover the ball B(anchor, r) with balls of radius
+// r/2 centered at points of the dataset, and report log2 of the largest cover
+// size observed. The estimate is an upper-bound-flavoured heuristic intended
+// for diagnostics and for sizing streaming coresets (the tau parameter of the
+// 1-pass algorithm); the MapReduce algorithms never need it (they are
+// oblivious to D, as the paper stresses).
+//
+// anchors bounds the number of sampled ball centers and radii the number of
+// radius scales per anchor. rng may be nil, in which case a fixed-seed source
+// is used so the estimate is deterministic.
+func EstimateDoublingDimension(dist Distance, points Dataset, anchors, radii int, rng *rand.Rand) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	if anchors <= 0 {
+		anchors = 8
+	}
+	if radii <= 0 {
+		radii = 4
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if anchors > len(points) {
+		anchors = len(points)
+	}
+	maxCover := 1
+	perm := rng.Perm(len(points))[:anchors]
+	for _, ai := range perm {
+		anchor := points[ai]
+		// Largest radius: distance to the farthest point from the anchor.
+		var rmax float64
+		for _, p := range points {
+			if d := dist(anchor, p); d > rmax {
+				rmax = d
+			}
+		}
+		if rmax == 0 {
+			continue
+		}
+		r := rmax
+		for s := 0; s < radii; s++ {
+			// Points inside B(anchor, r).
+			var ball Dataset
+			for _, p := range points {
+				if dist(anchor, p) <= r {
+					ball = append(ball, p)
+				}
+			}
+			if len(ball) > 1 {
+				c := greedyCoverCount(dist, ball, r/2)
+				if c > maxCover {
+					maxCover = c
+				}
+			}
+			r /= 2
+		}
+	}
+	return math.Log2(float64(maxCover))
+}
+
+// greedyCoverCount covers the given points with balls of radius r centered at
+// points of the set, greedily, and returns the number of balls used. This is
+// the classic farthest-point cover: repeatedly pick an uncovered point as a
+// new center until everything is covered.
+func greedyCoverCount(dist Distance, points Dataset, r float64) int {
+	covered := make([]bool, len(points))
+	count := 0
+	for {
+		// Find the first uncovered point.
+		idx := -1
+		for i, c := range covered {
+			if !c {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return count
+		}
+		count++
+		center := points[idx]
+		for i, p := range points {
+			if !covered[i] && dist(center, p) <= r {
+				covered[i] = true
+			}
+		}
+	}
+}
+
+// CoresetSizeForDimension returns the coreset size prescribed by the paper's
+// analysis for the streaming algorithm: tau = (k + z) * (16/eps)^D, clamped to
+// at least k+z+1 and at most maxSize (0 means no clamp). It is exposed so that
+// callers who know (or have estimated) D can size the streaming coreset the
+// way Theorem 3 does; in practice the experiments size coresets directly via
+// the multiplier mu, exactly as the paper's experimental section does.
+func CoresetSizeForDimension(k, z int, eps, d float64, maxSize int) int {
+	if eps <= 0 {
+		eps = 1
+	}
+	base := float64(k + z)
+	size := base * math.Pow(16/eps, d)
+	n := int(math.Ceil(size))
+	if n < k+z+1 {
+		n = k + z + 1
+	}
+	if maxSize > 0 && n > maxSize {
+		n = maxSize
+	}
+	return n
+}

@@ -1,0 +1,363 @@
+package outliers
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coresetclustering/internal/gmm"
+	"coresetclustering/internal/metric"
+)
+
+func randomDataset(rng *rand.Rand, n, dim int, scale float64) metric.Dataset {
+	ds := make(metric.Dataset, n)
+	for i := range ds {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = (rng.Float64()*2 - 1) * scale
+		}
+		ds[i] = p
+	}
+	return ds
+}
+
+// datasetWithOutliers builds k tight clusters plus nOut far-away points.
+func datasetWithOutliers(rng *rand.Rand, k, perCluster, nOut, dim int) (metric.Dataset, int) {
+	var ds metric.Dataset
+	for c := 0; c < k; c++ {
+		center := make(metric.Point, dim)
+		for j := range center {
+			center[j] = float64(c * 100)
+		}
+		for i := 0; i < perCluster; i++ {
+			p := make(metric.Point, dim)
+			for j := range p {
+				p[j] = center[j] + rng.NormFloat64()
+			}
+			ds = append(ds, p)
+		}
+	}
+	for o := 0; o < nOut; o++ {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = 1e6 + float64(o*1e4) + rng.Float64()
+		}
+		ds = append(ds, p)
+	}
+	return ds, nOut
+}
+
+func TestClusterErrors(t *testing.T) {
+	set := metric.Unweighted(metric.Dataset{{0}, {1}})
+	if _, err := Cluster(metric.Euclidean, nil, 1, 1, 0); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Cluster(metric.Euclidean, set, 0, 1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Cluster(metric.Euclidean, set, 1, -1, 0); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := Cluster(metric.Euclidean, set, 1, 1, -0.5); err == nil {
+		t.Error("negative epsHat accepted")
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	set := metric.Unweighted(metric.Dataset{{0}, {1}})
+	if _, err := Solve(metric.Euclidean, nil, 1, 0, 0, SearchBinaryGeometric); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Solve(metric.Euclidean, set, 0, 0, 0, SearchBinaryGeometric); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Solve(metric.Euclidean, set, 1, -1, 0, SearchBinaryGeometric); err == nil {
+		t.Error("negative z accepted")
+	}
+	if _, err := Solve(metric.Euclidean, set, 1, 0, -1, SearchBinaryGeometric); err == nil {
+		t.Error("negative epsHat accepted")
+	}
+	if _, err := CharikarEtAl(metric.Euclidean, metric.Dataset{{0}}, 1, -1); err == nil {
+		t.Error("CharikarEtAl negative z accepted")
+	}
+	if _, err := CharikarEtAlExhaustive(metric.Euclidean, metric.Dataset{{0}}, 1, -1); err == nil {
+		t.Error("CharikarEtAlExhaustive negative z accepted")
+	}
+}
+
+func TestClusterCoversEverythingWithLargeRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := randomDataset(rng, 40, 2, 10)
+	set := metric.Unweighted(ds)
+	diam := metric.Diameter(metric.Euclidean, ds)
+	res, err := Cluster(metric.Euclidean, set, 1, diam, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UncoveredWeight != 0 {
+		t.Errorf("uncovered weight = %d, want 0 at diameter radius", res.UncoveredWeight)
+	}
+	if len(res.Centers) != 1 {
+		t.Errorf("centers = %d, want 1", len(res.Centers))
+	}
+}
+
+func TestClusterRespectsK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := randomDataset(rng, 50, 2, 100)
+	set := metric.Unweighted(ds)
+	res, err := Cluster(metric.Euclidean, set, 3, 0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) > 3 {
+		t.Errorf("selected %d centers, want <= 3", len(res.Centers))
+	}
+}
+
+func TestClusterUncoveredDefinition(t *testing.T) {
+	// Every uncovered point must be at distance > (3+4eps)*r from every
+	// center, and every covered point within that distance of some center.
+	rng := rand.New(rand.NewSource(3))
+	ds := randomDataset(rng, 60, 3, 20)
+	set := metric.Unweighted(ds)
+	r := 5.0
+	epsHat := 0.25
+	res, err := Cluster(metric.Euclidean, set, 4, r, epsHat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := (3 + 4*epsHat) * r
+	uncovered := map[int]bool{}
+	for _, u := range res.Uncovered {
+		uncovered[u] = true
+	}
+	for i, wp := range set {
+		d, _ := metric.DistanceToSet(metric.Euclidean, wp.P, res.Centers)
+		if uncovered[i] && d <= cover {
+			t.Errorf("point %d marked uncovered but within cover radius (d=%v)", i, d)
+		}
+		if !uncovered[i] && d > cover+1e-12 {
+			t.Errorf("point %d marked covered but outside cover radius (d=%v)", i, d)
+		}
+	}
+}
+
+func TestClusterGreedyPicksHeaviestBall(t *testing.T) {
+	// Three locations; the middle one has the largest weight, so with k=1 and
+	// a radius that only covers one location per ball, the greedy must pick
+	// the heaviest.
+	set := metric.WeightedSet{
+		{P: metric.Point{0}, W: 5},
+		{P: metric.Point{100}, W: 50},
+		{P: metric.Point{200}, W: 7},
+	}
+	res, err := Cluster(metric.Euclidean, set, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CenterIndices) != 1 || res.CenterIndices[0] != 1 {
+		t.Fatalf("greedy picked %v, want the heaviest point (index 1)", res.CenterIndices)
+	}
+	if res.UncoveredWeight != 12 {
+		t.Errorf("uncovered weight = %d, want 12", res.UncoveredWeight)
+	}
+}
+
+func TestLemma5CoverageProperty(t *testing.T) {
+	// Lemma 5: for r >= r*_{k,z}(S), OutliersCluster on a weighted coreset
+	// leaves uncovered weight at most z. We verify the statement directly on
+	// the full (unit-weight) input where the proxy function is the identity.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(8)
+		k := 1 + rng.Intn(2)
+		z := rng.Intn(3)
+		ds := randomDataset(rng, n, 2, 50)
+		opt, err := gmm.BruteForceOptimalRadiusWithOutliers(metric.Euclidean, ds, k, z)
+		if err != nil {
+			return false
+		}
+		set := metric.Unweighted(ds)
+		for _, epsHat := range []float64{0, 0.1, 0.5} {
+			res, err := Cluster(metric.Euclidean, set, k, opt, epsHat)
+			if err != nil {
+				return false
+			}
+			if res.UncoveredWeight > int64(z) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Errorf("Lemma 5 violated: %v", err)
+	}
+}
+
+func TestSolveThreeApproximation(t *testing.T) {
+	// The radius of the returned clustering (computed on the real points,
+	// excluding z outliers) must be within (3+eps) of the optimum, checked by
+	// brute force on small instances.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(7)
+		k := 1 + rng.Intn(2)
+		z := rng.Intn(3)
+		ds := randomDataset(rng, n, 2, 50)
+		opt, err := gmm.BruteForceOptimalRadiusWithOutliers(metric.Euclidean, ds, k, z)
+		if err != nil {
+			return false
+		}
+		res, err := CharikarEtAl(metric.Euclidean, ds, k, z)
+		if err != nil {
+			return false
+		}
+		got := metric.RadiusExcluding(metric.Euclidean, ds, res.Centers, z)
+		// CharikarEtAl guarantees 3*opt.
+		return got <= 3*opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Errorf("3-approximation violated: %v", err)
+	}
+}
+
+func TestSolveWithObviousOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds, nOut := datasetWithOutliers(rng, 3, 20, 4, 2)
+	res, err := CharikarEtAl(metric.Euclidean, ds, 3, nOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clustering radius excluding the outliers should be small (clusters
+	// have stddev 1, so a radius around a few units), certainly well below
+	// the distance to the planted outliers.
+	r := metric.RadiusExcluding(metric.Euclidean, ds, res.Centers, nOut)
+	if r > 50 {
+		t.Errorf("radius excluding outliers = %v, want small (clusters are tight)", r)
+	}
+	if res.UncoveredWeight > int64(nOut) {
+		t.Errorf("uncovered weight = %d, want <= %d", res.UncoveredWeight, nOut)
+	}
+}
+
+func TestSolveStrategiesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := randomDataset(rng, 30, 2, 20)
+	set := metric.Unweighted(ds)
+	k, z := 3, int64(2)
+	exh, err := Solve(metric.Euclidean, set, k, z, 0, SearchExhaustive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := Solve(metric.Euclidean, set, k, z, 0, SearchBinaryGeometric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exh.UncoveredWeight > z || bin.UncoveredWeight > z {
+		t.Fatalf("a strategy left too much uncovered: exh=%d bin=%d", exh.UncoveredWeight, bin.UncoveredWeight)
+	}
+	// The binary-search radius can differ from the exhaustive one when the
+	// feasibility predicate is not perfectly monotone, but both must be
+	// feasible, and the exhaustive radius is never larger.
+	if exh.Radius > bin.Radius+1e-9 {
+		t.Errorf("exhaustive radius %v > binary radius %v", exh.Radius, bin.Radius)
+	}
+	if exh.Evaluations <= 0 || bin.Evaluations <= 0 {
+		t.Error("evaluations not recorded")
+	}
+}
+
+func TestSolveDegenerateCases(t *testing.T) {
+	// k >= |T|: radius 0 is feasible.
+	set := metric.Unweighted(metric.Dataset{{0, 0}, {5, 5}})
+	res, err := Solve(metric.Euclidean, set, 2, 0, 0.1, SearchBinaryGeometric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius != 0 {
+		t.Errorf("radius = %v, want 0 when k >= |T|", res.Radius)
+	}
+	// All points coincide.
+	same := metric.Unweighted(metric.Dataset{{1, 1}, {1, 1}, {1, 1}})
+	res, err = Solve(metric.Euclidean, same, 1, 0, 0.1, SearchBinaryGeometric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius != 0 || res.UncoveredWeight != 0 {
+		t.Errorf("coincident points: radius=%v uncovered=%d, want 0/0", res.Radius, res.UncoveredWeight)
+	}
+	// z larger than total weight.
+	res, err = Solve(metric.Euclidean, set, 1, 100, 0, SearchBinaryGeometric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UncoveredWeight > 100 {
+		t.Errorf("uncovered weight = %d exceeds z", res.UncoveredWeight)
+	}
+}
+
+func TestSolveWeightedVsUnweightedConsistency(t *testing.T) {
+	// A weighted set where each point has weight w must behave like the
+	// unweighted set with w copies, for the purposes of the uncovered-weight
+	// budget.
+	rng := rand.New(rand.NewSource(8))
+	base := randomDataset(rng, 15, 2, 10)
+	weighted := make(metric.WeightedSet, len(base))
+	var expanded metric.Dataset
+	for i, p := range base {
+		w := int64(1 + rng.Intn(4))
+		weighted[i] = metric.WeightedPoint{P: p, W: w}
+		for c := int64(0); c < w; c++ {
+			expanded = append(expanded, p)
+		}
+	}
+	k, z := 2, int64(3)
+	wres, err := Solve(metric.Euclidean, weighted, k, z, 0, SearchExhaustive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ures, err := Solve(metric.Euclidean, metric.Unweighted(expanded), k, z, 0, SearchExhaustive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.UncoveredWeight > z || ures.UncoveredWeight > z {
+		t.Fatalf("infeasible solutions: %d / %d", wres.UncoveredWeight, ures.UncoveredWeight)
+	}
+	// The candidate radii sets are identical (duplicated points add no new
+	// distances), so the chosen radii must agree.
+	if wres.Radius != ures.Radius {
+		t.Errorf("weighted radius %v != expanded radius %v", wres.Radius, ures.Radius)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	if got := Delta(0); got != 0 {
+		t.Errorf("Delta(0) = %v, want 0", got)
+	}
+	if got := Delta(-1); got != 0 {
+		t.Errorf("Delta(-1) = %v, want 0", got)
+	}
+	got := Delta(0.5)
+	want := 0.5 / (3 + 4*0.5)
+	if got != want {
+		t.Errorf("Delta(0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestCandidateRadii(t *testing.T) {
+	ds := metric.Dataset{{0}, {1}, {1}, {3}}
+	got := candidateRadii(metric.Euclidean, ds)
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("candidateRadii = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidateRadii = %v, want %v", got, want)
+		}
+	}
+	if got := candidateRadii(metric.Euclidean, metric.Dataset{{5}}); got != nil {
+		t.Errorf("singleton candidates = %v, want nil", got)
+	}
+}

@@ -1,0 +1,278 @@
+// Package selection implements order-statistic selection over streams of
+// float64 values.
+//
+// The paper's second round performs a binary search over the O(|T|^2)
+// pairwise distances of the coreset union without materialising them: "the
+// value of r at each iteration of the binary search can be determined in
+// space linear in T by the median-finding Streaming algorithm in
+// [Munro-Paterson 1980]". This package provides that substrate:
+//
+//   - Exact multi-pass selection (MunroPaterson) that finds the element of a
+//     given rank using a bounded buffer and repeated passes over a re-playable
+//     stream, in the spirit of Munro and Paterson's classic algorithm: each
+//     pass narrows a (low, high) value interval around the target rank, so
+//     the number of passes is logarithmic in the number of distinct candidate
+//     values inside the interval.
+//   - A single-pass bounded-memory approximate quantile sketch
+//     (QuantileSketch) based on reservoir sampling, used when an approximate
+//     pivot is sufficient.
+//   - Select, an in-memory quickselect for the common case where the values
+//     fit in memory.
+package selection
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrEmptyStream is returned when a selection is requested over an empty
+// stream.
+var ErrEmptyStream = errors.New("selection: empty stream")
+
+// ErrRankOutOfRange is returned when the requested rank is not in [0, n).
+var ErrRankOutOfRange = errors.New("selection: rank out of range")
+
+// Stream produces the sequence of values; it must yield the same multiset on
+// every call (the algorithm takes multiple passes). The callback returns
+// false to stop iteration early.
+type Stream func(yield func(float64) bool) error
+
+// FromSlice adapts an in-memory slice to a (re-playable) Stream.
+func FromSlice(values []float64) Stream {
+	return func(yield func(float64) bool) error {
+		for _, v := range values {
+			if !yield(v) {
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// Select returns the value of rank k (0-based, ascending) of the in-memory
+// slice using an iterative quickselect; the input slice is not modified.
+func Select(values []float64, k int) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrEmptyStream
+	}
+	if k < 0 || k >= len(values) {
+		return 0, fmt.Errorf("%w: k=%d, n=%d", ErrRankOutOfRange, k, len(values))
+	}
+	buf := append([]float64(nil), values...)
+	lo, hi := 0, len(buf)-1
+	rng := rand.New(rand.NewSource(int64(len(buf))*2654435761 + int64(k)))
+	for lo < hi {
+		p := buf[lo+rng.Intn(hi-lo+1)]
+		i, j := lo, hi
+		for i <= j {
+			for buf[i] < p {
+				i++
+			}
+			for buf[j] > p {
+				j--
+			}
+			if i <= j {
+				buf[i], buf[j] = buf[j], buf[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return buf[k], nil
+		}
+	}
+	return buf[k], nil
+}
+
+// MunroPatersonResult reports the outcome of a multi-pass selection.
+type MunroPatersonResult struct {
+	// Value is the element of the requested rank.
+	Value float64
+	// Passes is the number of passes taken over the stream.
+	Passes int
+	// Count is the total number of elements observed per pass.
+	Count int64
+}
+
+// MunroPaterson finds the element of rank k (0-based, ascending) of the
+// stream using multiple passes and O(1) working memory per pass (plus the
+// candidate interval bookkeeping). Each pass counts how many elements fall
+// below the current interval and collects the interval's extreme values,
+// halving the candidate value range until the rank is pinned down.
+//
+// maxPasses bounds the number of passes (0 means a generous default of 128);
+// exceeding it returns an error, which cannot happen for streams of
+// fewer than 2^maxPasses distinct values.
+func MunroPaterson(stream Stream, k int64, maxPasses int) (*MunroPatersonResult, error) {
+	if stream == nil {
+		return nil, errors.New("selection: nil stream")
+	}
+	if maxPasses <= 0 {
+		maxPasses = 128
+	}
+
+	// Pass 0: count elements and find global min/max.
+	var count int64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	err := stream(func(v float64) bool {
+		count++
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, ErrEmptyStream
+	}
+	if k < 0 || k >= count {
+		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrRankOutOfRange, k, count)
+	}
+	res := &MunroPatersonResult{Passes: 1, Count: count}
+	if lo == hi {
+		res.Value = lo
+		return res, nil
+	}
+
+	// Invariant: the element of rank k lies in [lo, hi]. Each pass splits
+	// the interval at its midpoint, counts the elements in the lower half,
+	// and keeps the half containing rank k. The pass also records the
+	// largest value <= mid and the smallest value > mid, so when a half
+	// contains a single distinct value the search terminates exactly.
+	for pass := 0; pass < maxPasses; pass++ {
+		mid := lo + (hi-lo)/2
+		var below int64 // elements with value <= mid and >= lo... counted globally below lo too
+		var belowLo int64
+		maxLE := math.Inf(-1) // largest value in [lo, mid]
+		minGT := math.Inf(1)  // smallest value in (mid, hi]
+		err := stream(func(v float64) bool {
+			if v < lo {
+				belowLo++
+				return true
+			}
+			if v > hi {
+				return true
+			}
+			if v <= mid {
+				below++
+				if v > maxLE {
+					maxLE = v
+				}
+			} else if v < minGT {
+				minGT = v
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Passes++
+		if k < belowLo+below {
+			// Target is in [lo, maxLE].
+			hi = maxLE
+			if lo == hi || below == 1 {
+				res.Value = maxLE
+				return res, nil
+			}
+		} else {
+			// Target is in [minGT, hi].
+			lo = minGT
+			if lo == hi {
+				res.Value = lo
+				return res, nil
+			}
+		}
+		if lo == hi {
+			res.Value = lo
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("selection: rank not isolated within %d passes (pathological value distribution)", maxPasses)
+}
+
+// Median returns the lower median of the stream using MunroPaterson.
+func Median(stream Stream, maxPasses int) (float64, error) {
+	// First pass to count (MunroPaterson will count again; the cost is one
+	// extra pass, which keeps the interface simple).
+	var count int64
+	if stream == nil {
+		return 0, errors.New("selection: nil stream")
+	}
+	if err := stream(func(float64) bool { count++; return true }); err != nil {
+		return 0, err
+	}
+	if count == 0 {
+		return 0, ErrEmptyStream
+	}
+	res, err := MunroPaterson(stream, (count-1)/2, maxPasses)
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// QuantileSketch is a single-pass, bounded-memory approximate quantile
+// estimator based on uniform reservoir sampling. It is used where an
+// approximate pivot suffices (for example to seed a radius search) and in
+// tests as a cross-check of the exact algorithms.
+type QuantileSketch struct {
+	capacity int
+	rng      *rand.Rand
+	sample   []float64
+	seen     int64
+}
+
+// NewQuantileSketch creates a sketch retaining at most capacity values.
+// A nil rng uses a fixed seed for reproducibility.
+func NewQuantileSketch(capacity int, rng *rand.Rand) (*QuantileSketch, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("selection: capacity must be positive, got %d", capacity)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0x5e1ec7))
+	}
+	return &QuantileSketch{capacity: capacity, rng: rng}, nil
+}
+
+// Add observes one value.
+func (q *QuantileSketch) Add(v float64) {
+	q.seen++
+	if len(q.sample) < q.capacity {
+		q.sample = append(q.sample, v)
+		return
+	}
+	// Reservoir sampling: replace a random element with probability cap/seen.
+	if j := q.rng.Int63n(q.seen); j < int64(q.capacity) {
+		q.sample[j] = v
+	}
+}
+
+// Seen returns the number of values observed.
+func (q *QuantileSketch) Seen() int64 { return q.seen }
+
+// Quantile returns an estimate of the given quantile in [0, 1].
+func (q *QuantileSketch) Quantile(p float64) (float64, error) {
+	if len(q.sample) == 0 {
+		return 0, ErrEmptyStream
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("selection: quantile %v out of [0,1]", p)
+	}
+	sorted := append([]float64(nil), q.sample...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx], nil
+}

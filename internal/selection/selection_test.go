@@ -1,0 +1,246 @@
+package selection
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelect(t *testing.T) {
+	values := []float64{5, 1, 4, 2, 3}
+	for k, want := range []float64{1, 2, 3, 4, 5} {
+		got, err := Select(values, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Select(k=%d) = %v, want %v", k, got, want)
+		}
+	}
+	if _, err := Select(nil, 0); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := Select(values, -1); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if _, err := Select(values, 5); err == nil {
+		t.Error("rank >= n accepted")
+	}
+	// The input must not be modified.
+	if values[0] != 5 {
+		t.Error("Select modified its input")
+	}
+}
+
+func TestSelectMatchesSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		values := make([]float64, n)
+		for i := range values {
+			// Include duplicates on purpose.
+			values[i] = float64(rng.Intn(20)) + rng.Float64()*0.001
+		}
+		k := rng.Intn(n)
+		got, err := Select(values, k)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		return got == sorted[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMunroPatersonBasic(t *testing.T) {
+	values := []float64{9, 3, 7, 1, 5}
+	for k, want := range []float64{1, 3, 5, 7, 9} {
+		res, err := MunroPaterson(FromSlice(values), int64(k), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != want {
+			t.Errorf("rank %d = %v, want %v", k, res.Value, want)
+		}
+		if res.Count != 5 || res.Passes < 1 {
+			t.Errorf("bookkeeping wrong: %+v", res)
+		}
+	}
+}
+
+func TestMunroPatersonErrors(t *testing.T) {
+	if _, err := MunroPaterson(nil, 0, 0); err == nil {
+		t.Error("nil stream accepted")
+	}
+	if _, err := MunroPaterson(FromSlice(nil), 0, 0); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := MunroPaterson(FromSlice([]float64{1, 2}), 5, 0); err == nil {
+		t.Error("rank out of range accepted")
+	}
+	if _, err := MunroPaterson(FromSlice([]float64{1, 2}), -1, 0); err == nil {
+		t.Error("negative rank accepted")
+	}
+}
+
+func TestMunroPatersonConstantStream(t *testing.T) {
+	res, err := MunroPaterson(FromSlice([]float64{4, 4, 4, 4}), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 4 {
+		t.Errorf("value = %v, want 4", res.Value)
+	}
+	if res.Passes != 1 {
+		t.Errorf("constant stream should resolve in one pass, took %d", res.Passes)
+	}
+}
+
+func TestMunroPatersonMatchesSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		values := make([]float64, n)
+		for i := range values {
+			switch rng.Intn(3) {
+			case 0:
+				values[i] = float64(rng.Intn(10)) // heavy duplicates
+			case 1:
+				values[i] = rng.NormFloat64() * 1000
+			default:
+				values[i] = rng.Float64()
+			}
+		}
+		k := rng.Intn(n)
+		res, err := MunroPaterson(FromSlice(values), int64(k), 0)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		return res.Value == sorted[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMunroPatersonPassBudget(t *testing.T) {
+	// Values spread over many orders of magnitude still resolve, but a
+	// ridiculous pass budget of 1 fails cleanly.
+	values := []float64{1e-300, 1, 1e300}
+	if _, err := MunroPaterson(FromSlice(values), 1, 1); err == nil {
+		t.Error("expected pass-budget error")
+	}
+	res, err := MunroPaterson(FromSlice(values), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 {
+		t.Errorf("value = %v, want 1", res.Value)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median(FromSlice([]float64{5, 1, 3}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	got, err = Median(FromSlice([]float64{4, 1, 3, 2}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("lower median = %v, want 2", got)
+	}
+	if _, err := Median(FromSlice(nil), 0); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Median(nil, 0); err == nil {
+		t.Error("nil stream accepted")
+	}
+}
+
+func TestQuantileSketch(t *testing.T) {
+	if _, err := NewQuantileSketch(0, nil); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	q, err := NewQuantileSketch(256, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Quantile(0.5); err == nil {
+		t.Error("quantile of empty sketch accepted")
+	}
+	// Feed 100k uniform values; the median estimate should be near 0.5.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100000; i++ {
+		q.Add(rng.Float64())
+	}
+	if q.Seen() != 100000 {
+		t.Errorf("Seen = %d, want 100000", q.Seen())
+	}
+	med, err := q.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-0.5) > 0.1 {
+		t.Errorf("median estimate = %v, want near 0.5", med)
+	}
+	lo, err := q.Quantile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := q.Quantile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Errorf("quantile(0)=%v not below quantile(1)=%v", lo, hi)
+	}
+	if _, err := q.Quantile(-0.1); err == nil {
+		t.Error("negative quantile accepted")
+	}
+	if _, err := q.Quantile(1.1); err == nil {
+		t.Error("quantile > 1 accepted")
+	}
+}
+
+func TestQuantileSketchSmallStream(t *testing.T) {
+	q, err := NewQuantileSketch(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{3, 1, 2} {
+		q.Add(v)
+	}
+	med, err := q.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 2 {
+		t.Errorf("median of tiny stream = %v, want 2", med)
+	}
+}
+
+func TestFromSliceEarlyStop(t *testing.T) {
+	var seen int
+	err := FromSlice([]float64{1, 2, 3, 4})(func(v float64) bool {
+		seen++
+		return seen < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 {
+		t.Errorf("early stop honoured %d values, want 2", seen)
+	}
+}

@@ -1,0 +1,150 @@
+package streaming
+
+import (
+	"errors"
+	"fmt"
+
+	"coresetclustering/internal/gmm"
+	"coresetclustering/internal/metric"
+	"coresetclustering/internal/outliers"
+)
+
+// CoresetStream is the paper's coreset-based 1-pass streaming algorithm for
+// the k-center problem WITHOUT outliers: maintain a weighted coreset of tau
+// points with the doubling algorithm, then extract the final k centers with
+// GMM at query time. With tau = k*(4/eps)^D it is a (2+eps)-approximation;
+// the experiments size tau = mu*k directly.
+type CoresetStream struct {
+	k        int
+	dist     metric.Distance
+	doubling *Doubling
+}
+
+// NewCoresetStream returns a CoresetStream with coreset budget tau >= k.
+func NewCoresetStream(dist metric.Distance, k, tau int) (*CoresetStream, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("streaming: k must be positive, got %d", k)
+	}
+	if tau < k {
+		return nil, fmt.Errorf("streaming: tau (%d) must be at least k (%d)", tau, k)
+	}
+	if dist == nil {
+		dist = metric.Euclidean
+	}
+	d, err := NewDoubling(dist, tau)
+	if err != nil {
+		return nil, err
+	}
+	return &CoresetStream{k: k, dist: dist, doubling: d}, nil
+}
+
+// Process implements Processor.
+func (c *CoresetStream) Process(p metric.Point) error { return c.doubling.Process(p) }
+
+// WorkingMemory implements Processor.
+func (c *CoresetStream) WorkingMemory() int { return c.doubling.WorkingMemory() }
+
+// Processed implements Processor.
+func (c *CoresetStream) Processed() int64 { return c.doubling.Processed() }
+
+// Result extracts the final k centers by running GMM on the maintained
+// coreset. It can be called at any time; the stream can keep being processed
+// afterwards.
+func (c *CoresetStream) Result() (metric.Dataset, error) {
+	cs := c.doubling.Coreset()
+	if len(cs) == 0 {
+		return nil, errors.New("streaming: no points processed")
+	}
+	res, err := gmm.Run(c.dist, cs.Points(), c.k, 0)
+	if err != nil {
+		return nil, err
+	}
+	return res.Centers, nil
+}
+
+// Coreset exposes the maintained weighted coreset (a copy).
+func (c *CoresetStream) Coreset() metric.WeightedSet { return c.doubling.Coreset() }
+
+// CoresetOutliers is the paper's 1-pass streaming algorithm for the k-center
+// problem WITH z outliers (Theorem 3): maintain a weighted coreset of tau
+// points with the doubling algorithm, then run the weighted OutliersCluster
+// radius search on it at query time. With tau = (k+z)*(16/epsHat)^D it is a
+// (3+eps)-approximation using O((k+z)(96/eps)^D) working memory; the
+// experiments size tau = mu*(k+z) directly.
+type CoresetOutliers struct {
+	k, z     int
+	epsHat   float64
+	dist     metric.Distance
+	strategy outliers.SearchStrategy
+	doubling *Doubling
+}
+
+// NewCoresetOutliers returns a CoresetOutliers with coreset budget tau >= k+z+1.
+// epsHat is the slack parameter of the OutliersCluster phase (0 for the exact
+// search).
+func NewCoresetOutliers(dist metric.Distance, k, z, tau int, epsHat float64) (*CoresetOutliers, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("streaming: k must be positive, got %d", k)
+	}
+	if z < 0 {
+		return nil, fmt.Errorf("streaming: z must be non-negative, got %d", z)
+	}
+	if tau < k+z {
+		return nil, fmt.Errorf("streaming: tau (%d) must be at least k+z (%d)", tau, k+z)
+	}
+	if epsHat < 0 {
+		return nil, fmt.Errorf("streaming: epsHat must be non-negative, got %v", epsHat)
+	}
+	if dist == nil {
+		dist = metric.Euclidean
+	}
+	d, err := NewDoubling(dist, tau)
+	if err != nil {
+		return nil, err
+	}
+	return &CoresetOutliers{k: k, z: z, epsHat: epsHat, dist: dist, doubling: d}, nil
+}
+
+// SetSearchStrategy overrides the radius-search strategy used by Result (the
+// default is the paper's binary + geometric search).
+func (c *CoresetOutliers) SetSearchStrategy(s outliers.SearchStrategy) { c.strategy = s }
+
+// Process implements Processor.
+func (c *CoresetOutliers) Process(p metric.Point) error { return c.doubling.Process(p) }
+
+// WorkingMemory implements Processor.
+func (c *CoresetOutliers) WorkingMemory() int { return c.doubling.WorkingMemory() }
+
+// Processed implements Processor.
+func (c *CoresetOutliers) Processed() int64 { return c.doubling.Processed() }
+
+// Coreset exposes the maintained weighted coreset (a copy).
+func (c *CoresetOutliers) Coreset() metric.WeightedSet { return c.doubling.Coreset() }
+
+// OutliersResult is the query-time output of CoresetOutliers.
+type OutliersResult struct {
+	// Centers are the (at most k) centers.
+	Centers metric.Dataset
+	// SearchRadius is the radius the search settled on.
+	SearchRadius float64
+	// UncoveredWeight is the coreset weight left uncovered (at most z).
+	UncoveredWeight int64
+}
+
+// Result runs the weighted OutliersCluster radius search on the maintained
+// coreset and returns the final centers.
+func (c *CoresetOutliers) Result() (*OutliersResult, error) {
+	cs := c.doubling.Coreset()
+	if len(cs) == 0 {
+		return nil, errors.New("streaming: no points processed")
+	}
+	solved, err := outliers.Solve(c.dist, cs, c.k, int64(c.z), c.epsHat, c.strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &OutliersResult{
+		Centers:         solved.Centers,
+		SearchRadius:    solved.Radius,
+		UncoveredWeight: solved.UncoveredWeight,
+	}, nil
+}

@@ -1,0 +1,205 @@
+package streaming
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"coresetclustering/internal/metric"
+)
+
+// Doubling is the weighted doubling algorithm of Section 4: a 1-pass
+// construction of a weighted coreset of at most tau points. It extends the
+// incremental clustering algorithm of Charikar, Chekuri, Feder and Motwani
+// (2004) with per-center weights so that the coreset can later be fed to the
+// weighted OutliersCluster routine.
+//
+// The algorithm maintains (invariants (a)-(e) of the paper):
+//
+//	(a) at most tau centers;
+//	(b) any two centers are more than 4*phi apart;
+//	(c) every processed point is within 8*phi of its (implicit) proxy center;
+//	(d) the weight of a center equals the number of processed points whose
+//	    proxy it is;
+//	(e) phi <= r*_tau(S), the optimal tau-center radius of the points
+//	    processed so far.
+type Doubling struct {
+	dist metric.Distance
+	tau  int
+
+	centers metric.WeightedSet
+	phi     float64
+
+	initBuf   metric.Dataset // first tau+1 points, buffered until initialisation
+	processed int64
+}
+
+// NewDoubling returns a Doubling processor with the given coreset budget tau
+// (at least 1). A nil distance defaults to Euclidean.
+func NewDoubling(dist metric.Distance, tau int) (*Doubling, error) {
+	if tau < 1 {
+		return nil, fmt.Errorf("streaming: tau must be at least 1, got %d", tau)
+	}
+	if dist == nil {
+		dist = metric.Euclidean
+	}
+	return &Doubling{dist: dist, tau: tau}, nil
+}
+
+// Process implements Processor.
+func (d *Doubling) Process(p metric.Point) error {
+	if p == nil {
+		return errors.New("streaming: nil point")
+	}
+	d.processed++
+
+	// Initialisation: buffer the first tau+1 points, then set phi to half the
+	// minimum pairwise distance and immediately re-establish invariants (a)
+	// and (b) with the merge rule.
+	if d.centers == nil {
+		d.initBuf = append(d.initBuf, p)
+		if len(d.initBuf) < d.tau+1 {
+			return nil
+		}
+		d.initialize()
+		return nil
+	}
+
+	// Update rule.
+	dmin, closest := metric.DistanceToSet(d.dist, p, d.centers.Points())
+	if dmin <= 8*d.phi {
+		d.centers[closest].W++
+		return nil
+	}
+	d.centers = append(d.centers, metric.WeightedPoint{P: p, W: 1})
+	// Merge rule, applied repeatedly until invariant (a) is re-established.
+	for len(d.centers) > d.tau {
+		d.merge()
+	}
+	return nil
+}
+
+// initialize turns the buffered first tau+1 points into the initial weighted
+// center set and applies the merge rule until invariants (a) and (b) hold.
+func (d *Doubling) initialize() {
+	d.centers = make(metric.WeightedSet, 0, d.tau+1)
+	for _, p := range d.initBuf {
+		d.centers = append(d.centers, metric.WeightedPoint{P: p, W: 1})
+	}
+	d.initBuf = nil
+	// Collapse exact duplicates first so that coincident initial points do
+	// not force phi to zero forever.
+	d.mergeCloserThan(0)
+	minDist := metric.MinPairwiseDistance(d.dist, d.centers.Points())
+	if math.IsInf(minDist, 1) {
+		// All initial points coincide: a single center remains and phi stays
+		// zero until genuinely distinct points arrive (invariant (e) holds
+		// with equality: r*_tau of a single location is 0).
+		d.phi = 0
+		return
+	}
+	d.phi = minDist / 2
+	// Enforce invariant (b), then (a).
+	d.mergeCloserThan(4 * d.phi)
+	for len(d.centers) > d.tau {
+		d.merge()
+	}
+}
+
+// merge applies one round of the merge rule: double phi, then merge every
+// pair of centers violating invariant (b). It is called repeatedly by Process
+// until invariant (a) is re-established. A zero phi (all points seen so far
+// coincided) is bootstrapped from the minimum pairwise distance of the
+// current centers, which is a valid lower bound on r*_tau because the centers
+// now number tau+1.
+func (d *Doubling) merge() {
+	if d.phi == 0 {
+		minDist := metric.MinPairwiseDistance(d.dist, d.centers.Points())
+		if math.IsInf(minDist, 1) {
+			return
+		}
+		d.phi = minDist / 2
+	} else {
+		d.phi *= 2
+	}
+	d.mergeCloserThan(4 * d.phi)
+}
+
+// mergeCloserThan greedily merges centers at distance <= threshold, folding
+// the weight of the discarded center into the survivor (which corresponds to
+// re-targeting the proxy function).
+func (d *Doubling) mergeCloserThan(threshold float64) {
+	kept := make(metric.WeightedSet, 0, len(d.centers))
+	for _, c := range d.centers {
+		merged := false
+		for i := range kept {
+			if d.dist(kept[i].P, c.P) <= threshold {
+				kept[i].W += c.W
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			kept = append(kept, c)
+		}
+	}
+	d.centers = kept
+}
+
+// WorkingMemory implements Processor.
+func (d *Doubling) WorkingMemory() int {
+	if d.centers == nil {
+		return len(d.initBuf)
+	}
+	return len(d.centers)
+}
+
+// Processed implements Processor.
+func (d *Doubling) Processed() int64 { return d.processed }
+
+// Phi returns the current lower bound phi on r*_tau of the processed prefix.
+func (d *Doubling) Phi() float64 { return d.phi }
+
+// Coreset returns the current weighted coreset. If fewer than tau+1 points
+// have been processed the buffered points are returned with unit weights.
+// The returned set is a copy and can be modified freely.
+func (d *Doubling) Coreset() metric.WeightedSet {
+	if d.centers == nil {
+		return metric.Unweighted(d.initBuf).Clone()
+	}
+	return d.centers.Clone()
+}
+
+// Tau returns the configured coreset budget.
+func (d *Doubling) Tau() int { return d.tau }
+
+// CheckInvariants verifies the structural invariants (a), (b) and (d)
+// (non-negative weights summing to the processed count). It is exported for
+// tests and debugging; it is never called on the hot path.
+func (d *Doubling) CheckInvariants() error {
+	if d.centers == nil {
+		return nil // still initialising
+	}
+	if len(d.centers) > d.tau {
+		return fmt.Errorf("streaming: invariant (a) violated: %d centers > tau=%d", len(d.centers), d.tau)
+	}
+	pts := d.centers.Points()
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if d.dist(pts[i], pts[j]) <= 4*d.phi {
+				return fmt.Errorf("streaming: invariant (b) violated: centers %d and %d are within 4*phi", i, j)
+			}
+		}
+	}
+	var total int64
+	for _, c := range d.centers {
+		if c.W <= 0 {
+			return fmt.Errorf("streaming: invariant (d) violated: non-positive weight %d", c.W)
+		}
+		total += c.W
+	}
+	if total != d.processed {
+		return fmt.Errorf("streaming: invariant (d) violated: weights sum to %d, processed %d", total, d.processed)
+	}
+	return nil
+}

@@ -1,0 +1,653 @@
+package streaming
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coresetclustering/internal/gmm"
+	"coresetclustering/internal/metric"
+)
+
+func randomDataset(rng *rand.Rand, n, dim int, scale float64) metric.Dataset {
+	ds := make(metric.Dataset, n)
+	for i := range ds {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = (rng.Float64()*2 - 1) * scale
+		}
+		ds[i] = p
+	}
+	return ds
+}
+
+func clusteredDataset(rng *rand.Rand, k, perCluster, dim int, separation, spread float64) metric.Dataset {
+	var ds metric.Dataset
+	for c := 0; c < k; c++ {
+		center := make(metric.Point, dim)
+		for j := range center {
+			center[j] = float64(c) * separation
+		}
+		for i := 0; i < perCluster; i++ {
+			p := make(metric.Point, dim)
+			for j := range p {
+				p[j] = center[j] + rng.NormFloat64()*spread
+			}
+			ds = append(ds, p)
+		}
+	}
+	// Shuffle so the stream does not present one cluster at a time.
+	rng.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+	return ds
+}
+
+func withOutliers(rng *rand.Rand, ds metric.Dataset, nOut int) metric.Dataset {
+	dim := ds.Dim()
+	out := ds.Clone()
+	for o := 0; o < nOut; o++ {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = 1e5 + float64(o)*1e3 + rng.Float64()
+		}
+		out = append(out, p)
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func feed(t *testing.T, proc Processor, ds metric.Dataset) {
+	t.Helper()
+	if _, err := Drain(NewSliceSource(ds), proc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	ds := metric.Dataset{{1}, {2}, {3}}
+	src := NewSliceSource(ds)
+	count := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 3 {
+		t.Errorf("yielded %d points, want 3", count)
+	}
+	src.Reset()
+	if p, ok := src.Next(); !ok || !p.Equal(metric.Point{1}) {
+		t.Errorf("after Reset got %v %v", p, ok)
+	}
+}
+
+func TestChannelSource(t *testing.T) {
+	ch := make(chan metric.Point, 3)
+	ch <- metric.Point{1}
+	ch <- metric.Point{2}
+	close(ch)
+	src := NewChannelSource(ch)
+	n := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("yielded %d points, want 2", n)
+	}
+}
+
+func TestDrainErrors(t *testing.T) {
+	if _, err := Drain(NewSliceSource(nil), nil); err == nil {
+		t.Error("nil processor accepted")
+	}
+	d, _ := NewDoubling(metric.Euclidean, 4)
+	if _, err := Drain(nil, d); err == nil {
+		t.Error("nil source accepted")
+	}
+	// A nil point inside the stream propagates the processor error.
+	if _, err := Drain(NewSliceSource(metric.Dataset{nil}), d); err == nil {
+		t.Error("nil point accepted")
+	}
+}
+
+func TestNewDoublingValidation(t *testing.T) {
+	if _, err := NewDoubling(metric.Euclidean, 0); err == nil {
+		t.Error("tau=0 accepted")
+	}
+	if d, err := NewDoubling(nil, 3); err != nil || d == nil {
+		t.Errorf("nil distance should default: %v", err)
+	}
+}
+
+func TestDoublingInvariantsProperty(t *testing.T) {
+	// Invariants (a), (b), (d) hold after every prefix of a random stream.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		tau := 3 + rng.Intn(10)
+		ds := randomDataset(rng, n, 3, 100)
+		d, err := NewDoubling(metric.Euclidean, tau)
+		if err != nil {
+			return false
+		}
+		for _, p := range ds {
+			if err := d.Process(p); err != nil {
+				return false
+			}
+			if err := d.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("doubling invariants violated: %v", err)
+	}
+}
+
+func TestDoublingInvariantEPhiLowerBound(t *testing.T) {
+	// Invariant (e): phi <= r*_tau(S). Verified by brute force on small
+	// streams with tiny tau.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(6)
+		tau := 2 + rng.Intn(2)
+		ds := randomDataset(rng, n, 2, 20)
+		d, err := NewDoubling(metric.Euclidean, tau)
+		if err != nil {
+			return false
+		}
+		for _, p := range ds {
+			if err := d.Process(p); err != nil {
+				return false
+			}
+		}
+		opt, err := gmm.BruteForceOptimalRadius(metric.Euclidean, ds, tau)
+		if err != nil {
+			return false
+		}
+		return d.Phi() <= opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("invariant (e) violated: %v", err)
+	}
+}
+
+func TestDoublingCoverageInvariantC(t *testing.T) {
+	// Invariant (c): every processed point is within 8*phi of some center.
+	rng := rand.New(rand.NewSource(3))
+	ds := randomDataset(rng, 300, 3, 50)
+	d, err := NewDoubling(metric.Euclidean, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ds {
+		if err := d.Process(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	centers := d.Coreset().Points()
+	bound := 8 * d.Phi()
+	for i, p := range ds {
+		if dist, _ := metric.DistanceToSet(metric.Euclidean, p, centers); dist > bound+1e-9 {
+			t.Fatalf("point %d at distance %v from coreset, bound %v", i, dist, bound)
+		}
+	}
+}
+
+func TestDoublingSmallStreams(t *testing.T) {
+	// Fewer than tau+1 points: the coreset is the stream itself, unit weights.
+	d, err := NewDoubling(metric.Euclidean, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := metric.Dataset{{1}, {2}, {3}}
+	for _, p := range ds {
+		if err := d.Process(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := d.Coreset()
+	if len(cs) != 3 || cs.TotalWeight() != 3 {
+		t.Errorf("small-stream coreset = %v", cs)
+	}
+	if d.WorkingMemory() != 3 {
+		t.Errorf("working memory = %d, want 3", d.WorkingMemory())
+	}
+	if d.Tau() != 10 {
+		t.Errorf("Tau = %d, want 10", d.Tau())
+	}
+}
+
+func TestDoublingDuplicateInitialPoints(t *testing.T) {
+	// All initial points identical: the algorithm must not divide by zero and
+	// must keep functioning as distinct points arrive later.
+	d, err := NewDoubling(metric.Euclidean, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Process(metric.Point{5, 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Process(metric.Point{float64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Coreset().TotalWeight() != 20 {
+		t.Errorf("total weight = %d, want 20", d.Coreset().TotalWeight())
+	}
+}
+
+func TestNewCoresetStreamValidation(t *testing.T) {
+	if _, err := NewCoresetStream(nil, 0, 5); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewCoresetStream(nil, 5, 3); err == nil {
+		t.Error("tau<k accepted")
+	}
+}
+
+func TestCoresetStreamQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	k := 5
+	ds := clusteredDataset(rng, k, 200, 3, 100, 1)
+	cs, err := NewCoresetStream(nil, k, 8*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, cs, ds)
+	centers, err := cs.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) != k {
+		t.Fatalf("centers = %d, want %d", len(centers), k)
+	}
+	r := metric.Radius(metric.Euclidean, ds, centers)
+	if r > 20 {
+		t.Errorf("radius = %v, want small for well-separated blobs", r)
+	}
+	if cs.WorkingMemory() > 8*k {
+		t.Errorf("working memory = %d exceeds tau = %d", cs.WorkingMemory(), 8*k)
+	}
+	if cs.Processed() != int64(len(ds)) {
+		t.Errorf("processed = %d, want %d", cs.Processed(), len(ds))
+	}
+	if _, err := (&CoresetStream{k: 1, dist: metric.Euclidean, doubling: mustDoubling(t, 2)}).Result(); err == nil {
+		t.Error("Result on empty stream should fail")
+	}
+}
+
+func mustDoubling(t *testing.T, tau int) *Doubling {
+	t.Helper()
+	d, err := NewDoubling(metric.Euclidean, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCoresetStreamTwoPlusEpsShape(t *testing.T) {
+	// Against brute force on small instances, the streaming algorithm with a
+	// generous tau stays within a small constant factor of optimal.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15 + rng.Intn(10)
+		k := 1 + rng.Intn(3)
+		ds := randomDataset(rng, n, 2, 50)
+		cs, err := NewCoresetStream(nil, k, 4*k)
+		if err != nil {
+			return false
+		}
+		for _, p := range ds {
+			if err := cs.Process(p); err != nil {
+				return false
+			}
+		}
+		centers, err := cs.Result()
+		if err != nil {
+			return false
+		}
+		opt, err := gmm.BruteForceOptimalRadius(metric.Euclidean, ds, k)
+		if err != nil {
+			return false
+		}
+		if opt == 0 {
+			return true
+		}
+		r := metric.Radius(metric.Euclidean, ds, centers)
+		// The worst-case guarantee with a size-limited coreset is weaker than
+		// 2+eps, but it must stay within the doubling algorithm's constant.
+		return r <= 10*opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("streaming k-center quality out of range: %v", err)
+	}
+}
+
+func TestNewCoresetOutliersValidation(t *testing.T) {
+	if _, err := NewCoresetOutliers(nil, 0, 1, 5, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewCoresetOutliers(nil, 1, -1, 5, 0); err == nil {
+		t.Error("z<0 accepted")
+	}
+	if _, err := NewCoresetOutliers(nil, 3, 3, 4, 0); err == nil {
+		t.Error("tau<k+z accepted")
+	}
+	if _, err := NewCoresetOutliers(nil, 1, 1, 5, -0.1); err == nil {
+		t.Error("negative epsHat accepted")
+	}
+}
+
+func TestCoresetOutliersQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	k, z := 3, 8
+	base := clusteredDataset(rng, k, 150, 2, 100, 1)
+	ds := withOutliers(rng, base, z)
+	co, err := NewCoresetOutliers(nil, k, z, 4*(k+z), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, co, ds)
+	res, err := co.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) > k {
+		t.Fatalf("centers = %d, want <= %d", len(res.Centers), k)
+	}
+	if res.UncoveredWeight > int64(z) {
+		t.Errorf("uncovered weight = %d, want <= %d", res.UncoveredWeight, z)
+	}
+	r := metric.RadiusExcluding(metric.Euclidean, ds, res.Centers, z)
+	if r > 20 {
+		t.Errorf("outlier-aware radius = %v, want small", r)
+	}
+	if co.WorkingMemory() > 4*(k+z) {
+		t.Errorf("working memory %d exceeds tau %d", co.WorkingMemory(), 4*(k+z))
+	}
+	if co.Processed() != int64(len(ds)) {
+		t.Errorf("processed = %d, want %d", co.Processed(), len(ds))
+	}
+	if len(co.Coreset()) == 0 {
+		t.Error("coreset accessor returned nothing")
+	}
+}
+
+func TestCoresetOutliersEmptyResult(t *testing.T) {
+	co, err := NewCoresetOutliers(nil, 1, 0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Result(); err == nil {
+		t.Error("Result on empty stream should fail")
+	}
+}
+
+func TestNewBaseStreamValidation(t *testing.T) {
+	if _, err := NewBaseStream(nil, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewBaseStream(nil, 1, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestBaseStreamQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	k := 4
+	ds := clusteredDataset(rng, k, 200, 3, 100, 1)
+	bs, err := NewBaseStream(nil, k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, bs, ds)
+	centers, err := bs.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) == 0 || len(centers) > k {
+		t.Fatalf("centers = %d, want in (0,%d]", len(centers), k)
+	}
+	r := metric.Radius(metric.Euclidean, ds, centers)
+	if r > 30 {
+		t.Errorf("radius = %v, want small for well-separated blobs", r)
+	}
+	if bs.WorkingMemory() > 4*k {
+		t.Errorf("working memory %d exceeds m*k = %d", bs.WorkingMemory(), 4*k)
+	}
+	if bs.Processed() != int64(len(ds)) {
+		t.Errorf("processed = %d, want %d", bs.Processed(), len(ds))
+	}
+	if bs.Restarts() < 0 {
+		t.Error("negative restarts")
+	}
+}
+
+func TestBaseStreamShortStream(t *testing.T) {
+	bs, err := NewBaseStream(nil, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bs.Result(); err == nil {
+		t.Error("Result on empty stream should fail")
+	}
+	feed(t, bs, metric.Dataset{{1}, {2}})
+	centers, err := bs.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) != 2 {
+		t.Errorf("short-stream centers = %d, want 2", len(centers))
+	}
+	if err := bs.Process(nil); err == nil {
+		t.Error("nil point accepted")
+	}
+}
+
+func TestBaseStreamCoverageProperty(t *testing.T) {
+	// Every point of the stream must end up within a bounded multiple of the
+	// best guess radius of its centers (the streaming coverage guarantee).
+	rng := rand.New(rand.NewSource(7))
+	ds := randomDataset(rng, 400, 3, 50)
+	k := 6
+	bs, err := NewBaseStream(nil, k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, bs, ds)
+	centers, err := bs.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := gmm.Run(metric.Euclidean, ds, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := metric.Radius(metric.Euclidean, ds, centers)
+	// GMM's radius is a 2-approximation of the optimum; the streaming
+	// baseline should stay within a moderate constant of it.
+	if r > 8*opt.Radius+1e-9 {
+		t.Errorf("BaseStream radius %v too large versus GMM radius %v", r, opt.Radius)
+	}
+}
+
+func TestNewBaseOutliersValidation(t *testing.T) {
+	if _, err := NewBaseOutliers(nil, 0, 1, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewBaseOutliers(nil, 1, -1, 1); err == nil {
+		t.Error("z<0 accepted")
+	}
+	if _, err := NewBaseOutliers(nil, 1, 1, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestBaseOutliersQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	k, z := 3, 6
+	base := clusteredDataset(rng, k, 120, 2, 100, 1)
+	ds := withOutliers(rng, base, z)
+	bo, err := NewBaseOutliers(nil, k, z, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, bo, ds)
+	centers, err := bo.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) == 0 || len(centers) > k {
+		t.Fatalf("centers = %d, want in (0,%d]", len(centers), k)
+	}
+	r := metric.RadiusExcluding(metric.Euclidean, ds, centers, z)
+	if r > 40 {
+		t.Errorf("outlier-aware radius = %v, want small", r)
+	}
+	if bo.WorkingMemory() > 4*((k+1)*(z+1)+k+1) {
+		t.Errorf("working memory %d exceeds budget", bo.WorkingMemory())
+	}
+	if bo.Processed() != int64(len(ds)) {
+		t.Errorf("processed = %d, want %d", bo.Processed(), len(ds))
+	}
+	if bo.Restarts() < 0 {
+		t.Error("negative restarts")
+	}
+}
+
+func TestBaseOutliersShortStream(t *testing.T) {
+	bo, err := NewBaseOutliers(nil, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bo.Result(); err == nil {
+		t.Error("Result on empty stream should fail")
+	}
+	feed(t, bo, metric.Dataset{{1}, {2}, {3}})
+	centers, err := bo.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) == 0 {
+		t.Error("no centers on short stream")
+	}
+	if err := bo.Process(nil); err == nil {
+		t.Error("nil point accepted")
+	}
+}
+
+func TestCoresetOutliersBeatsBaseOutliersSpaceShape(t *testing.T) {
+	// Figure 5's qualitative claim: at comparable quality CoresetOutliers
+	// uses far less memory than BaseOutliers. We check the memory ordering
+	// directly for the standard parameterisation mu = m = 2.
+	rng := rand.New(rand.NewSource(9))
+	k, z := 3, 10
+	base := clusteredDataset(rng, k, 100, 2, 100, 1)
+	ds := withOutliers(rng, base, z)
+
+	co, err := NewCoresetOutliers(nil, k, z, 2*(k+z), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, err := NewBaseOutliers(nil, k, z, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, co, ds)
+	feed(t, bo, ds)
+	if co.WorkingMemory() >= bo.WorkingMemory() {
+		t.Errorf("CoresetOutliers memory (%d) not below BaseOutliers memory (%d)",
+			co.WorkingMemory(), bo.WorkingMemory())
+	}
+}
+
+func TestTwoPassOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	k, z := 3, 5
+	base := clusteredDataset(rng, k, 100, 2, 100, 1)
+	ds := withOutliers(rng, base, z)
+	tp := &TwoPassOutliers{K: k, Z: z, Eps: 3}
+	res, err := tp.Run(func() Source { return NewSliceSource(ds) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) == 0 || len(res.Centers) > k {
+		t.Fatalf("centers = %d, want in (0,%d]", len(res.Centers), k)
+	}
+	if res.UncoveredWeight > int64(z) {
+		t.Errorf("uncovered weight = %d, want <= %d", res.UncoveredWeight, z)
+	}
+	r := metric.RadiusExcluding(metric.Euclidean, ds, res.Centers, z)
+	if r > 40 {
+		t.Errorf("outlier-aware radius = %v, want small", r)
+	}
+	if res.RadiusEstimate <= 0 {
+		t.Error("radius estimate not recorded")
+	}
+	if res.CoresetSize <= 0 || res.WorkingMemoryPeak <= 0 {
+		t.Error("memory accounting missing")
+	}
+}
+
+func TestTwoPassOutliersValidation(t *testing.T) {
+	tp := &TwoPassOutliers{K: 0, Z: 1, Eps: 1}
+	if _, err := tp.Run(func() Source { return NewSliceSource(metric.Dataset{{1}}) }); err == nil {
+		t.Error("k=0 accepted")
+	}
+	tp = &TwoPassOutliers{K: 1, Z: -1, Eps: 1}
+	if _, err := tp.Run(func() Source { return NewSliceSource(metric.Dataset{{1}}) }); err == nil {
+		t.Error("z<0 accepted")
+	}
+	tp = &TwoPassOutliers{K: 1, Z: 1, Eps: 0}
+	if _, err := tp.Run(func() Source { return NewSliceSource(metric.Dataset{{1}}) }); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	tp = &TwoPassOutliers{K: 1, Z: 1, Eps: 1}
+	if _, err := tp.Run(nil); err == nil {
+		t.Error("nil source factory accepted")
+	}
+	if _, err := tp.Run(func() Source { return NewSliceSource(nil) }); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestTwoPassOutliersCoincidentPoints(t *testing.T) {
+	ds := metric.Dataset{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	tp := &TwoPassOutliers{K: 1, Z: 1, Eps: 1}
+	res, err := tp.Run(func() Source { return NewSliceSource(ds) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 1 {
+		t.Errorf("centers = %d, want 1", len(res.Centers))
+	}
+	if res.RadiusEstimate != 0 {
+		t.Errorf("radius estimate = %v, want 0 for coincident points", res.RadiusEstimate)
+	}
+}
+
+func TestTwoPassOutliersMaxCoresetSizeCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds := randomDataset(rng, 300, 2, 100)
+	tp := &TwoPassOutliers{K: 3, Z: 2, Eps: 0.5, MaxCoresetSize: 25}
+	res, err := tp.Run(func() Source { return NewSliceSource(ds) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoresetSize > 25 {
+		t.Errorf("coreset size = %d exceeds cap 25", res.CoresetSize)
+	}
+}

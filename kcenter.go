@@ -1,0 +1,410 @@
+package kcenter
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"coresetclustering/internal/core"
+	"coresetclustering/internal/gmm"
+	"coresetclustering/internal/metric"
+)
+
+// Point is a vector in d-dimensional space. All points passed to one call
+// must share the same dimensionality.
+type Point = metric.Point
+
+// Dataset is a collection of points.
+type Dataset = metric.Dataset
+
+// Distance measures the distance between two points; it must satisfy the
+// metric axioms for the approximation guarantees to hold.
+type Distance = metric.Distance
+
+// Built-in distance functions.
+var (
+	// Euclidean is the L2 distance (the default).
+	Euclidean Distance = metric.Euclidean
+	// Manhattan is the L1 distance.
+	Manhattan Distance = metric.Manhattan
+	// Chebyshev is the L-infinity distance.
+	Chebyshev Distance = metric.Chebyshev
+	// Angular is the normalised angular distance, a proper metric for
+	// direction-valued data such as embeddings.
+	Angular Distance = metric.Angular
+)
+
+// options collects the tunables shared by Cluster and ClusterWithOutliers.
+type options struct {
+	distance          Distance
+	ell               int
+	coresetMultiplier int
+	eps               float64
+	parallelism       int
+	randomized        bool
+	seed              int64
+	seedSet           bool
+}
+
+// Option customises Cluster and ClusterWithOutliers.
+type Option func(*options)
+
+// WithDistance selects the distance function (default Euclidean).
+func WithDistance(d Distance) Option {
+	return func(o *options) { o.distance = d }
+}
+
+// WithPartitions fixes the number of partitions (the parallelism ell of the
+// first round). The default is the paper's memory-balancing choice
+// ell = sqrt(|S| / (k+z)), clamped to at least 1.
+func WithPartitions(ell int) Option {
+	return func(o *options) { o.ell = ell }
+}
+
+// WithCoresetMultiplier sets the per-partition coreset size to mu*(k+z)
+// (mu*k without outliers). Larger multipliers give better solutions at the
+// cost of more memory and time; mu = 1 reproduces the Malkomes et al.
+// baseline. The default is 4. Mutually exclusive with WithPrecision.
+func WithCoresetMultiplier(mu int) Option {
+	return func(o *options) { o.coresetMultiplier = mu }
+}
+
+// WithPrecision sets the precision parameter eps of the coreset stopping rule
+// instead of a fixed coreset size: each partition keeps selecting centers
+// until the residual radius drops below eps/2 times its k-center (or
+// (k+z)-center) radius. The resulting approximation factors are 2+eps and
+// 3+eps. Mutually exclusive with WithCoresetMultiplier.
+func WithPrecision(eps float64) Option {
+	return func(o *options) { o.eps = eps }
+}
+
+// WithParallelism bounds the number of partitions processed concurrently
+// (default: one goroutine per CPU).
+func WithParallelism(workers int) Option {
+	return func(o *options) { o.parallelism = workers }
+}
+
+// WithRandomizedPartitioning switches ClusterWithOutliers to the randomized
+// variant of the paper: points are spread over the partitions uniformly at
+// random, which shrinks the per-partition coreset size from k+z to
+// k + 6(z/ell + log2 n) reference centers and defeats adversarial input
+// orders. It has no effect on Cluster (whose guarantee does not depend on the
+// partitioning).
+func WithRandomizedPartitioning(seed int64) Option {
+	return func(o *options) {
+		o.randomized = true
+		o.seed = seed
+		o.seedSet = true
+	}
+}
+
+func buildOptions(opts []Option) (options, error) {
+	o := options{distance: Euclidean, coresetMultiplier: 4}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.eps > 0 {
+		o.coresetMultiplier = 0 // precision rule replaces the fixed size
+	}
+	if o.eps < 0 {
+		return o, fmt.Errorf("kcenter: negative precision %v", o.eps)
+	}
+	if o.coresetMultiplier < 0 {
+		return o, fmt.Errorf("kcenter: negative coreset multiplier %d", o.coresetMultiplier)
+	}
+	if o.ell < 0 {
+		return o, fmt.Errorf("kcenter: negative partition count %d", o.ell)
+	}
+	return o, nil
+}
+
+// defaultEll is the paper's memory-balancing partition count
+// ell = sqrt(n/(k+z)).
+func defaultEll(n, kz int) int {
+	if kz <= 0 {
+		kz = 1
+	}
+	ell := int(math.Sqrt(float64(n) / float64(kz)))
+	if ell < 1 {
+		ell = 1
+	}
+	return ell
+}
+
+// RunStats reports resource usage of a clustering call.
+type RunStats struct {
+	// Partitions is the number of partitions used in the first round.
+	Partitions int
+	// CoresetUnionSize is the number of points gathered by the second round.
+	CoresetUnionSize int
+	// LocalMemoryPeak is the largest number of points held by one worker.
+	LocalMemoryPeak int
+	// CoresetTime and FinalTime are the durations of the two rounds.
+	CoresetTime time.Duration
+	FinalTime   time.Duration
+}
+
+// Clustering is the result of Cluster.
+type Clustering struct {
+	// Centers are the k selected centers.
+	Centers Dataset
+	// Radius is the maximum distance of any input point to its closest
+	// center.
+	Radius float64
+	// Assignment maps each input point (by position) to the index of its
+	// closest center.
+	Assignment []int
+	// Stats reports resource usage.
+	Stats RunStats
+}
+
+// Cluster solves the k-center problem on points using the paper's 2-round
+// coreset algorithm, with partitions processed on parallel goroutines. The
+// approximation factor is 2+eps, where eps shrinks as the coreset multiplier
+// (or precision parameter) grows.
+func Cluster(points Dataset, k int, opts ...Option) (*Clustering, error) {
+	if len(points) == 0 {
+		return nil, errors.New("kcenter: empty dataset")
+	}
+	if err := points.Validate(); err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("kcenter: k must be positive, got %d", k)
+	}
+	if k >= len(points) {
+		// Degenerate but legitimate: every point is a center.
+		centers := points.Clone()
+		return &Clustering{
+			Centers:    centers,
+			Radius:     0,
+			Assignment: identityAssignment(len(points)),
+			Stats:      RunStats{Partitions: 1, CoresetUnionSize: len(points), LocalMemoryPeak: len(points)},
+		}, nil
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	ell := o.ell
+	if ell == 0 {
+		ell = defaultEll(len(points), k)
+	}
+	cfg := core.KCenterConfig{
+		K:           k,
+		Ell:         ell,
+		Distance:    o.distance,
+		Parallelism: o.parallelism,
+	}
+	if o.eps > 0 {
+		cfg.Eps = o.eps
+	} else {
+		cfg.CoresetSize = o.coresetMultiplier * k
+	}
+	res, err := core.KCenter(points, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Clustering{
+		Centers:    res.Centers,
+		Radius:     res.Radius,
+		Assignment: metric.Assign(o.distance, points, res.Centers),
+		Stats: RunStats{
+			Partitions:       ell,
+			CoresetUnionSize: res.CoresetUnionSize,
+			LocalMemoryPeak:  res.LocalMemoryPeak,
+			CoresetTime:      res.CoresetTime,
+			FinalTime:        res.FinalTime,
+		},
+	}, nil
+}
+
+// OutliersClustering is the result of ClusterWithOutliers.
+type OutliersClustering struct {
+	// Centers are the (at most k) selected centers.
+	Centers Dataset
+	// Radius is the maximum distance to the centers after discarding the z
+	// farthest points.
+	Radius float64
+	// Outliers are the indices (into the input) of the z points farthest
+	// from the centers — the points the clustering chose to disregard.
+	Outliers []int
+	// Assignment maps each input point to the index of its closest center;
+	// outlier positions are assigned too (to their nearest center), callers
+	// that want to exclude them should consult Outliers.
+	Assignment []int
+	// Stats reports resource usage.
+	Stats RunStats
+}
+
+// ClusterWithOutliers solves the k-center problem with z outliers using the
+// paper's 2-round coreset algorithm (deterministic partitioning by default,
+// randomized with WithRandomizedPartitioning). The approximation factor is
+// 3+eps.
+func ClusterWithOutliers(points Dataset, k, z int, opts ...Option) (*OutliersClustering, error) {
+	if len(points) == 0 {
+		return nil, errors.New("kcenter: empty dataset")
+	}
+	if err := points.Validate(); err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("kcenter: k must be positive, got %d", k)
+	}
+	if z < 0 {
+		return nil, fmt.Errorf("kcenter: z must be non-negative, got %d", z)
+	}
+	if k+z >= len(points) {
+		centers := points.Clone()
+		if len(centers) > k {
+			centers = centers[:k]
+		}
+		return &OutliersClustering{
+			Centers:    centers,
+			Radius:     0,
+			Outliers:   nil,
+			Assignment: metric.Assign(Euclidean, points, centers),
+			Stats:      RunStats{Partitions: 1, CoresetUnionSize: len(points), LocalMemoryPeak: len(points)},
+		}, nil
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	ell := o.ell
+	if ell == 0 {
+		ell = defaultEll(len(points), k+z)
+	}
+	cfg := core.OutliersConfig{
+		K:           k,
+		Z:           z,
+		Ell:         ell,
+		Distance:    o.distance,
+		Parallelism: o.parallelism,
+		Randomized:  o.randomized,
+		EpsHat:      0.25,
+	}
+	if o.randomized && o.seedSet {
+		cfg.Rand = rand.New(rand.NewSource(o.seed))
+	}
+	if o.eps > 0 {
+		// Theorem 2 uses epsHat = eps/6 both for the coreset rule and the
+		// OutliersCluster slack.
+		cfg.EpsHat = o.eps / 6
+		cfg.CoresetSize = 0
+	} else {
+		ref := k + z
+		if o.randomized {
+			ref = k + 6*(z/ell+1)
+		}
+		cfg.CoresetSize = o.coresetMultiplier * ref
+	}
+	res, err := core.KCenterOutliers(points, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &OutliersClustering{
+		Centers:    res.Centers,
+		Radius:     res.Radius,
+		Outliers:   farthestIndices(o.distance, points, res.Centers, z),
+		Assignment: metric.Assign(o.distance, points, res.Centers),
+		Stats: RunStats{
+			Partitions:       ell,
+			CoresetUnionSize: res.CoresetUnionSize,
+			LocalMemoryPeak:  res.LocalMemoryPeak,
+			CoresetTime:      res.CoresetTime,
+			FinalTime:        res.SolveTime,
+		},
+	}, nil
+}
+
+// Gonzalez runs the classic sequential 2-approximation greedy (GMM) and
+// returns k centers together with the clustering radius. It is the
+// best-known-quality sequential baseline and the building block of every
+// coreset construction in this library.
+func Gonzalez(points Dataset, k int, opts ...Option) (*Clustering, error) {
+	if len(points) == 0 {
+		return nil, errors.New("kcenter: empty dataset")
+	}
+	if err := points.Validate(); err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("kcenter: k must be positive, got %d", k)
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := gmm.Run(o.distance, points, k, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Clustering{
+		Centers:    res.Centers,
+		Radius:     res.Radius,
+		Assignment: res.Assignment,
+		Stats:      RunStats{Partitions: 1, CoresetUnionSize: len(points), LocalMemoryPeak: len(points)},
+	}, nil
+}
+
+// EstimateDoublingDimension reports an empirical estimate of the doubling
+// dimension of the dataset, the parameter that governs the space-accuracy
+// trade-off of every algorithm in this library. It is a sampling heuristic
+// meant for diagnostics; the MapReduce algorithms never need it.
+func EstimateDoublingDimension(points Dataset, opts ...Option) (float64, error) {
+	if len(points) == 0 {
+		return 0, errors.New("kcenter: empty dataset")
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return 0, err
+	}
+	return metric.EstimateDoublingDimension(o.distance, points, 8, 4, nil), nil
+}
+
+// farthestIndices returns the indices of the z points farthest from the
+// centers (the outliers implied by a clustering).
+func farthestIndices(dist Distance, points Dataset, centers Dataset, z int) []int {
+	if z <= 0 || len(points) == 0 || len(centers) == 0 {
+		return nil
+	}
+	if z > len(points) {
+		z = len(points)
+	}
+	type pd struct {
+		idx int
+		d   float64
+	}
+	all := make([]pd, len(points))
+	for i, p := range points {
+		d, _ := metric.DistanceToSet(dist, p, centers)
+		all[i] = pd{idx: i, d: d}
+	}
+	// Partial selection of the z largest distances.
+	out := make([]int, 0, z)
+	for len(out) < z {
+		best := -1
+		for i := range all {
+			if all[i].idx < 0 {
+				continue
+			}
+			if best < 0 || all[i].d > all[best].d {
+				best = i
+			}
+		}
+		out = append(out, all[best].idx)
+		all[best].idx = -1
+	}
+	return out
+}
+
+func identityAssignment(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

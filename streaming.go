@@ -1,0 +1,117 @@
+package kcenter
+
+import (
+	"errors"
+	"fmt"
+
+	"coresetclustering/internal/streaming"
+)
+
+// StreamingKCenter is a one-pass streaming k-center clusterer with a fixed
+// working-memory budget. It maintains a weighted coreset of at most budget
+// points with the doubling algorithm; Centers extracts the final k centers at
+// any time with the Gonzalez greedy. A budget of mu*k points yields quality
+// comparable to the 2+eps MapReduce algorithm on data of bounded doubling
+// dimension.
+type StreamingKCenter struct {
+	inner *streaming.CoresetStream
+}
+
+// NewStreamingKCenter creates a streaming clusterer for k centers with the
+// given working-memory budget (in points, at least k).
+func NewStreamingKCenter(k, budget int, opts ...Option) (*StreamingKCenter, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := streaming.NewCoresetStream(o.distance, k, budget)
+	if err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	return &StreamingKCenter{inner: inner}, nil
+}
+
+// Observe consumes the next point of the stream.
+func (s *StreamingKCenter) Observe(p Point) error {
+	if p == nil {
+		return errors.New("kcenter: nil point")
+	}
+	return s.inner.Process(p)
+}
+
+// ObserveAll consumes a batch of points in order.
+func (s *StreamingKCenter) ObserveAll(points Dataset) error {
+	for _, p := range points {
+		if err := s.Observe(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Centers returns k centers summarising everything observed so far. It may
+// be called repeatedly; observation can continue afterwards.
+func (s *StreamingKCenter) Centers() (Dataset, error) { return s.inner.Result() }
+
+// WorkingMemory reports the number of points currently retained.
+func (s *StreamingKCenter) WorkingMemory() int { return s.inner.WorkingMemory() }
+
+// Observed reports how many points have been consumed.
+func (s *StreamingKCenter) Observed() int64 { return s.inner.Processed() }
+
+// StreamingOutliers is a one-pass streaming clusterer for the k-center
+// problem with z outliers (the paper's Theorem 3 algorithm). It maintains a
+// weighted coreset of at most budget points; Centers runs the weighted
+// outlier-aware clustering on the coreset at query time.
+type StreamingOutliers struct {
+	inner *streaming.CoresetOutliers
+	z     int
+}
+
+// NewStreamingOutliers creates a streaming clusterer for k centers and z
+// outliers with the given working-memory budget (in points, at least k+z).
+func NewStreamingOutliers(k, z, budget int, opts ...Option) (*StreamingOutliers, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := streaming.NewCoresetOutliers(o.distance, k, z, budget, 0.25)
+	if err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	return &StreamingOutliers{inner: inner, z: z}, nil
+}
+
+// Observe consumes the next point of the stream.
+func (s *StreamingOutliers) Observe(p Point) error {
+	if p == nil {
+		return errors.New("kcenter: nil point")
+	}
+	return s.inner.Process(p)
+}
+
+// ObserveAll consumes a batch of points in order.
+func (s *StreamingOutliers) ObserveAll(points Dataset) error {
+	for _, p := range points {
+		if err := s.Observe(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Centers returns at most k centers; up to z observed points may be left
+// uncovered (the outliers).
+func (s *StreamingOutliers) Centers() (Dataset, error) {
+	res, err := s.inner.Result()
+	if err != nil {
+		return nil, err
+	}
+	return res.Centers, nil
+}
+
+// WorkingMemory reports the number of points currently retained.
+func (s *StreamingOutliers) WorkingMemory() int { return s.inner.WorkingMemory() }
+
+// Observed reports how many points have been consumed.
+func (s *StreamingOutliers) Observed() int64 { return s.inner.Processed() }
