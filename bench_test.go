@@ -215,6 +215,71 @@ func BenchmarkGMM(b *testing.B) {
 	}
 }
 
+// BenchmarkGonzalezParallel compares the sequential Gonzalez greedy against
+// the parallel distance engine on the acceptance-scale instance (n = 50k,
+// d = 16): same work, chunked across 1, 2, 4, or all CPUs. The selected
+// centers are bit-identical across the sub-benchmarks, so the ratio of the
+// ns/op figures is a pure scheduling speedup.
+func BenchmarkGonzalezParallel(b *testing.B) {
+	ds := benchPoints(50000, 16, 11)
+	const k = 50
+	for _, w := range []int{1, 2, 4, 0} {
+		name := map[int]string{1: "workers1", 2: "workers2", 4: "workers4", 0: "workersAuto"}[w]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			runner := gmm.Runner{Dist: metric.Euclidean, Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(ds, k, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistanceKernelsParallel measures the blocked kernels of the
+// distance engine (assignment and radius over 50k x 16 against 50 centers)
+// at sequential and parallel worker counts.
+func BenchmarkDistanceKernelsParallel(b *testing.B) {
+	ds := benchPoints(50000, 16, 12)
+	centers := ds[:50]
+	for _, w := range []int{1, 0} {
+		name := map[int]string{1: "workers1", 0: "workersAuto"}[w]
+		eng := metric.NewEngine(w)
+		b.Run("assign/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.Assign(metric.Euclidean, ds, centers)
+			}
+		})
+		b.Run("radius/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += eng.Radius(metric.Euclidean, ds, centers)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkPublicAPIClusterParallel measures the end-to-end public API with
+// the distance engine pinned sequential versus spread over all CPUs.
+func BenchmarkPublicAPIClusterParallel(b *testing.B) {
+	ds := Dataset(benchPoints(50000, 16, 13))
+	for _, w := range []int{1, 0} {
+		name := map[int]string{1: "workers1", 0: "workersAuto"}[w]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Cluster(ds, 20, WithWorkers(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCoresetConstruction measures one partition's coreset build (the
 // first-round work of the MapReduce algorithms).
 func BenchmarkCoresetConstruction(b *testing.B) {

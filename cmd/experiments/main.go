@@ -41,9 +41,24 @@ func run(args []string, out io.Writer) error {
 		runs     = fs.Int("runs", 0, "repetitions per configuration (0 = default)")
 		scale    = fs.Float64("scale", 1, "multiplier applied to the default dataset sizes")
 		seed     = fs.Int64("seed", 0, "base random seed (0 = per-figure defaults)")
+		workers  = fs.Int("workers", 0, "distance-engine parallelism for the MapReduce figures (0 = one worker per CPU, 1 = sequential; radii are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The timing figures (6 and 7) pin Workers to 1 by default; an explicit
+	// -workers flag — including -workers 0 for one-per-CPU — overrides every
+	// figure's default, so presence matters, not just the value.
+	workersSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+	applyWorkers := func(dst *int) {
+		if workersSet {
+			*dst = *workers
+		}
 	}
 	if *figure != 0 && (*figure < 2 || *figure > 8) {
 		return fmt.Errorf("figure must be between 2 and 8 (or 0 for all), got %d", *figure)
@@ -72,6 +87,7 @@ func run(args []string, out io.Writer) error {
 			cfg := experiments.DefaultFigure2Config()
 			applyCommon(&cfg.Datasets, &cfg.Runs, &cfg.Seed, names, *runs, *seed)
 			cfg.N = scaleN(cfg.N)
+			applyWorkers(&cfg.Workers)
 			return experiments.RunFigure2(cfg)
 		}},
 		{3, func() (renderable, error) {
@@ -84,6 +100,7 @@ func run(args []string, out io.Writer) error {
 			cfg := experiments.DefaultFigure4Config()
 			applyCommon(&cfg.Datasets, &cfg.Runs, &cfg.Seed, names, *runs, *seed)
 			cfg.N = scaleN(cfg.N)
+			applyWorkers(&cfg.Workers)
 			return experiments.RunFigure4(cfg)
 		}},
 		{5, func() (renderable, error) {
@@ -96,12 +113,14 @@ func run(args []string, out io.Writer) error {
 			cfg := experiments.DefaultFigure6Config()
 			applyCommon(&cfg.Datasets, &cfg.Runs, &cfg.Seed, names, *runs, *seed)
 			cfg.BaseN = scaleN(cfg.BaseN)
+			applyWorkers(&cfg.Workers)
 			return experiments.RunFigure6(cfg)
 		}},
 		{7, func() (renderable, error) {
 			cfg := experiments.DefaultFigure7Config()
 			applyCommon(&cfg.Datasets, &cfg.Runs, &cfg.Seed, names, *runs, *seed)
 			cfg.N = scaleN(cfg.N)
+			applyWorkers(&cfg.Workers)
 			return experiments.RunFigure7(cfg)
 		}},
 		{8, func() (renderable, error) {

@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		eps        = fs.Float64("eps", 0, "precision parameter; overrides -mu when positive")
 		ell        = fs.Int("ell", 0, "number of partitions (0 = sqrt(n/(k+z)))")
 		randomized = fs.Bool("randomized", false, "use randomized partitioning (outlier variant only)")
+		workers    = fs.Int("workers", 0, "distance-engine parallelism (0 = one worker per CPU, 1 = sequential; results are identical for any value)")
 		streamFlag = fs.Bool("streaming", false, "use the one-pass streaming algorithm instead of the MapReduce one")
 		budget     = fs.Int("budget", 0, "streaming working-memory budget in points (default mu*(k+z))")
 		centersOut = fs.String("centers", "", "write the selected centers to this CSV file")
@@ -64,11 +65,11 @@ func run(args []string, out io.Writer) error {
 	var radius float64
 	switch {
 	case *streamFlag:
-		centers, radius, err = runStreaming(points, *k, *z, *mu, *budget)
+		centers, radius, err = runStreaming(points, *k, *z, *mu, *budget, *workers)
 	case *z > 0:
-		centers, radius, err = runOutliers(points, *k, *z, *mu, *eps, *ell, *randomized, *seed, out)
+		centers, radius, err = runOutliers(points, *k, *z, *mu, *eps, *ell, *randomized, *seed, *workers, out)
 	default:
-		centers, radius, err = runPlain(points, *k, *mu, *eps, *ell, out)
+		centers, radius, err = runPlain(points, *k, *mu, *eps, *ell, *workers, out)
 	}
 	if err != nil {
 		return err
@@ -98,7 +99,7 @@ func loadPoints(input, generate string, n int, seed int64) (kcenter.Dataset, err
 	}
 }
 
-func options(mu int, eps float64, ell int, randomized bool, seed int64) []kcenter.Option {
+func options(mu int, eps float64, ell int, randomized bool, seed int64, workers int) []kcenter.Option {
 	var opts []kcenter.Option
 	if eps > 0 {
 		opts = append(opts, kcenter.WithPrecision(eps))
@@ -111,11 +112,14 @@ func options(mu int, eps float64, ell int, randomized bool, seed int64) []kcente
 	if randomized {
 		opts = append(opts, kcenter.WithRandomizedPartitioning(seed))
 	}
+	if workers != 0 {
+		opts = append(opts, kcenter.WithWorkers(workers))
+	}
 	return opts
 }
 
-func runPlain(points kcenter.Dataset, k, mu int, eps float64, ell int, out io.Writer) (kcenter.Dataset, float64, error) {
-	res, err := kcenter.Cluster(points, k, options(mu, eps, ell, false, 0)...)
+func runPlain(points kcenter.Dataset, k, mu int, eps float64, ell, workers int, out io.Writer) (kcenter.Dataset, float64, error) {
+	res, err := kcenter.Cluster(points, k, options(mu, eps, ell, false, 0, workers)...)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -125,8 +129,8 @@ func runPlain(points kcenter.Dataset, k, mu int, eps float64, ell int, out io.Wr
 	return res.Centers, res.Radius, nil
 }
 
-func runOutliers(points kcenter.Dataset, k, z, mu int, eps float64, ell int, randomized bool, seed int64, out io.Writer) (kcenter.Dataset, float64, error) {
-	res, err := kcenter.ClusterWithOutliers(points, k, z, options(mu, eps, ell, randomized, seed)...)
+func runOutliers(points kcenter.Dataset, k, z, mu int, eps float64, ell int, randomized bool, seed int64, workers int, out io.Writer) (kcenter.Dataset, float64, error) {
+	res, err := kcenter.ClusterWithOutliers(points, k, z, options(mu, eps, ell, randomized, seed, workers)...)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -140,15 +144,19 @@ func runOutliers(points kcenter.Dataset, k, z, mu int, eps float64, ell int, ran
 	return res.Centers, res.Radius, nil
 }
 
-func runStreaming(points kcenter.Dataset, k, z, mu, budget int) (kcenter.Dataset, float64, error) {
+func runStreaming(points kcenter.Dataset, k, z, mu, budget, workers int) (kcenter.Dataset, float64, error) {
 	if budget <= 0 {
 		budget = mu * (k + z)
 		if budget < k+z+1 {
 			budget = k + z + 1
 		}
 	}
+	var opts []kcenter.Option
+	if workers != 0 {
+		opts = append(opts, kcenter.WithWorkers(workers))
+	}
 	if z > 0 {
-		s, err := kcenter.NewStreamingOutliers(k, z, budget)
+		s, err := kcenter.NewStreamingOutliers(k, z, budget, opts...)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -161,7 +169,7 @@ func runStreaming(points kcenter.Dataset, k, z, mu, budget int) (kcenter.Dataset
 		}
 		return centers, outlierRadius(points, centers, z), nil
 	}
-	s, err := kcenter.NewStreamingKCenter(k, budget)
+	s, err := kcenter.NewStreamingKCenter(k, budget, opts...)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -21,6 +21,28 @@ func TestRunGenerateFlow(t *testing.T) {
 	}
 }
 
+// TestRunWorkersFlagDeterminism checks that -workers only changes the
+// schedule: the reported radius is identical at 1 and 8 workers.
+func TestRunWorkersFlagDeterminism(t *testing.T) {
+	radius := func(workers string) string {
+		var out bytes.Buffer
+		err := run([]string{"-generate", "higgs", "-n", "2000", "-k", "5", "-workers", workers}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "radius:") {
+				return line
+			}
+		}
+		t.Fatalf("no radius line in output:\n%s", out.String())
+		return ""
+	}
+	if seq, par := radius("1"), radius("8"); seq != par {
+		t.Errorf("radius differs across workers: %q vs %q", seq, par)
+	}
+}
+
 func TestRunOutliersFlow(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{"-generate", "power", "-n", "300", "-k", "4", "-z", "5", "-mu", "2", "-randomized"}, &out)

@@ -1,0 +1,220 @@
+package kcenter
+
+// Determinism goldens and property tests for the parallel distance engine:
+// the public API must produce bit-identical results for any WithWorkers
+// setting, and the coreset algorithms must respect both the paper's quality
+// guarantee and their distance-evaluation budgets whether they run
+// sequentially or in parallel.
+
+import (
+	"math/rand"
+	"testing"
+
+	"coresetclustering/internal/metric"
+)
+
+// clusteredTestData generates a mixture of well-separated Gaussian blobs:
+// low doubling dimension, the regime the paper's guarantees are stated for.
+func clusteredTestData(n, dim, blobs int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]Point, blobs)
+	for b := range centers {
+		c := make(Point, dim)
+		for j := range c {
+			c[j] = rng.Float64() * 100
+		}
+		centers[b] = c
+	}
+	ds := make(Dataset, n)
+	for i := range ds {
+		c := centers[rng.Intn(blobs)]
+		p := make(Point, dim)
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()
+		}
+		ds[i] = p
+	}
+	return ds
+}
+
+func requireSameClustering(t *testing.T, label string, want, got *Clustering) {
+	t.Helper()
+	if got.Radius != want.Radius {
+		t.Fatalf("%s: radius = %v, want %v", label, got.Radius, want.Radius)
+	}
+	if len(got.Centers) != len(want.Centers) {
+		t.Fatalf("%s: %d centers, want %d", label, len(got.Centers), len(want.Centers))
+	}
+	for i := range want.Centers {
+		if !got.Centers[i].Equal(want.Centers[i]) {
+			t.Fatalf("%s: center %d differs: %v vs %v", label, i, got.Centers[i], want.Centers[i])
+		}
+	}
+	for i := range want.Assignment {
+		if got.Assignment[i] != want.Assignment[i] {
+			t.Fatalf("%s: assignment[%d] = %d, want %d", label, i, got.Assignment[i], want.Assignment[i])
+		}
+	}
+}
+
+// TestClusterDeterminismAcrossWorkers is the public-API golden: same data,
+// same options, sequential (WithWorkers(1)) versus WithWorkers(8) — centers,
+// radius and assignment must match bit for bit.
+func TestClusterDeterminismAcrossWorkers(t *testing.T) {
+	ds := clusteredTestData(10000, 4, 12, 1)
+	want, err := Cluster(ds, 10, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Cluster(ds, 10, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameClustering(t, "Cluster", want, got)
+}
+
+// TestGonzalezDeterminismAcrossWorkers: same golden for the sequential
+// baseline entry point, which above the engine cutoff runs its scans in
+// parallel.
+func TestGonzalezDeterminismAcrossWorkers(t *testing.T) {
+	ds := clusteredTestData(9000, 3, 10, 2)
+	want, err := Gonzalez(ds, 15, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Gonzalez(ds, 15, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameClustering(t, "Gonzalez", want, got)
+}
+
+// TestClusterWithOutliersDeterminismAcrossWorkers: the outlier pipeline
+// (coresets, radius search, covering loop, outlier selection) under both
+// partitioning variants.
+func TestClusterWithOutliersDeterminismAcrossWorkers(t *testing.T) {
+	ds := clusteredTestData(9000, 3, 8, 3)
+	for _, opts := range [][]Option{
+		nil,
+		{WithRandomizedPartitioning(99)},
+	} {
+		seqOpts := append(append([]Option{}, opts...), WithWorkers(1))
+		parOpts := append(append([]Option{}, opts...), WithWorkers(8))
+		want, err := ClusterWithOutliers(ds, 6, 20, seqOpts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ClusterWithOutliers(ds, 6, 20, parOpts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Radius != want.Radius {
+			t.Fatalf("radius = %v, want %v", got.Radius, want.Radius)
+		}
+		for i := range want.Centers {
+			if !got.Centers[i].Equal(want.Centers[i]) {
+				t.Fatalf("center %d differs", i)
+			}
+		}
+		if len(got.Outliers) != len(want.Outliers) {
+			t.Fatalf("%d outliers, want %d", len(got.Outliers), len(want.Outliers))
+		}
+		for i := range want.Outliers {
+			if got.Outliers[i] != want.Outliers[i] {
+				t.Fatalf("outlier[%d] = %d, want %d", i, got.Outliers[i], want.Outliers[i])
+			}
+		}
+		for i := range want.Assignment {
+			if got.Assignment[i] != want.Assignment[i] {
+				t.Fatalf("assignment[%d] = %d, want %d", i, got.Assignment[i], want.Assignment[i])
+			}
+		}
+	}
+}
+
+// TestStreamingDeterminismAcrossWorkers: the streaming wrappers' query-time
+// extraction must be worker-independent too.
+func TestStreamingDeterminismAcrossWorkers(t *testing.T) {
+	ds := clusteredTestData(4000, 3, 6, 4)
+	extract := func(workers int) Dataset {
+		s, err := NewStreamingKCenter(8, 120, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ObserveAll(ds); err != nil {
+			t.Fatal(err)
+		}
+		centers, err := s.Centers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return centers
+	}
+	want := extract(1)
+	got := extract(8)
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("streaming center %d differs", i)
+		}
+	}
+}
+
+// TestCoresetQualityProperty is the property test for the paper's central
+// guarantee (Theorem 1): on random bounded-doubling-dimension data, the
+// coreset-then-cluster radius is within (2+eps) of the OPTIMAL radius. Since
+// Gonzalez is itself at least OPT, the verifiable property is
+//
+//	radius(Cluster with precision eps) <= (2+eps) * radius(Gonzalez),
+//
+// for every sampled eps. Alongside quality, the test asserts the
+// distance-call budget: parallel runs must perform exactly as many distance
+// evaluations as sequential ones (parallelism reschedules work, it must
+// never add work).
+func TestCoresetQualityProperty(t *testing.T) {
+	for _, seed := range []int64{5, 6, 7} {
+		ds := clusteredTestData(6000, 3, 9, seed)
+		k := 9
+		gonz, err := Gonzalez(ds, k, WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0.25, 0.5, 1.0} {
+			run := func(workers int) (*Clustering, int64) {
+				counter := metric.NewCounter(metric.Euclidean)
+				res, err := Cluster(ds, k,
+					WithDistance(counter.Distance),
+					WithPrecision(eps),
+					WithWorkers(workers),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, counter.Calls()
+			}
+			seqRes, seqCalls := run(1)
+			parRes, parCalls := run(8)
+
+			bound := (2 + eps) * gonz.Radius
+			if seqRes.Radius > bound*(1+1e-12) {
+				t.Errorf("seed=%d eps=%v: coreset radius %v exceeds (2+eps)*Gonzalez = %v",
+					seed, eps, seqRes.Radius, bound)
+			}
+			if parRes.Radius != seqRes.Radius {
+				t.Errorf("seed=%d eps=%v: parallel radius %v != sequential %v",
+					seed, eps, parRes.Radius, seqRes.Radius)
+			}
+			if parCalls != seqCalls {
+				t.Errorf("seed=%d eps=%v: distance budget regressed under parallelism: %d calls vs %d",
+					seed, eps, parCalls, seqCalls)
+			}
+			// Sanity cap on the budget itself: the 2-round algorithm must stay
+			// within a small multiple of |S| * |T| work (|T| = coreset union)
+			// plus the final assignment/radius passes.
+			unionSize := int64(seqRes.Stats.CoresetUnionSize)
+			budget := int64(len(ds))*(unionSize+2*int64(k)) + int64(k)*unionSize
+			if seqCalls > budget {
+				t.Errorf("seed=%d eps=%v: %d distance calls exceed budget %d", seed, eps, seqCalls, budget)
+			}
+		}
+	}
+}

@@ -32,6 +32,29 @@
 //   - NewStreamingKCenter / NewStreamingOutliers: one-pass streaming
 //     algorithms with a fixed working-memory budget.
 //
+// # Parallelism and determinism
+//
+// Distance evaluations dominate every algorithm here, and all
+// distance-dominated passes (the Gonzalez farthest-point scans,
+// nearest-center assignment, radius computation, and the outlier covering
+// loop) run on a shared parallel distance engine (internal/metric) that
+// chunks the point set across a bounded set of worker goroutines, falling
+// back to plain sequential loops below a size cutoff. The WithWorkers option
+// controls the degree: 0 (the default) uses one worker per CPU, 1 forces the
+// fully sequential path.
+//
+// The engine honours a strict determinism contract: centers, radii and
+// assignments are bit-identical for every worker count. Parallelism is
+// applied only across independent points, ties break to the lowest index,
+// and per-chunk reductions are combined in chunk order — so WithWorkers
+// trades wall-clock time for CPUs without ever changing results. This is on
+// top of WithParallelism, which controls how many MapReduce partitions are
+// processed concurrently; the two compose (the engine's worker budget is
+// divided among concurrently running partitions). One obligation transfers
+// to callers: a custom WithDistance function is invoked from multiple
+// goroutines whenever more than one worker is in play, so it must be safe
+// for concurrent use (the built-in distances are).
+//
 // The cmd/ directory provides a clustering CLI, a dataset generator, and a
 // driver that reproduces every figure of the paper's evaluation; the
 // examples/ directory contains runnable programs for common scenarios.

@@ -1,0 +1,3 @@
+module coresetclustering
+
+go 1.24

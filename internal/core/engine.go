@@ -30,11 +30,13 @@ func KCenterViaEngine(points metric.Dataset, cfg KCenterConfig) (*KCenterResult,
 		input[i] = mapreduce.Pair[int, metric.Point]{Key: i, Value: p}
 	}
 	ell := cfg.Ell
+	exec := mapreduce.ExecConfig{Parallelism: cfg.Parallelism, Workers: cfg.Workers}
 	spec := coreset.Spec{
 		Eps:        cfg.Eps,
 		Size:       cfg.CoresetSize,
 		RefCenters: cfg.K,
 		MaxSize:    cfg.MaxCoresetSize,
+		Workers:    exec.PerPartitionWorkers(ell),
 	}
 	assignPartition := func(p mapreduce.Pair[int, metric.Point]) ([]mapreduce.Pair[int, metric.Point], error) {
 		return []mapreduce.Pair[int, metric.Point]{{Key: p.Key % ell, Value: p.Value}}, nil
@@ -69,7 +71,7 @@ func KCenterViaEngine(points metric.Dataset, cfg KCenterConfig) (*KCenterResult,
 		return []mapreduce.Pair[int, metric.Point]{p}, nil
 	}
 	finalGMM := func(_ int, values []metric.Point) ([]mapreduce.Pair[int, metric.Point], error) {
-		res, err := gmm.Run(cfg.Distance, values, cfg.K, 0)
+		res, err := gmm.Runner{Dist: cfg.Distance, Workers: cfg.Workers}.Run(values, cfg.K, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +95,7 @@ func KCenterViaEngine(points metric.Dataset, cfg KCenterConfig) (*KCenterResult,
 	}
 	return &KCenterResult{
 		Centers:          centers,
-		Radius:           metric.Radius(cfg.Distance, points, centers),
+		Radius:           metric.ParallelRadius(cfg.Distance, points, centers, cfg.Workers),
 		CoresetUnionSize: len(round1),
 		LocalMemoryPeak:  maxInt(stats1.LocalMemory, stats2.LocalMemory),
 	}, nil

@@ -43,6 +43,12 @@ type KCenterConfig struct {
 	// Parallelism bounds the number of partitions processed concurrently;
 	// zero means one goroutine per available CPU.
 	Parallelism int
+	// Workers is the parallelism degree of the distance engine used inside
+	// every distance-dominated pass (per-partition GMM, final GMM, radius
+	// over the full input): <= 0 selects one worker per CPU, 1 forces the
+	// sequential path. Results are bit-identical for any value. In the first
+	// round the budget is divided among the concurrently running partitions.
+	Workers int
 	// MaxCoresetSize caps the eps-driven coreset size per partition
 	// (0 = unbounded); ignored by the fixed-size rule.
 	MaxCoresetSize int
@@ -110,16 +116,19 @@ func KCenter(points metric.Dataset, cfg KCenterConfig) (*KCenterResult, error) {
 		return nil, fmt.Errorf("core: partitioning failed: %w", err)
 	}
 
-	// Round 1: per-partition coresets.
+	// Round 1: per-partition coresets, each using an even share of the
+	// distance-engine worker budget.
+	exec := mapreduce.ExecConfig{Parallelism: cfg.Parallelism, Workers: cfg.Workers}
 	spec := coreset.Spec{
 		Eps:        cfg.Eps,
 		Size:       cfg.CoresetSize,
 		RefCenters: cfg.K,
 		MaxSize:    cfg.MaxCoresetSize,
+		Workers:    exec.PerPartitionWorkers(len(parts)),
 	}
 	start := time.Now()
 	coresets, execStats, err := mapreduce.MapPartitions(
-		mapreduce.ExecConfig{Parallelism: cfg.Parallelism},
+		exec,
 		parts,
 		func(i int, part metric.Dataset) (*coreset.Coreset, error) {
 			if len(part) == 0 {
@@ -140,7 +149,7 @@ func KCenter(points metric.Dataset, cfg KCenterConfig) (*KCenterResult, error) {
 
 	// Round 2: GMM on the union of the coresets.
 	start = time.Now()
-	final, err := gmm.Run(cfg.Distance, union, cfg.K, 0)
+	final, err := gmm.Runner{Dist: cfg.Distance, Workers: cfg.Workers}.Run(union, cfg.K, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: final GMM failed: %w", err)
 	}
@@ -148,7 +157,7 @@ func KCenter(points metric.Dataset, cfg KCenterConfig) (*KCenterResult, error) {
 
 	res := &KCenterResult{
 		Centers:          final.Centers,
-		Radius:           metric.Radius(cfg.Distance, points, final.Centers),
+		Radius:           metric.ParallelRadius(cfg.Distance, points, final.Centers, cfg.Workers),
 		CoresetUnionSize: len(union),
 		LocalMemoryPeak:  maxInt(execStats.LocalMemoryPeak, len(union)),
 		CoresetTime:      coresetTime,
@@ -177,6 +186,7 @@ func SequentialKCenter(points metric.Dataset, k int, coresetSize int, dist metri
 		CoresetSize: coresetSize,
 		Distance:    dist,
 		Parallelism: 1,
+		Workers:     1,
 	})
 }
 

@@ -49,6 +49,12 @@ type OutliersConfig struct {
 	// Parallelism bounds the number of partitions processed concurrently;
 	// zero means one goroutine per available CPU.
 	Parallelism int
+	// Workers is the parallelism degree of the distance engine used inside
+	// every distance-dominated pass (per-partition GMM, final radius over the
+	// full input): <= 0 selects one worker per CPU, 1 forces the sequential
+	// path. Results are bit-identical for any value. In the first round the
+	// budget is divided among the concurrently running partitions.
+	Workers int
 	// MaxCoresetSize caps the eps-driven per-partition coreset size
 	// (0 = unbounded); ignored by the fixed-size rule.
 	MaxCoresetSize int
@@ -155,11 +161,13 @@ func KCenterOutliers(points metric.Dataset, cfg OutliersConfig) (*OutliersResult
 		refCenters = cfg.K + randomizedOutlierBound(cfg.Z, cfg.Ell, len(points))
 	}
 
+	exec := mapreduce.ExecConfig{Parallelism: cfg.Parallelism, Workers: cfg.Workers}
 	spec := coreset.Spec{
 		Eps:        cfg.EpsHat,
 		Size:       cfg.CoresetSize,
 		RefCenters: refCenters,
 		MaxSize:    cfg.MaxCoresetSize,
+		Workers:    exec.PerPartitionWorkers(len(parts)),
 	}
 	if cfg.CoresetSize > 0 {
 		// Fixed-size rule: Spec requires exactly one of Eps/Size.
@@ -169,7 +177,7 @@ func KCenterOutliers(points metric.Dataset, cfg OutliersConfig) (*OutliersResult
 	// Round 1: per-partition weighted coresets.
 	start := time.Now()
 	coresets, execStats, err := mapreduce.MapPartitions(
-		mapreduce.ExecConfig{Parallelism: cfg.Parallelism},
+		exec,
 		parts,
 		func(i int, part metric.Dataset) (*coreset.Coreset, error) {
 			if len(part) == 0 {
@@ -190,7 +198,7 @@ func KCenterOutliers(points metric.Dataset, cfg OutliersConfig) (*OutliersResult
 
 	// Round 2: radius search over the weighted union.
 	start = time.Now()
-	solved, err := outliers.Solve(cfg.Distance, union, cfg.K, int64(cfg.Z), cfg.EpsHat, cfg.SearchStrategy)
+	solved, err := outliers.SolveWithWorkers(cfg.Distance, union, cfg.K, int64(cfg.Z), cfg.EpsHat, cfg.SearchStrategy, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: second-round solve failed: %w", err)
 	}
@@ -198,7 +206,7 @@ func KCenterOutliers(points metric.Dataset, cfg OutliersConfig) (*OutliersResult
 
 	res := &OutliersResult{
 		Centers:           solved.Centers,
-		Radius:            metric.RadiusExcluding(cfg.Distance, points, solved.Centers, cfg.Z),
+		Radius:            metric.ParallelRadiusExcluding(cfg.Distance, points, solved.Centers, cfg.Z, cfg.Workers),
 		SearchRadius:      solved.Radius,
 		UncoveredWeight:   solved.UncoveredWeight,
 		CoresetUnionSize:  len(union),
@@ -235,5 +243,6 @@ func SequentialKCenterOutliers(points metric.Dataset, k, z, coresetSize int, eps
 		CoresetSize: coresetSize,
 		Distance:    dist,
 		Parallelism: 1,
+		Workers:     1,
 	})
 }

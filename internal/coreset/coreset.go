@@ -48,6 +48,10 @@ type Spec struct {
 	MaxSize int
 	// SeedIndex is the index of the first GMM center within the partition.
 	SeedIndex int
+	// Workers is the parallelism degree of the distance engine used by the
+	// underlying GMM run: <= 0 selects one worker per CPU, 1 forces the
+	// sequential path. The coreset is bit-identical for any value.
+	Workers int
 }
 
 func (s Spec) validate() error {
@@ -117,12 +121,13 @@ func Build(dist metric.Distance, partition metric.Dataset, spec Spec) (*Coreset,
 		seed = 0
 	}
 
+	runner := gmm.Runner{Dist: dist, Workers: spec.Workers}
 	var res *gmm.Result
 	var err error
 	if spec.Eps > 0 {
-		res, err = gmm.RunIncremental(dist, partition, spec.RefCenters, spec.Eps/2, spec.MaxSize, seed)
+		res, err = runner.RunIncremental(partition, spec.RefCenters, spec.Eps/2, spec.MaxSize, seed)
 	} else {
-		res, err = gmm.RunToSize(dist, partition, spec.Size, spec.RefCenters, seed)
+		res, err = runner.RunToSize(partition, spec.Size, spec.RefCenters, seed)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("coreset: gmm failed: %w", err)

@@ -30,6 +30,10 @@ type Figure2Config struct {
 	Runs int
 	// Seed drives dataset generation and shuffling.
 	Seed int64
+	// Workers is the distance-engine parallelism of every clustering run
+	// (<= 0 selects one worker per CPU, 1 forces the sequential path).
+	// Radii are bit-identical for any value.
+	Workers int
 }
 
 // DefaultFigure2Config returns the laptop-scale defaults.
@@ -103,6 +107,7 @@ func RunFigure2(cfg Figure2Config) (*Figure2Result, error) {
 						K:           w.K,
 						Ell:         ell,
 						CoresetSize: mu * w.K,
+						Workers:     cfg.Workers,
 					})
 					if err != nil {
 						return nil, fmt.Errorf("experiments: figure 2 %s ell=%d mu=%d: %w", w.Name, ell, mu, err)

@@ -33,6 +33,9 @@ type Figure4Config struct {
 	EpsHat float64
 	Runs   int
 	Seed   int64
+	// Workers is the distance-engine parallelism of every clustering run
+	// (<= 0 selects one worker per CPU, 1 forces the sequential path).
+	Workers int
 }
 
 // DefaultFigure4Config returns the laptop-scale defaults.
@@ -118,6 +121,7 @@ func RunFigure4(cfg Figure4Config) (*Figure4Result, error) {
 						CoresetSize: detTau,
 						EpsHat:      cfg.EpsHat,
 						Partitioner: mapreduce.AdversarialPartitioner{Targeted: w.OutlierIndices},
+						Workers:     cfg.Workers,
 					})
 					return err
 				})
@@ -139,6 +143,7 @@ func RunFigure4(cfg Figure4Config) (*Figure4Result, error) {
 						EpsHat:      cfg.EpsHat,
 						Randomized:  true,
 						Rand:        rand.New(rand.NewSource(seed)),
+						Workers:     cfg.Workers,
 					})
 					return err
 				})

@@ -29,6 +29,11 @@ type Figure6Config struct {
 	EpsHat float64
 	Runs   int
 	Seed   int64
+	// Workers is the distance-engine parallelism of every clustering run
+	// (<= 0 selects one worker per CPU, 1 forces the sequential path).
+	// The default configuration pins 1 so the reported per-size running
+	// times reflect the algorithmic work, not engine-level parallelism.
+	Workers int
 }
 
 // DefaultFigure6Config returns the laptop-scale defaults.
@@ -43,6 +48,7 @@ func DefaultFigure6Config() Figure6Config {
 		EpsHat:  0.25,
 		Runs:    defaultRuns,
 		Seed:    5,
+		Workers: 1,
 	}
 }
 
@@ -109,6 +115,7 @@ func RunFigure6(cfg Figure6Config) (*Figure6Result, error) {
 					EpsHat:      cfg.EpsHat,
 					Randomized:  true,
 					Rand:        rand.New(rand.NewSource(cfg.Seed + int64(run))),
+					Workers:     cfg.Workers,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("experiments: figure 6 %s x%d: %w", name, factor, err)
@@ -156,18 +163,26 @@ type Figure7Config struct {
 	EpsHat    float64
 	Runs      int
 	Seed      int64
+	// Workers is the distance-engine parallelism of every clustering run
+	// (<= 0 selects one worker per CPU, 1 forces the sequential path).
+	// The default configuration pins 1: Figure 7 measures time versus the
+	// number of partitions ell, and an auto-parallel engine would hand the
+	// small-ell runs the CPUs the large-ell runs get from partitioning,
+	// flattening the curve the figure exists to show.
+	Workers int
 }
 
 // DefaultFigure7Config returns the laptop-scale defaults.
 func DefaultFigure7Config() Figure7Config {
 	return Figure7Config{
-		N:      40000,
-		K:      10,
-		Z:      30,
-		Ells:   []int{1, 2, 4, 8},
-		EpsHat: 0.25,
-		Runs:   defaultRuns,
-		Seed:   6,
+		N:       40000,
+		K:       10,
+		Z:       30,
+		Ells:    []int{1, 2, 4, 8},
+		EpsHat:  0.25,
+		Runs:    defaultRuns,
+		Seed:    6,
+		Workers: 1,
 	}
 }
 
@@ -236,6 +251,7 @@ func RunFigure7(cfg Figure7Config) (*Figure7Result, error) {
 					Randomized:  true,
 					Rand:        rand.New(rand.NewSource(cfg.Seed + int64(run*31+ell))),
 					Parallelism: ell,
+					Workers:     cfg.Workers,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("experiments: figure 7 %s ell=%d: %w", w.Name, ell, err)

@@ -44,10 +44,34 @@ type Result struct {
 	Assignment []int
 }
 
+// Runner bundles the distance function with the parallelism degree of the
+// distance engine. Every per-iteration O(n) pass of the greedy (the farthest
+// scan and the nearest-center cache update) is chunked across Workers
+// goroutines; results are bit-identical to the sequential path for any
+// worker count (see the determinism contract in internal/metric/parallel.go).
+type Runner struct {
+	// Dist is the metric.
+	Dist metric.Distance
+	// Workers is the parallelism degree: <= 0 selects one worker per CPU,
+	// 1 forces the sequential path.
+	Workers int
+}
+
 // Run executes the classic GMM algorithm selecting exactly k centers
 // (or len(points) centers if k >= len(points)). The first center is
 // points[seedIndex]; pass 0 for the conventional deterministic choice.
+//
+// Run (like every package-level wrapper here) uses the auto-parallel
+// distance engine — one worker per CPU, with a sequential fallback for
+// small inputs. This is a deliberate default: results are bit-identical to
+// the sequential path, so only wall-clock time changes. Use a Runner with
+// Workers: 1 to pin the sequential schedule (e.g. for baseline timings).
 func Run(dist metric.Distance, points metric.Dataset, k int, seedIndex int) (*Result, error) {
+	return Runner{Dist: dist}.Run(points, k, seedIndex)
+}
+
+// Run is the Runner form of the package-level Run.
+func (r Runner) Run(points metric.Dataset, k int, seedIndex int) (*Result, error) {
 	if len(points) == 0 {
 		return nil, ErrEmptyInput
 	}
@@ -60,7 +84,7 @@ func Run(dist metric.Distance, points metric.Dataset, k int, seedIndex int) (*Re
 	if seedIndex < 0 || seedIndex >= len(points) {
 		return nil, fmt.Errorf("gmm: seed index %d out of range [0,%d)", seedIndex, len(points))
 	}
-	st := newState(dist, points, seedIndex)
+	st := newState(r, points, seedIndex)
 	for st.size() < k {
 		if !st.addFarthest() {
 			break
@@ -79,6 +103,11 @@ func Run(dist metric.Distance, points metric.Dataset, k int, seedIndex int) (*Re
 // This is the first-round computation of the MapReduce coreset construction:
 // minCenters = k (or k+z), stopFraction = eps/2.
 func RunIncremental(dist metric.Distance, points metric.Dataset, minCenters int, stopFraction float64, maxCenters int, seedIndex int) (*Result, error) {
+	return Runner{Dist: dist}.RunIncremental(points, minCenters, stopFraction, maxCenters, seedIndex)
+}
+
+// RunIncremental is the Runner form of the package-level RunIncremental.
+func (r Runner) RunIncremental(points metric.Dataset, minCenters int, stopFraction float64, maxCenters int, seedIndex int) (*Result, error) {
 	if len(points) == 0 {
 		return nil, ErrEmptyInput
 	}
@@ -94,7 +123,7 @@ func RunIncremental(dist metric.Distance, points metric.Dataset, minCenters int,
 	if minCenters > len(points) {
 		minCenters = len(points)
 	}
-	st := newState(dist, points, seedIndex)
+	st := newState(r, points, seedIndex)
 	for st.size() < minCenters {
 		if !st.addFarthest() {
 			break
@@ -121,6 +150,11 @@ func RunIncremental(dist metric.Distance, points metric.Dataset, minCenters int,
 // directly (tau = mu*k or mu*(k+z)) instead of going through the precision
 // parameter eps.
 func RunToSize(dist metric.Distance, points metric.Dataset, targetSize, refCenters, seedIndex int) (*Result, error) {
+	return Runner{Dist: dist}.RunToSize(points, targetSize, refCenters, seedIndex)
+}
+
+// RunToSize is the Runner form of the package-level RunToSize.
+func (r Runner) RunToSize(points metric.Dataset, targetSize, refCenters, seedIndex int) (*Result, error) {
 	if len(points) == 0 {
 		return nil, ErrEmptyInput
 	}
@@ -139,7 +173,7 @@ func RunToSize(dist metric.Distance, points metric.Dataset, targetSize, refCente
 	if refCenters > len(points) {
 		refCenters = len(points)
 	}
-	st := newState(dist, points, seedIndex)
+	st := newState(r, points, seedIndex)
 	radiusAtRef := math.NaN()
 	for st.size() < targetSize {
 		if st.size() == refCenters && math.IsNaN(radiusAtRef) {
@@ -162,6 +196,11 @@ func RunToSize(dist metric.Distance, points metric.Dataset, targetSize, refCente
 // maxCenters > 0). It supports the "grow until a target radius is achieved"
 // usage mentioned in Section 2 of the paper.
 func RunToRadius(dist metric.Distance, points metric.Dataset, targetRadius float64, maxCenters, seedIndex int) (*Result, error) {
+	return Runner{Dist: dist}.RunToRadius(points, targetRadius, maxCenters, seedIndex)
+}
+
+// RunToRadius is the Runner form of the package-level RunToRadius.
+func (r Runner) RunToRadius(points metric.Dataset, targetRadius float64, maxCenters, seedIndex int) (*Result, error) {
 	if len(points) == 0 {
 		return nil, ErrEmptyInput
 	}
@@ -171,7 +210,7 @@ func RunToRadius(dist metric.Distance, points metric.Dataset, targetRadius float
 	if seedIndex < 0 || seedIndex >= len(points) {
 		return nil, fmt.Errorf("gmm: seed index %d out of range [0,%d)", seedIndex, len(points))
 	}
-	st := newState(dist, points, seedIndex)
+	st := newState(r, points, seedIndex)
 	for st.currentRadius() > targetRadius {
 		if maxCenters > 0 && st.size() >= maxCenters {
 			break
@@ -185,9 +224,14 @@ func RunToRadius(dist metric.Distance, points metric.Dataset, targetRadius float
 
 // state maintains, for every input point, the distance to the closest center
 // selected so far, allowing each new center to be added in O(n) distance
-// evaluations (the standard O(k*n) implementation of GMM).
+// evaluations (the standard O(k*n) implementation of GMM). The two O(n)
+// passes per iteration (farthest scan, cache update) run on the parallel
+// distance engine; per-point cache entries are only ever written by the
+// worker owning that point's chunk, so the caches stay coherent without
+// locks, and all reductions follow the engine's deterministic ordering.
 type state struct {
 	dist    metric.Distance
+	eng     metric.Engine
 	points  metric.Dataset
 	centers []int     // indices into points, in selection order
 	minDist []float64 // minDist[i] = d(points[i], current centers)
@@ -195,21 +239,66 @@ type state struct {
 	radii   []float64 // radii[j] = radius after j+1 centers were selected
 }
 
-func newState(dist metric.Distance, points metric.Dataset, seedIndex int) *state {
+func newState(r Runner, points metric.Dataset, seedIndex int) *state {
 	st := &state{
-		dist:    dist,
+		dist:    r.Dist,
+		eng:     metric.NewEngine(r.Workers),
 		points:  points,
 		minDist: make([]float64, len(points)),
 		closest: make([]int, len(points)),
 	}
 	seed := points[seedIndex]
-	for i, p := range points {
-		st.minDist[i] = dist(seed, p)
-		st.closest[i] = 0
-	}
+	st.radii = append(st.radii, st.updateCaches(seed, 0, true))
 	st.centers = append(st.centers, seedIndex)
-	st.radii = append(st.radii, maxOf(st.minDist))
 	return st
+}
+
+// updateCaches refreshes minDist/closest against a newly selected center c
+// (with index newIdx into centers) and returns the new radius
+// max_i minDist[i]. When init is true the caches are (re)initialised from
+// scratch instead of min-merged. The pass is chunked across the engine's
+// workers; each chunk's partial max is reduced in chunk order, which yields
+// the exact same float as the sequential scan (max is associative and
+// commutative).
+func (st *state) updateCaches(c metric.Point, newIdx int, init bool) float64 {
+	n := len(st.points)
+	if st.eng.Sequential(n) {
+		return st.updateChunk(c, newIdx, init, 0, n)
+	}
+	nc := st.eng.NumChunks(n)
+	maxes := make([]float64, nc)
+	st.eng.ForEachChunk(n, func(chunk, lo, hi int) {
+		maxes[chunk] = st.updateChunk(c, newIdx, init, lo, hi)
+	})
+	m := math.Inf(-1)
+	for _, v := range maxes {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// updateChunk is the sequential kernel of updateCaches over [lo, hi).
+func (st *state) updateChunk(c metric.Point, newIdx int, init bool, lo, hi int) float64 {
+	m := math.Inf(-1)
+	for i := lo; i < hi; i++ {
+		d := st.dist(c, st.points[i])
+		if init || d < st.minDist[i] {
+			st.minDist[i] = d
+			st.closest[i] = newIdx
+		}
+		if st.minDist[i] > m {
+			m = st.minDist[i]
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
 }
 
 func (st *state) size() int { return len(st.centers) }
@@ -224,14 +313,9 @@ func (st *state) addFarthest() bool {
 	if len(st.centers) >= len(st.points) {
 		return false
 	}
-	// Find the farthest point.
-	far, farDist := -1, -1.0
-	for i, d := range st.minDist {
-		if d > farDist {
-			farDist = d
-			far = i
-		}
-	}
+	// Find the farthest point (parallel argmax; ties resolve to the lowest
+	// index, as in a sequential left-to-right scan).
+	far, farDist := st.eng.ArgMax(st.minDist)
 	if far < 0 {
 		return false
 	}
@@ -246,14 +330,7 @@ func (st *state) addFarthest() bool {
 	}
 	newIdx := len(st.centers)
 	st.centers = append(st.centers, far)
-	c := st.points[far]
-	for i, p := range st.points {
-		if d := st.dist(c, p); d < st.minDist[i] {
-			st.minDist[i] = d
-			st.closest[i] = newIdx
-		}
-	}
-	st.radii = append(st.radii, maxOf(st.minDist))
+	st.radii = append(st.radii, st.updateCaches(st.points[far], newIdx, false))
 	return true
 }
 
@@ -301,6 +378,11 @@ func (st *state) result(refCenters int) *Result {
 // maxCenters centers, or all points if maxCenters <= 0). The sequence is
 // non-increasing.
 func RadiusHistory(dist metric.Distance, points metric.Dataset, maxCenters, seedIndex int) ([]float64, error) {
+	return Runner{Dist: dist}.RadiusHistory(points, maxCenters, seedIndex)
+}
+
+// RadiusHistory is the Runner form of the package-level RadiusHistory.
+func (r Runner) RadiusHistory(points metric.Dataset, maxCenters, seedIndex int) ([]float64, error) {
 	if len(points) == 0 {
 		return nil, ErrEmptyInput
 	}
@@ -310,7 +392,7 @@ func RadiusHistory(dist metric.Distance, points metric.Dataset, maxCenters, seed
 	if maxCenters <= 0 || maxCenters > len(points) {
 		maxCenters = len(points)
 	}
-	st := newState(dist, points, seedIndex)
+	st := newState(r, points, seedIndex)
 	for st.size() < maxCenters {
 		if !st.addFarthest() {
 			break
@@ -319,19 +401,6 @@ func RadiusHistory(dist metric.Distance, points metric.Dataset, maxCenters, seed
 	out := make([]float64, len(st.radii))
 	copy(out, st.radii)
 	return out, nil
-}
-
-func maxOf(v []float64) float64 {
-	m := math.Inf(-1)
-	for _, x := range v {
-		if x > m {
-			m = x
-		}
-	}
-	if math.IsInf(m, -1) {
-		return 0
-	}
-	return m
 }
 
 // BruteForceOptimalRadius computes the exact optimal k-center radius of a

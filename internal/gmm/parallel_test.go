@@ -1,0 +1,175 @@
+package gmm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"coresetclustering/internal/metric"
+)
+
+func parallelTestDataset(n, dim int, seed int64) metric.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := make(metric.Dataset, n)
+	for i := range ds {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		ds[i] = p
+	}
+	// Duplicate some points so the farthest scan hits genuine ties and the
+	// lowest-index tie-break is exercised.
+	for i := 5; i+50 < n; i += 50 {
+		ds[i+13] = ds[i].Clone()
+	}
+	return ds
+}
+
+func requireSameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.Radius != want.Radius {
+		t.Fatalf("%s: radius = %v, want %v", label, got.Radius, want.Radius)
+	}
+	if got.RadiusAtK != want.RadiusAtK {
+		t.Fatalf("%s: radiusAtK = %v, want %v", label, got.RadiusAtK, want.RadiusAtK)
+	}
+	if len(got.CenterIndices) != len(want.CenterIndices) {
+		t.Fatalf("%s: %d centers, want %d", label, len(got.CenterIndices), len(want.CenterIndices))
+	}
+	for i := range want.CenterIndices {
+		if got.CenterIndices[i] != want.CenterIndices[i] {
+			t.Fatalf("%s: center %d = index %d, want %d", label, i, got.CenterIndices[i], want.CenterIndices[i])
+		}
+	}
+	for i := range want.Assignment {
+		if got.Assignment[i] != want.Assignment[i] {
+			t.Fatalf("%s: assignment[%d] = %d, want %d", label, i, got.Assignment[i], want.Assignment[i])
+		}
+	}
+}
+
+// TestRunnerDeterminismAcrossWorkers is the determinism golden for the GMM
+// family: for sizes straddling the engine's sequential cutoff, every Runner
+// entry point must produce bit-identical centers, radii and assignments at
+// workers = 1 and workers = 8 (and at the auto setting).
+func TestRunnerDeterminismAcrossWorkers(t *testing.T) {
+	for _, n := range []int{40, 1000, 9000} {
+		ds := parallelTestDataset(n, 3, int64(n)*7)
+		k := 12
+		seq := Runner{Dist: metric.Euclidean, Workers: 1}
+		for _, w := range []int{0, 2, 8} {
+			par := Runner{Dist: metric.Euclidean, Workers: w}
+
+			want, err := seq.Run(ds, k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := par.Run(ds, k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, "Run", want, got)
+
+			want, err = seq.RunIncremental(ds, k, 0.25, 4*k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = par.RunIncremental(ds, k, 0.25, 4*k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, "RunIncremental", want, got)
+
+			want, err = seq.RunToSize(ds, 3*k, k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = par.RunToSize(ds, 3*k, k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, "RunToSize", want, got)
+
+			want, err = seq.RunToRadius(ds, want.Radius/2, 6*k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = par.RunToRadius(ds, want.Radius/2, 6*k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, "RunToRadius", want, got)
+
+			wantHist, err := seq.RadiusHistory(ds, 2*k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotHist, err := par.RadiusHistory(ds, 2*k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantHist {
+				if gotHist[i] != wantHist[i] {
+					t.Fatalf("RadiusHistory[%d] = %v, want %v (n=%d w=%d)", i, gotHist[i], wantHist[i], n, w)
+				}
+			}
+		}
+	}
+}
+
+// TestRunnerDistanceBudgetAcrossWorkers checks that parallelism changes only
+// the schedule, never the work: a k-center run performs exactly k*n distance
+// evaluations (one initialisation pass plus k-1 update passes) whatever the
+// worker count.
+func TestRunnerDistanceBudgetAcrossWorkers(t *testing.T) {
+	n, k := 9000, 7
+	ds := parallelTestDataset(n, 2, 11)
+	for _, w := range []int{1, 8} {
+		c := metric.NewCounter(metric.Euclidean)
+		if _, err := (Runner{Dist: c.Distance, Workers: w}).Run(ds, k, 0); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := c.Calls(), int64(k*n); got != want {
+			t.Fatalf("workers=%d: %d distance calls, want exactly %d", w, got, want)
+		}
+	}
+}
+
+// TestRunnerConcurrentRuns exercises concurrent GMM runs sharing nothing but
+// the input dataset (which the algorithm treats as immutable); run under
+// -race this guards against the engine leaking state between runs.
+func TestRunnerConcurrentRuns(t *testing.T) {
+	ds := parallelTestDataset(9000, 2, 23)
+	k := 6
+	want, err := Runner{Dist: metric.Euclidean, Workers: 1}.Run(ds, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got, err := Runner{Dist: metric.Euclidean, Workers: 4}.Run(ds, k, 0)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for i := range want.CenterIndices {
+				if got.CenterIndices[i] != want.CenterIndices[i] {
+					errs[g] = fmt.Errorf("center %d = index %d, want %d", i, got.CenterIndices[i], want.CenterIndices[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: concurrent run diverged or failed: %v", g, err)
+		}
+	}
+}

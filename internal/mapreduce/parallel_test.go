@@ -1,0 +1,32 @@
+package mapreduce
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPerPartitionWorkers checks the worker-budget split of the first round.
+func TestPerPartitionWorkers(t *testing.T) {
+	tests := []struct {
+		name        string
+		cfg         ExecConfig
+		parts, want int
+	}{
+		{"even split", ExecConfig{Parallelism: 4, Workers: 8}, 8, 2},
+		{"floor", ExecConfig{Parallelism: 3, Workers: 8}, 8, 2},
+		{"never below one", ExecConfig{Parallelism: 16, Workers: 2}, 32, 1},
+		{"fewer parts than parallelism", ExecConfig{Parallelism: 8, Workers: 8}, 2, 4},
+		{"single partition gets everything", ExecConfig{Parallelism: 8, Workers: 8}, 1, 8},
+		{"sequential budget", ExecConfig{Parallelism: 4, Workers: 1}, 4, 1},
+	}
+	for _, tc := range tests {
+		if got := tc.cfg.PerPartitionWorkers(tc.parts); got != tc.want {
+			t.Errorf("%s: PerPartitionWorkers(%d) = %d, want %d", tc.name, tc.parts, got, tc.want)
+		}
+	}
+	// Auto budget: Workers <= 0 defaults to the engine's CPU count.
+	auto := ExecConfig{Parallelism: 1}.PerPartitionWorkers(1)
+	if auto != runtime.GOMAXPROCS(0) {
+		t.Errorf("auto budget = %d, want %d", auto, runtime.GOMAXPROCS(0))
+	}
+}

@@ -30,6 +30,10 @@ type ExecConfig struct {
 	// Zero means "as many as there are CPUs". The Figure 7 experiment varies
 	// this to measure scalability with the number of processors.
 	Parallelism int
+	// Workers is the total distance-engine parallelism budget of the round:
+	// the reducers divide it among the partitions running concurrently (see
+	// PerPartitionWorkers). <= 0 means one worker per CPU.
+	Workers int
 }
 
 func (c ExecConfig) parallelism() int {
@@ -37,6 +41,32 @@ func (c ExecConfig) parallelism() int {
 		return c.Parallelism
 	}
 	return runtime.NumCPU()
+}
+
+// PerPartitionWorkers returns the distance-engine parallelism each of the
+// round's reducers should use so that the concurrently running partitions
+// share cfg.Workers evenly without oversubscribing: floor(total/concurrent),
+// never below 1. parts is the number of partitions of the round; fewer
+// partitions than the configured parallelism leave more workers to each.
+func (c ExecConfig) PerPartitionWorkers(parts int) int {
+	total := c.Workers
+	if total <= 0 {
+		// Match the distance engine's definition of "one worker per CPU"
+		// (GOMAXPROCS, which respects cgroup-style quotas, not NumCPU).
+		total = runtime.GOMAXPROCS(0)
+	}
+	concurrent := c.parallelism()
+	if parts > 0 && parts < concurrent {
+		concurrent = parts
+	}
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	per := total / concurrent
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 // MapPartitions applies fn to every partition concurrently (bounded by the

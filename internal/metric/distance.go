@@ -9,6 +9,12 @@ import (
 // Implementations must satisfy the metric axioms (non-negativity, identity of
 // indiscernibles, symmetry, and the triangle inequality); the approximation
 // guarantees of every algorithm in this repository depend on them.
+//
+// Implementations must also be safe for concurrent use: the parallel
+// distance engine (see parallel.go) invokes the function from multiple
+// goroutines by default. Pure functions of their arguments — like every
+// built-in here — are safe; closures carrying mutable scratch state are not
+// (guard them with a mutex, or force the sequential path with one worker).
 type Distance func(a, b Point) float64
 
 // Euclidean is the L2 distance, the metric used by all experiments in the

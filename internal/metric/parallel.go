@@ -1,0 +1,349 @@
+package metric
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// This file implements the parallel distance engine: blocked kernels for the
+// distance-dominated hot paths (nearest-center assignment, radius, farthest
+// scans) that chunk the point set across a bounded set of workers.
+//
+// Determinism contract: every kernel returns results that are bit-identical
+// to its sequential counterpart, regardless of the worker count.
+// Parallelism is only ever applied ACROSS independent items (points, or
+// contiguous chunks of a scan); the loop over centers for one point stays
+// sequential, so each per-item value is computed by exactly the same sequence
+// of floating-point operations as in the sequential path. Reductions over
+// chunks (min/max with argument) are performed in ascending chunk order with
+// strict comparisons, so ties resolve to the lowest index exactly as a
+// sequential left-to-right scan does.
+
+// SequentialCutoff is the number of distance evaluations below which the
+// kernels fall back to the plain sequential loops, so small inputs pay no
+// goroutine overhead. One distance evaluation costs tens of nanoseconds at
+// the dimensionalities of the paper's experiments, while a fork-join of a few
+// goroutines costs a few microseconds; 8192 evaluations keep the scheduling
+// overhead well under 10% in the worst case.
+const SequentialCutoff = 8192
+
+// minChunk is the smallest per-worker chunk the engine will create; finer
+// slicing only adds scheduling overhead.
+const minChunk = 256
+
+// Engine executes the blocked distance kernels on up to Workers() concurrent
+// goroutines. The zero value uses one worker per available CPU. An Engine is
+// stateless (it holds only the configured degree) and is safe for concurrent
+// use by multiple goroutines; each kernel call forks at most Workers()-1
+// goroutines and joins them before returning, so the pool is bounded per
+// call and concurrent callers cannot interfere with each other.
+type Engine struct {
+	workers int
+}
+
+// NewEngine returns an engine with the given parallelism degree. Values <= 0
+// select one worker per available CPU (runtime.GOMAXPROCS); 1 forces the
+// sequential path everywhere.
+func NewEngine(workers int) Engine { return Engine{workers: workers} }
+
+// Workers returns the effective parallelism degree of the engine.
+func (e Engine) Workers() int {
+	if e.workers > 0 {
+		return e.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// chunkRanges splits [0, n) into at most workers contiguous half-open ranges
+// of near-equal length, none shorter than the given minimum chunk length
+// (except possibly the only one). The split is a pure function of its
+// arguments, so a given engine always chunks a given input the same way.
+func chunkRanges(n, workers, minLen int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if minLen < 1 {
+		minLen = 1
+	}
+	if workers > n/minLen {
+		workers = n / minLen
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([][2]int, 0, workers)
+	base := n / workers
+	rem := n % workers
+	start := 0
+	for i := 0; i < workers; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// ForEachChunk runs fn over [0, n) split into at most Workers() contiguous
+// chunks, on the calling goroutine plus at most Workers()-1 forked ones. fn
+// receives the chunk ordinal and its half-open index range; chunk 0 always
+// runs on the calling goroutine. fn must not touch state shared across chunks
+// without its own synchronisation. It is exported for consumers (such as the
+// GMM farthest-point scan) that fuse an update and a reduction into one pass.
+// Items are assumed cheap (minChunk of them per chunk at least); when each
+// item performs substantial work of its own, use ForEachChunkCost.
+func (e Engine) ForEachChunk(n int, fn func(chunk, lo, hi int)) {
+	e.run(chunkRanges(n, e.Workers(), minChunk), fn)
+}
+
+// ForEachChunkCost is ForEachChunk for loops whose items are themselves
+// expensive: itemCost is the approximate number of distance-evaluation-sized
+// operations per item, and the minimum chunk length shrinks proportionally
+// (an O(n)-cost item justifies a chunk of a single item). The chunking
+// remains a pure function of (n, itemCost, workers).
+func (e Engine) ForEachChunkCost(n, itemCost int, fn func(chunk, lo, hi int)) {
+	if itemCost < 1 {
+		itemCost = 1
+	}
+	e.run(chunkRanges(n, e.Workers(), minChunk/itemCost), fn)
+}
+
+func (e Engine) run(chunks [][2]int, fn func(chunk, lo, hi int)) {
+	if len(chunks) == 0 {
+		return
+	}
+	if len(chunks) == 1 {
+		fn(0, chunks[0][0], chunks[0][1])
+		return
+	}
+	var wg sync.WaitGroup
+	for ci := 1; ci < len(chunks); ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			fn(ci, chunks[ci][0], chunks[ci][1])
+		}(ci)
+	}
+	fn(0, chunks[0][0], chunks[0][1])
+	wg.Wait()
+}
+
+// NumChunks reports how many chunks ForEachChunk will use for an input of n
+// items: the size consumers should allocate for per-chunk partial results.
+func (e Engine) NumChunks(n int) int { return len(chunkRanges(n, e.Workers(), minChunk)) }
+
+// NumChunksCost is NumChunks for ForEachChunkCost.
+func (e Engine) NumChunksCost(n, itemCost int) int {
+	if itemCost < 1 {
+		itemCost = 1
+	}
+	return len(chunkRanges(n, e.Workers(), minChunk/itemCost))
+}
+
+// Sequential reports whether a pass performing evals distance-evaluation-
+// sized operations should take the sequential path: either the engine is
+// pinned to one worker or the work is below SequentialCutoff. Consumers
+// implementing their own fused kernels (gmm, outliers) use it as the gate so
+// the cutoff policy lives in one place.
+func (e Engine) Sequential(evals int) bool {
+	return e.Workers() == 1 || evals < SequentialCutoff
+}
+
+// DistanceToSet is the parallel counterpart of DistanceToSet: it chunks the
+// candidate set across the workers and reduces the per-chunk minima in chunk
+// order, so the returned (distance, index) pair is identical to the
+// sequential scan, including the lowest-index tie-break. An empty set yields
+// (+Inf, -1).
+func (e Engine) DistanceToSet(dist Distance, p Point, set Dataset) (float64, int) {
+	if e.Sequential(len(set)) {
+		return DistanceToSet(dist, p, set)
+	}
+	nc := e.NumChunks(len(set))
+	bests := make([]float64, nc)
+	idxs := make([]int, nc)
+	e.ForEachChunk(len(set), func(chunk, lo, hi int) {
+		best := math.Inf(1)
+		idx := -1
+		for i := lo; i < hi; i++ {
+			if d := dist(p, set[i]); d < best {
+				best = d
+				idx = i
+			}
+		}
+		bests[chunk] = best
+		idxs[chunk] = idx
+	})
+	best := math.Inf(1)
+	idx := -1
+	for c := 0; c < nc; c++ {
+		if idxs[c] >= 0 && bests[c] < best {
+			best = bests[c]
+			idx = idxs[c]
+		}
+	}
+	return best, idx
+}
+
+// NearestBatch computes, for every point, the distance to and the index of
+// its closest center: the fused batch form of DistanceToSet that Assign,
+// Radius and the outlier selection are built on. Points are chunked across
+// the workers; each point's scan over the centers stays sequential, so every
+// entry is bit-identical to the sequential computation. Empty centers yield
+// (+Inf, -1) entries.
+func (e Engine) NearestBatch(dist Distance, points Dataset, centers Dataset) ([]float64, []int) {
+	dists := make([]float64, len(points))
+	idxs := make([]int, len(points))
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dists[i], idxs[i] = DistanceToSet(dist, points[i], centers)
+		}
+	}
+	cost := max(1, len(centers))
+	if e.Sequential(len(points) * cost) {
+		fill(0, len(points))
+		return dists, idxs
+	}
+	e.ForEachChunkCost(len(points), cost, func(_, lo, hi int) { fill(lo, hi) })
+	return dists, idxs
+}
+
+// Assign is the parallel counterpart of Assign: it maps every point to the
+// index of its closest center, chunking the points across the workers.
+func (e Engine) Assign(dist Distance, points Dataset, centers Dataset) []int {
+	cost := max(1, len(centers))
+	if e.Sequential(len(points) * cost) {
+		return Assign(dist, points, centers)
+	}
+	idxs := make([]int, len(points))
+	e.ForEachChunkCost(len(points), cost, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			_, idxs[i] = DistanceToSet(dist, points[i], centers)
+		}
+	})
+	return idxs
+}
+
+// Radius is the parallel counterpart of Radius: max_{s in points} d(s,
+// centers), computed as per-chunk maxima reduced in chunk order. Max is an
+// exact (associative and commutative) operation on floats, so the value is
+// bit-identical to the sequential one.
+func (e Engine) Radius(dist Distance, points Dataset, centers Dataset) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	cost := max(1, len(centers))
+	if e.Sequential(len(points) * cost) {
+		return Radius(dist, points, centers)
+	}
+	nc := e.NumChunksCost(len(points), cost)
+	maxes := make([]float64, nc)
+	e.ForEachChunkCost(len(points), cost, func(chunk, lo, hi int) {
+		var r float64
+		for i := lo; i < hi; i++ {
+			if d, _ := DistanceToSet(dist, points[i], centers); d > r {
+				r = d
+			}
+		}
+		maxes[chunk] = r
+	})
+	var r float64
+	for _, m := range maxes {
+		if m > r {
+			r = m
+		}
+	}
+	return r
+}
+
+// RadiusExcluding is the parallel counterpart of RadiusExcluding: the radius
+// after discarding the z points farthest from the centers. The distance pass
+// is parallel; the rank selection runs sequentially on the identical distance
+// vector, so the result matches the sequential path bit for bit.
+func (e Engine) RadiusExcluding(dist Distance, points Dataset, centers Dataset, z int) float64 {
+	if len(points) == 0 || z >= len(points) {
+		return 0
+	}
+	if z <= 0 {
+		return e.Radius(dist, points, centers)
+	}
+	if e.Sequential(len(points) * max(1, len(centers))) {
+		return RadiusExcluding(dist, points, centers, z)
+	}
+	dists, _ := e.NearestBatch(dist, points, centers)
+	return kthSmallest(dists, len(dists)-z-1)
+}
+
+// ArgMax returns the index of the largest value and the value itself,
+// scanning ascending with a strict comparison (lowest index wins ties),
+// chunked across the workers. An empty slice yields (-1, -Inf). It serves the
+// farthest-point scans of the greedy algorithms.
+func (e Engine) ArgMax(v []float64) (int, float64) {
+	if len(v) == 0 {
+		return -1, math.Inf(-1)
+	}
+	if e.Sequential(len(v)) {
+		return argMaxSeq(v, 0, len(v))
+	}
+	nc := e.NumChunks(len(v))
+	idxs := make([]int, nc)
+	vals := make([]float64, nc)
+	e.ForEachChunk(len(v), func(chunk, lo, hi int) {
+		idxs[chunk], vals[chunk] = argMaxSeq(v, lo, hi)
+	})
+	best, bestVal := -1, math.Inf(-1)
+	for c := 0; c < nc; c++ {
+		if vals[c] > bestVal {
+			bestVal = vals[c]
+			best = idxs[c]
+		}
+	}
+	return best, bestVal
+}
+
+// argMaxSeq is the sequential argmax over v[lo:hi] with global indices.
+func argMaxSeq(v []float64, lo, hi int) (int, float64) {
+	best, bestVal := -1, math.Inf(-1)
+	for i := lo; i < hi; i++ {
+		if v[i] > bestVal {
+			bestVal = v[i]
+			best = i
+		}
+	}
+	return best, bestVal
+}
+
+// ParallelDistanceToSet computes min_{x in set} dist(p, x) and the index of
+// the closest point on up to workers goroutines (<= 0 selects one per CPU).
+func ParallelDistanceToSet(dist Distance, p Point, set Dataset, workers int) (float64, int) {
+	return NewEngine(workers).DistanceToSet(dist, p, set)
+}
+
+// ParallelAssign maps every point to the index of its closest center on up to
+// workers goroutines (<= 0 selects one per CPU).
+func ParallelAssign(dist Distance, points Dataset, centers Dataset, workers int) []int {
+	return NewEngine(workers).Assign(dist, points, centers)
+}
+
+// ParallelRadius computes max_{s in points} d(s, centers) on up to workers
+// goroutines (<= 0 selects one per CPU).
+func ParallelRadius(dist Distance, points Dataset, centers Dataset, workers int) float64 {
+	return NewEngine(workers).Radius(dist, points, centers)
+}
+
+// ParallelRadiusExcluding computes the outlier-aware radius on up to workers
+// goroutines (<= 0 selects one per CPU).
+func ParallelRadiusExcluding(dist Distance, points Dataset, centers Dataset, z, workers int) float64 {
+	return NewEngine(workers).RadiusExcluding(dist, points, centers, z)
+}
+
+// NearestBatch computes every point's closest-center distance and index on up
+// to workers goroutines (<= 0 selects one per CPU).
+func NearestBatch(dist Distance, points Dataset, centers Dataset, workers int) ([]float64, []int) {
+	return NewEngine(workers).NearestBatch(dist, points, centers)
+}

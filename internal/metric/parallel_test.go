@@ -1,0 +1,266 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func randDataset(n, dim int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := make(Dataset, n)
+	for i := range ds {
+		p := make(Point, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		ds[i] = p
+	}
+	return ds
+}
+
+// TestChunkRangesCoverDisjoint checks that the chunking is a disjoint cover
+// of [0, n) in ascending order for a grid of sizes and worker counts.
+func TestChunkRangesCoverDisjoint(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 255, 256, 257, 1000, 4096, 100000} {
+		for _, w := range []int{1, 2, 3, 7, 8, 64} {
+			chunks := chunkRanges(n, w, minChunk)
+			if n == 0 {
+				if chunks != nil {
+					t.Fatalf("chunkRanges(%d,%d) = %v, want nil", n, w, chunks)
+				}
+				continue
+			}
+			if len(chunks) > w {
+				t.Fatalf("chunkRanges(%d,%d): %d chunks exceeds %d workers", n, w, len(chunks), w)
+			}
+			next := 0
+			for ci, ch := range chunks {
+				if ch[0] != next {
+					t.Fatalf("chunkRanges(%d,%d): chunk %d starts at %d, want %d", n, w, ci, ch[0], next)
+				}
+				if ch[1] <= ch[0] {
+					t.Fatalf("chunkRanges(%d,%d): empty chunk %d: %v", n, w, ci, ch)
+				}
+				next = ch[1]
+			}
+			if next != n {
+				t.Fatalf("chunkRanges(%d,%d): covers [0,%d), want [0,%d)", n, w, next, n)
+			}
+			if w > 1 && n >= 2*minChunk {
+				for ci, ch := range chunks {
+					if ch[1]-ch[0] < minChunk {
+						t.Fatalf("chunkRanges(%d,%d): chunk %d shorter than minChunk: %v", n, w, ci, ch)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelKernelsMatchSequential is the core bit-identity check: for a
+// grid of sizes straddling the sequential cutoff and several worker counts,
+// every parallel kernel must return exactly what its sequential counterpart
+// returns, including argmin/argmax indices on inputs with duplicated points
+// (ties must resolve to the lowest index).
+func TestParallelKernelsMatchSequential(t *testing.T) {
+	for _, n := range []int{1, 7, 100, 600, 3000, 9000} {
+		ds := randDataset(n, 5, int64(n))
+		// Duplicate a few points to force distance ties.
+		for i := 3; i+10 < len(ds); i += 10 {
+			ds[i+7] = ds[i].Clone()
+		}
+		centers := ds[:minInt(9, n)]
+		query := ds[n/2]
+		wantDist, wantIdx := DistanceToSet(Euclidean, query, ds)
+		wantAssign := Assign(Euclidean, ds, centers)
+		wantRadius := Radius(Euclidean, ds, centers)
+		wantExcl := RadiusExcluding(Euclidean, ds.Clone(), centers, n/10)
+		minD := make([]float64, n)
+		for i, p := range ds {
+			minD[i], _ = DistanceToSet(Euclidean, p, centers)
+		}
+		wantArg, wantVal := argMaxSeq(minD, 0, n)
+
+		for _, w := range []int{0, 1, 2, 3, 8} {
+			e := NewEngine(w)
+			if d, i := e.DistanceToSet(Euclidean, query, ds); d != wantDist || i != wantIdx {
+				t.Fatalf("n=%d w=%d DistanceToSet = (%v,%d), want (%v,%d)", n, w, d, i, wantDist, wantIdx)
+			}
+			got := e.Assign(Euclidean, ds, centers)
+			for i := range got {
+				if got[i] != wantAssign[i] {
+					t.Fatalf("n=%d w=%d Assign[%d] = %d, want %d", n, w, i, got[i], wantAssign[i])
+				}
+			}
+			if r := e.Radius(Euclidean, ds, centers); r != wantRadius {
+				t.Fatalf("n=%d w=%d Radius = %v, want %v", n, w, r, wantRadius)
+			}
+			if r := e.RadiusExcluding(Euclidean, ds.Clone(), centers, n/10); r != wantExcl {
+				t.Fatalf("n=%d w=%d RadiusExcluding = %v, want %v", n, w, r, wantExcl)
+			}
+			gd, gi := e.NearestBatch(Euclidean, ds, centers)
+			for i := range gd {
+				if gd[i] != minD[i] {
+					t.Fatalf("n=%d w=%d NearestBatch dist[%d] = %v, want %v", n, w, i, gd[i], minD[i])
+				}
+				if gi[i] != wantAssign[i] {
+					t.Fatalf("n=%d w=%d NearestBatch idx[%d] = %d, want %d", n, w, i, gi[i], wantAssign[i])
+				}
+			}
+			if ai, av := e.ArgMax(minD); ai != wantArg || av != wantVal {
+				t.Fatalf("n=%d w=%d ArgMax = (%d,%v), want (%d,%v)", n, w, ai, av, wantArg, wantVal)
+			}
+		}
+	}
+}
+
+// TestParallelKernelsEdgeCases checks the documented degenerate behaviours.
+func TestParallelKernelsEdgeCases(t *testing.T) {
+	e := NewEngine(4)
+	ds := randDataset(50, 3, 1)
+	if d, i := e.DistanceToSet(Euclidean, ds[0], nil); !math.IsInf(d, 1) || i != -1 {
+		t.Fatalf("DistanceToSet on empty set = (%v,%d), want (+Inf,-1)", d, i)
+	}
+	if r := e.Radius(Euclidean, nil, ds[:3]); r != 0 {
+		t.Fatalf("Radius of empty points = %v, want 0", r)
+	}
+	if r := e.RadiusExcluding(Euclidean, ds, ds[:3], len(ds)); r != 0 {
+		t.Fatalf("RadiusExcluding with z >= n = %v, want 0", r)
+	}
+	if i, v := e.ArgMax(nil); i != -1 || !math.IsInf(v, -1) {
+		t.Fatalf("ArgMax of empty slice = (%d,%v), want (-1,-Inf)", i, v)
+	}
+	if got := e.Assign(Euclidean, nil, ds[:3]); len(got) != 0 {
+		t.Fatalf("Assign of empty points = %v, want empty", got)
+	}
+}
+
+// TestForEachChunkCostScalesChunking: expensive items justify chunks far
+// shorter than minChunk, down to a single item, while the plain chunking
+// would collapse the same n to one chunk.
+func TestForEachChunkCostScalesChunking(t *testing.T) {
+	e := NewEngine(8)
+	n := 300 // below minChunk*2, so plain chunking is sequential
+	if nc := e.NumChunks(n); nc != 1 {
+		t.Fatalf("NumChunks(%d) = %d, want 1", n, nc)
+	}
+	if nc := e.NumChunksCost(n, n); nc != 8 {
+		t.Fatalf("NumChunksCost(%d, %d) = %d, want 8", n, n, nc)
+	}
+	visited := make([]int32, n)
+	e.ForEachChunkCost(n, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			visited[i]++
+		}
+	})
+	for i, v := range visited {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+// TestEngineWorkers checks the worker-count normalisation.
+func TestEngineWorkers(t *testing.T) {
+	if w := NewEngine(5).Workers(); w != 5 {
+		t.Fatalf("Workers() = %d, want 5", w)
+	}
+	if w := NewEngine(0).Workers(); w < 1 {
+		t.Fatalf("Workers() = %d for auto, want >= 1", w)
+	}
+	var zero Engine
+	if w := zero.Workers(); w < 1 {
+		t.Fatalf("zero-value Workers() = %d, want >= 1", w)
+	}
+}
+
+// TestForEachChunkRunsAllChunks checks that every index is visited exactly
+// once, whatever goroutine interleaving occurs.
+func TestForEachChunkRunsAllChunks(t *testing.T) {
+	e := NewEngine(7)
+	n := 10000
+	visited := make([]int32, n)
+	var mu sync.Mutex
+	seenChunks := map[int]bool{}
+	e.ForEachChunk(n, func(chunk, lo, hi int) {
+		mu.Lock()
+		seenChunks[chunk] = true
+		mu.Unlock()
+		for i := lo; i < hi; i++ {
+			visited[i]++ // indices are disjoint across chunks, no race
+		}
+	})
+	for i, v := range visited {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+	if len(seenChunks) != e.NumChunks(n) {
+		t.Fatalf("ran %d chunks, NumChunks reports %d", len(seenChunks), e.NumChunks(n))
+	}
+}
+
+// TestEngineConcurrentCallers is the pool stress test: many goroutines
+// hammer the same Engine value with every kernel concurrently and each
+// verifies bit-identity with the sequential path. Run under -race this
+// proves the engine adds no shared mutable state across callers.
+func TestEngineConcurrentCallers(t *testing.T) {
+	ds := randDataset(4000, 4, 99)
+	centers := ds[:7]
+	wantAssign := Assign(Euclidean, ds, centers)
+	wantRadius := Radius(Euclidean, ds, centers)
+	e := NewEngine(4)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				if r := e.Radius(Euclidean, ds, centers); r != wantRadius {
+					errc <- errMismatch("Radius", c, iter)
+					return
+				}
+				got := e.Assign(Euclidean, ds, centers)
+				for i := range got {
+					if got[i] != wantAssign[i] {
+						errc <- errMismatch("Assign", c, iter)
+						return
+					}
+				}
+				d, i := e.DistanceToSet(Euclidean, ds[c], ds)
+				if i != c || d != 0 {
+					errc <- errMismatch("DistanceToSet", c, iter)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+type stressErr struct {
+	kernel      string
+	caller, rep int
+}
+
+func (e stressErr) Error() string { return e.kernel + " mismatch under concurrency" }
+
+func errMismatch(kernel string, caller, rep int) error {
+	return stressErr{kernel: kernel, caller: caller, rep: rep}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -52,7 +52,7 @@ func Cluster(dist metric.Distance, set metric.WeightedSet, k int, r, epsHat floa
 	if err := validateClusterParams(set, k, r, epsHat); err != nil {
 		return nil, err
 	}
-	return clusterPairwise(pairwiseFromDistance(dist, set), set, k, r, epsHat), nil
+	return clusterPairwise(metric.NewEngine(1), pairwiseFromDistance(dist, set), set, k, r, epsHat), nil
 }
 
 // validateClusterParams checks the shared preconditions of Cluster and Solve.
@@ -88,23 +88,46 @@ func pairwiseFromDistance(dist metric.Distance, set metric.WeightedSet) pairwise
 // 128 MiB).
 const maxCachedMatrixSize = 4096
 
-// pairwiseMatrix precomputes the full distance matrix of the set.
-func pairwiseMatrix(dist metric.Distance, set metric.WeightedSet) pairwise {
+// pairwiseMatrix precomputes the full distance matrix of the set. The worker
+// owning row i evaluates only the pairs (i, j) with j > i and writes both
+// mirror cells, so every cell has exactly one writer (no race) and the
+// number of distance evaluations, n*(n-1)/2, is the same for any worker
+// count. To balance the triangular workload, the chunked index v covers the
+// row pair (v, n-1-v): the two rows together always hold n-1 pairs.
+func pairwiseMatrix(eng metric.Engine, dist metric.Distance, set metric.WeightedSet) pairwise {
 	n := len(set)
 	m := make([]float64, n*n)
-	for i := 0; i < n; i++ {
+	fillRow := func(i int) {
 		for j := i + 1; j < n; j++ {
 			d := dist(set[i].P, set[j].P)
 			m[i*n+j] = d
 			m[j*n+i] = d
 		}
 	}
+	if eng.Sequential(n * (n - 1) / 2) {
+		for i := 0; i < n; i++ {
+			fillRow(i)
+		}
+	} else {
+		eng.ForEachChunkCost((n+1)/2, n, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				fillRow(v)
+				if mirror := n - 1 - v; mirror != v {
+					fillRow(mirror)
+				}
+			}
+		})
+	}
 	return func(i, j int) float64 { return m[i*n+j] }
 }
 
 // clusterPairwise is the core of Algorithm 1, parameterised by the pairwise
-// distance accessor.
-func clusterPairwise(pd pairwise, set metric.WeightedSet, k int, r, epsHat float64) *ClusterResult {
+// distance accessor. The per-iteration scan for the heaviest ball is chunked
+// across the engine's workers: each candidate's ball weight is an exact
+// int64 sum over the (read-only during the scan) uncovered set, and the
+// per-chunk maxima are reduced in chunk order with strict comparisons, so
+// the selected center is identical to the sequential left-to-right scan.
+func clusterPairwise(eng metric.Engine, pd pairwise, set metric.WeightedSet, k int, r, epsHat float64) *ClusterResult {
 	n := len(set)
 	ballRadius := (1 + 2*epsHat) * r
 	coverRadius := (3 + 4*epsHat) * r
@@ -114,21 +137,47 @@ func clusterPairwise(pd pairwise, set metric.WeightedSet, k int, r, epsHat float
 	}
 	uncoveredCount := n
 
+	ballWeight := func(t int) int64 {
+		var w int64
+		for v := 0; v < n; v++ {
+			if uncovered[v] && pd(t, v) <= ballRadius {
+				w += set[v].W
+			}
+		}
+		return w
+	}
+
 	res := &ClusterResult{}
 	for len(res.CenterIndices) < k && uncoveredCount > 0 {
 		// Pick the point (covered or not) whose (1+2eps)r-ball has maximum
 		// aggregate uncovered weight.
 		bestIdx, bestWeight := -1, int64(-1)
-		for t := 0; t < n; t++ {
-			var w int64
-			for v := 0; v < n; v++ {
-				if uncovered[v] && pd(t, v) <= ballRadius {
-					w += set[v].W
+		if eng.Sequential(n * n) {
+			for t := 0; t < n; t++ {
+				if w := ballWeight(t); w > bestWeight {
+					bestWeight = w
+					bestIdx = t
 				}
 			}
-			if w > bestWeight {
-				bestWeight = w
-				bestIdx = t
+		} else {
+			nc := eng.NumChunksCost(n, n)
+			idxs := make([]int, nc)
+			weights := make([]int64, nc)
+			eng.ForEachChunkCost(n, n, func(chunk, lo, hi int) {
+				ci, cw := -1, int64(-1)
+				for t := lo; t < hi; t++ {
+					if w := ballWeight(t); w > cw {
+						cw = w
+						ci = t
+					}
+				}
+				idxs[chunk], weights[chunk] = ci, cw
+			})
+			for c := 0; c < nc; c++ {
+				if weights[c] > bestWeight {
+					bestWeight = weights[c]
+					bestIdx = idxs[c]
+				}
 			}
 		}
 		if bestIdx < 0 {
@@ -200,24 +249,38 @@ const (
 // returns the clustering computed at that radius. The search follows the
 // given strategy; SearchBinaryGeometric reproduces the paper's second-round
 // procedure.
+// Unlike the gmm package (whose wrappers default to the auto-parallel
+// engine), Solve pins workers to 1: it backs the CharikarEtAl sequential
+// baselines, whose reported running times must reflect a truly sequential
+// schedule. Parallel callers use SolveWithWorkers explicitly.
 func Solve(dist metric.Distance, set metric.WeightedSet, k int, z int64, epsHat float64, strategy SearchStrategy) (*SolveResult, error) {
+	return SolveWithWorkers(dist, set, k, z, epsHat, strategy, 1)
+}
+
+// SolveWithWorkers is Solve with the distance engine's parallelism degree
+// made explicit: the pairwise-matrix build and the per-center heaviest-ball
+// scans of every OutliersCluster evaluation are chunked across workers
+// goroutines (<= 0 selects one per CPU, 1 — the Solve default — keeps the
+// fully sequential path). The result is bit-identical for any worker count.
+func SolveWithWorkers(dist metric.Distance, set metric.WeightedSet, k int, z int64, epsHat float64, strategy SearchStrategy, workers int) (*SolveResult, error) {
 	if err := validateClusterParams(set, k, 0, epsHat); err != nil {
 		return nil, err
 	}
 	if z < 0 {
 		return nil, fmt.Errorf("%w: z = %d", ErrInvalidParam, z)
 	}
+	eng := metric.NewEngine(workers)
 
 	// The search evaluates OutliersCluster many times on the same set, so for
 	// moderate sizes precompute the pairwise distance matrix once.
 	pd := pairwiseFromDistance(dist, set)
 	if len(set) <= maxCachedMatrixSize {
-		pd = pairwiseMatrix(dist, set)
+		pd = pairwiseMatrix(eng, dist, set)
 	}
 
 	evals := 0
 	feasible := func(r float64) (*ClusterResult, bool) {
-		res := clusterPairwise(pd, set, k, r, epsHat)
+		res := clusterPairwise(eng, pd, set, k, r, epsHat)
 		evals++
 		return res, res.UncoveredWeight <= z
 	}

@@ -16,6 +16,7 @@ import (
 // the experiments size tau = mu*k directly.
 type CoresetStream struct {
 	k        int
+	workers  int
 	dist     metric.Distance
 	doubling *Doubling
 }
@@ -38,6 +39,12 @@ func NewCoresetStream(dist metric.Distance, k, tau int) (*CoresetStream, error) 
 	return &CoresetStream{k: k, dist: dist, doubling: d}, nil
 }
 
+// SetWorkers sets the parallelism degree of the distance engine used by the
+// query-time coreset extraction: <= 0 (the default) selects one worker per
+// CPU, 1 forces the sequential path. The extracted centers are bit-identical
+// for any value. Not safe to call concurrently with Result.
+func (c *CoresetStream) SetWorkers(workers int) { c.workers = workers }
+
 // Process implements Processor.
 func (c *CoresetStream) Process(p metric.Point) error { return c.doubling.Process(p) }
 
@@ -55,7 +62,7 @@ func (c *CoresetStream) Result() (metric.Dataset, error) {
 	if len(cs) == 0 {
 		return nil, errors.New("streaming: no points processed")
 	}
-	res, err := gmm.Run(c.dist, cs.Points(), c.k, 0)
+	res, err := gmm.Runner{Dist: c.dist, Workers: c.workers}.Run(cs.Points(), c.k, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +80,7 @@ func (c *CoresetStream) Coreset() metric.WeightedSet { return c.doubling.Coreset
 // experiments size tau = mu*(k+z) directly.
 type CoresetOutliers struct {
 	k, z     int
+	workers  int
 	epsHat   float64
 	dist     metric.Distance
 	strategy outliers.SearchStrategy
@@ -109,6 +117,12 @@ func NewCoresetOutliers(dist metric.Distance, k, z, tau int, epsHat float64) (*C
 // default is the paper's binary + geometric search).
 func (c *CoresetOutliers) SetSearchStrategy(s outliers.SearchStrategy) { c.strategy = s }
 
+// SetWorkers sets the parallelism degree of the distance engine used by the
+// query-time radius search: <= 0 (the default) selects one worker per CPU,
+// 1 forces the sequential path. The result is bit-identical for any value.
+// Not safe to call concurrently with Result.
+func (c *CoresetOutliers) SetWorkers(workers int) { c.workers = workers }
+
 // Process implements Processor.
 func (c *CoresetOutliers) Process(p metric.Point) error { return c.doubling.Process(p) }
 
@@ -138,7 +152,7 @@ func (c *CoresetOutliers) Result() (*OutliersResult, error) {
 	if len(cs) == 0 {
 		return nil, errors.New("streaming: no points processed")
 	}
-	solved, err := outliers.Solve(c.dist, cs, c.k, int64(c.z), c.epsHat, c.strategy)
+	solved, err := outliers.SolveWithWorkers(c.dist, cs, c.k, int64(c.z), c.epsHat, c.strategy, c.workers)
 	if err != nil {
 		return nil, err
 	}

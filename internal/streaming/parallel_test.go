@@ -1,0 +1,95 @@
+package streaming
+
+import (
+	"math/rand"
+	"testing"
+
+	"coresetclustering/internal/metric"
+)
+
+func parallelStreamDataset(n, dim int, seed int64) metric.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := make(metric.Dataset, n)
+	for i := range ds {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		ds[i] = p
+	}
+	return ds
+}
+
+// TestCoresetStreamDeterminismAcrossWorkers: the query-time extraction must
+// return bit-identical centers whether it runs sequentially or on the
+// parallel engine; the maintained coreset itself is worker-independent by
+// construction (Process is sequential).
+func TestCoresetStreamDeterminismAcrossWorkers(t *testing.T) {
+	ds := parallelStreamDataset(5000, 3, 17)
+	build := func(workers int) metric.Dataset {
+		s, err := NewCoresetStream(metric.Euclidean, 10, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetWorkers(workers)
+		for _, p := range ds {
+			if err := s.Process(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		centers, err := s.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return centers
+	}
+	want := build(1)
+	got := build(8)
+	if len(got) != len(want) {
+		t.Fatalf("%d centers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("center %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCoresetOutliersDeterminismAcrossWorkers: same contract for the
+// outlier-aware streamer, whose query runs the parallel radius search.
+func TestCoresetOutliersDeterminismAcrossWorkers(t *testing.T) {
+	ds := parallelStreamDataset(3000, 3, 29)
+	build := func(workers int) *OutliersResult {
+		s, err := NewCoresetOutliers(metric.Euclidean, 6, 12, 120, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetWorkers(workers)
+		for _, p := range ds {
+			if err := s.Process(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := s.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := build(1)
+	got := build(8)
+	if got.SearchRadius != want.SearchRadius {
+		t.Fatalf("search radius = %v, want %v", got.SearchRadius, want.SearchRadius)
+	}
+	if got.UncoveredWeight != want.UncoveredWeight {
+		t.Fatalf("uncovered weight = %d, want %d", got.UncoveredWeight, want.UncoveredWeight)
+	}
+	if len(got.Centers) != len(want.Centers) {
+		t.Fatalf("%d centers, want %d", len(got.Centers), len(want.Centers))
+	}
+	for i := range want.Centers {
+		if !got.Centers[i].Equal(want.Centers[i]) {
+			t.Fatalf("center %d differs", i)
+		}
+	}
+}

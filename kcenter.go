@@ -20,7 +20,9 @@ type Point = metric.Point
 type Dataset = metric.Dataset
 
 // Distance measures the distance between two points; it must satisfy the
-// metric axioms for the approximation guarantees to hold.
+// metric axioms for the approximation guarantees to hold, and it must be
+// safe for concurrent calls — the distance engine invokes it from multiple
+// goroutines unless WithWorkers(1) pins the sequential path.
 type Distance = metric.Distance
 
 // Built-in distance functions.
@@ -43,6 +45,7 @@ type options struct {
 	coresetMultiplier int
 	eps               float64
 	parallelism       int
+	workers           int
 	randomized        bool
 	seed              int64
 	seedSet           bool
@@ -84,6 +87,25 @@ func WithPrecision(eps float64) Option {
 // (default: one goroutine per CPU).
 func WithParallelism(workers int) Option {
 	return func(o *options) { o.parallelism = workers }
+}
+
+// WithWorkers sets the parallelism degree of the distance engine: the number
+// of goroutines over which every distance-dominated pass (Gonzalez scans,
+// nearest-center assignment, radius computation, the outlier covering loop)
+// is chunked. n <= 0 (the default) selects one worker per available CPU; 1
+// forces the fully sequential path.
+//
+// The determinism contract: centers, radii and assignments are bit-identical
+// for every worker count — parallelism is applied only across independent
+// points, ties resolve to the lowest index, and all reductions are ordered.
+// WithWorkers therefore only trades wall-clock time for CPUs, never quality
+// or reproducibility.
+//
+// With more than one worker the Distance function is called from multiple
+// goroutines concurrently; custom distances carrying mutable state need
+// their own synchronisation or WithWorkers(1).
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
 }
 
 // WithRandomizedPartitioning switches ClusterWithOutliers to the randomized
@@ -197,6 +219,7 @@ func Cluster(points Dataset, k int, opts ...Option) (*Clustering, error) {
 		Ell:         ell,
 		Distance:    o.distance,
 		Parallelism: o.parallelism,
+		Workers:     o.workers,
 	}
 	if o.eps > 0 {
 		cfg.Eps = o.eps
@@ -210,7 +233,7 @@ func Cluster(points Dataset, k int, opts ...Option) (*Clustering, error) {
 	return &Clustering{
 		Centers:    res.Centers,
 		Radius:     res.Radius,
-		Assignment: metric.Assign(o.distance, points, res.Centers),
+		Assignment: metric.ParallelAssign(o.distance, points, res.Centers, o.workers),
 		Stats: RunStats{
 			Partitions:       ell,
 			CoresetUnionSize: res.CoresetUnionSize,
@@ -256,6 +279,10 @@ func ClusterWithOutliers(points Dataset, k, z int, opts ...Option) (*OutliersClu
 	if z < 0 {
 		return nil, fmt.Errorf("kcenter: z must be non-negative, got %d", z)
 	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	if k+z >= len(points) {
 		centers := points.Clone()
 		if len(centers) > k {
@@ -265,13 +292,9 @@ func ClusterWithOutliers(points Dataset, k, z int, opts ...Option) (*OutliersClu
 			Centers:    centers,
 			Radius:     0,
 			Outliers:   nil,
-			Assignment: metric.Assign(Euclidean, points, centers),
+			Assignment: metric.ParallelAssign(o.distance, points, centers, o.workers),
 			Stats:      RunStats{Partitions: 1, CoresetUnionSize: len(points), LocalMemoryPeak: len(points)},
 		}, nil
-	}
-	o, err := buildOptions(opts)
-	if err != nil {
-		return nil, err
 	}
 	ell := o.ell
 	if ell == 0 {
@@ -283,6 +306,7 @@ func ClusterWithOutliers(points Dataset, k, z int, opts ...Option) (*OutliersClu
 		Ell:         ell,
 		Distance:    o.distance,
 		Parallelism: o.parallelism,
+		Workers:     o.workers,
 		Randomized:  o.randomized,
 		EpsHat:      0.25,
 	}
@@ -305,11 +329,14 @@ func ClusterWithOutliers(points Dataset, k, z int, opts ...Option) (*OutliersClu
 	if err != nil {
 		return nil, err
 	}
+	// One nearest-center pass feeds both the outlier selection and the
+	// assignment.
+	dists, assignment := metric.NearestBatch(o.distance, points, res.Centers, o.workers)
 	return &OutliersClustering{
 		Centers:    res.Centers,
 		Radius:     res.Radius,
-		Outliers:   farthestIndices(o.distance, points, res.Centers, z),
-		Assignment: metric.Assign(o.distance, points, res.Centers),
+		Outliers:   farthestIndices(dists, z),
+		Assignment: assignment,
 		Stats: RunStats{
 			Partitions:       ell,
 			CoresetUnionSize: res.CoresetUnionSize,
@@ -338,7 +365,7 @@ func Gonzalez(points Dataset, k int, opts ...Option) (*Clustering, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := gmm.Run(o.distance, points, k, 0)
+	res, err := gmm.Runner{Dist: o.distance, Workers: o.workers}.Run(points, k, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -365,23 +392,24 @@ func EstimateDoublingDimension(points Dataset, opts ...Option) (float64, error) 
 	return metric.EstimateDoublingDimension(o.distance, points, 8, 4, nil), nil
 }
 
-// farthestIndices returns the indices of the z points farthest from the
-// centers (the outliers implied by a clustering).
-func farthestIndices(dist Distance, points Dataset, centers Dataset, z int) []int {
-	if z <= 0 || len(points) == 0 || len(centers) == 0 {
+// farthestIndices returns the indices of the z points farthest from their
+// closest center, given each point's nearest-center distance (the outliers
+// implied by a clustering). The selection scans the distance vector
+// sequentially, so the output does not depend on how dists was computed.
+func farthestIndices(dists []float64, z int) []int {
+	if z <= 0 || len(dists) == 0 {
 		return nil
 	}
-	if z > len(points) {
-		z = len(points)
+	if z > len(dists) {
+		z = len(dists)
 	}
 	type pd struct {
 		idx int
 		d   float64
 	}
-	all := make([]pd, len(points))
-	for i, p := range points {
-		d, _ := metric.DistanceToSet(dist, p, centers)
-		all[i] = pd{idx: i, d: d}
+	all := make([]pd, len(dists))
+	for i := range dists {
+		all[i] = pd{idx: i, d: dists[i]}
 	}
 	// Partial selection of the z largest distances.
 	out := make([]int, 0, z)

@@ -363,17 +363,18 @@ func TestDefaultEll(t *testing.T) {
 func TestFarthestIndices(t *testing.T) {
 	points := Dataset{{0}, {1}, {50}, {100}}
 	centers := Dataset{{0}}
-	got := farthestIndices(Euclidean, points, centers, 2)
+	dists, _ := metric.NearestBatch(Euclidean, points, centers, 1)
+	got := farthestIndices(dists, 2)
 	if len(got) != 2 || got[0] != 3 || got[1] != 2 {
 		t.Errorf("farthestIndices = %v, want [3 2]", got)
 	}
-	if got := farthestIndices(Euclidean, points, centers, 0); got != nil {
+	if got := farthestIndices(dists, 0); got != nil {
 		t.Errorf("z=0 should return nil, got %v", got)
 	}
-	if got := farthestIndices(Euclidean, points, centers, 10); len(got) != 4 {
+	if got := farthestIndices(dists, 10); len(got) != 4 {
 		t.Errorf("z>n should clamp, got %v", got)
 	}
-	if got := farthestIndices(Euclidean, nil, centers, 1); got != nil {
-		t.Errorf("empty points should return nil, got %v", got)
+	if got := farthestIndices(nil, 1); got != nil {
+		t.Errorf("empty distances should return nil, got %v", got)
 	}
 }

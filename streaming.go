@@ -28,6 +28,7 @@ func NewStreamingKCenter(k, budget int, opts ...Option) (*StreamingKCenter, erro
 	if err != nil {
 		return nil, fmt.Errorf("kcenter: %w", err)
 	}
+	inner.SetWorkers(o.workers)
 	return &StreamingKCenter{inner: inner}, nil
 }
 
@@ -79,6 +80,7 @@ func NewStreamingOutliers(k, z, budget int, opts ...Option) (*StreamingOutliers,
 	if err != nil {
 		return nil, fmt.Errorf("kcenter: %w", err)
 	}
+	inner.SetWorkers(o.workers)
 	return &StreamingOutliers{inner: inner, z: z}, nil
 }
 
