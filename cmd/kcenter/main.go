@@ -8,16 +8,22 @@
 //	kcenter -input points.csv -k 20 -z 200 -randomized
 //	kcenter -input points.csv -k 20 -z 200 -streaming -budget 880
 //	kcenter -generate higgs -n 50000 -k 50 -mu 8
+//	kcenter -generate higgs -n 50000 -k 50 -json
 //
 // The tool prints the clustering radius, the per-phase running times, and
-// (optionally) writes the selected centers to a CSV file.
+// (optionally) writes the selected centers to a CSV file. With -json a single
+// machine-readable object is printed instead, for scripting against
+// cmd/kcenterd (its ingest endpoint accepts the same [[...], ...] point
+// arrays this mode emits).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	kcenter "coresetclustering"
 	"coresetclustering/internal/dataset"
@@ -28,6 +34,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kcenter:", err)
 		os.Exit(1)
 	}
+}
+
+// result collects everything a run produces, for both output modes. The
+// JSON field names are part of the CLI's scripting surface.
+type result struct {
+	Algorithm        string          `json:"algorithm"`
+	Points           int             `json:"points"`
+	Dimensions       int             `json:"dimensions"`
+	K                int             `json:"k"`
+	Z                int             `json:"z,omitempty"`
+	Randomized       bool            `json:"randomized,omitempty"`
+	Partitions       int             `json:"partitions,omitempty"`
+	CoresetUnionSize int             `json:"coresetUnionSize,omitempty"`
+	Budget           int             `json:"budget,omitempty"`
+	WorkingMemory    int             `json:"workingMemory,omitempty"`
+	Radius           float64         `json:"radius"`
+	Centers          kcenter.Dataset `json:"centers"`
+
+	coresetTime time.Duration
+	finalTime   time.Duration
 }
 
 func run(args []string, out io.Writer) error {
@@ -47,6 +73,7 @@ func run(args []string, out io.Writer) error {
 		streamFlag = fs.Bool("streaming", false, "use the one-pass streaming algorithm instead of the MapReduce one")
 		budget     = fs.Int("budget", 0, "streaming working-memory budget in points (default mu*(k+z))")
 		centersOut = fs.String("centers", "", "write the selected centers to this CSV file")
+		jsonFlag   = fs.Bool("json", false, "print a single machine-readable JSON object instead of the human report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,31 +86,63 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "dataset: %d points, %d dimensions\n", len(points), points.Dim())
 
-	var centers kcenter.Dataset
-	var radius float64
+	var res *result
 	switch {
 	case *streamFlag:
-		centers, radius, err = runStreaming(points, *k, *z, *mu, *budget, *workers)
+		res, err = runStreaming(points, *k, *z, *mu, *budget, *workers)
 	case *z > 0:
-		centers, radius, err = runOutliers(points, *k, *z, *mu, *eps, *ell, *randomized, *seed, *workers, out)
+		res, err = runOutliers(points, *k, *z, *mu, *eps, *ell, *randomized, *seed, *workers)
 	default:
-		centers, radius, err = runPlain(points, *k, *mu, *eps, *ell, *workers, out)
+		res, err = runPlain(points, *k, *mu, *eps, *ell, *workers)
 	}
 	if err != nil {
 		return err
 	}
+	res.Points = len(points)
+	res.Dimensions = points.Dim()
 
-	fmt.Fprintf(out, "centers: %d\n", len(centers))
-	fmt.Fprintf(out, "radius:  %.6g\n", radius)
-	if *centersOut != "" {
-		if err := dataset.SaveCSVFile(*centersOut, centers); err != nil {
+	if *jsonFlag {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "centers written to %s\n", *centersOut)
+	} else {
+		printHuman(out, res)
+	}
+	if *centersOut != "" {
+		if err := dataset.SaveCSVFile(*centersOut, res.Centers); err != nil {
+			return err
+		}
+		if !*jsonFlag {
+			fmt.Fprintf(out, "centers written to %s\n", *centersOut)
+		}
 	}
 	return nil
+}
+
+func printHuman(out io.Writer, res *result) {
+	fmt.Fprintf(out, "dataset: %d points, %d dimensions\n", res.Points, res.Dimensions)
+	switch res.Algorithm {
+	case "mapreduce-kcenter":
+		fmt.Fprintf(out, "algorithm: MapReduce k-center (%d partitions, coreset union %d points)\n",
+			res.Partitions, res.CoresetUnionSize)
+		fmt.Fprintf(out, "phase times: coreset %v, final %v\n", res.coresetTime, res.finalTime)
+	case "mapreduce-outliers":
+		variant := "deterministic"
+		if res.Randomized {
+			variant = "randomized"
+		}
+		fmt.Fprintf(out, "algorithm: MapReduce k-center with %d outliers (%s, %d partitions, coreset union %d points)\n",
+			res.Z, variant, res.Partitions, res.CoresetUnionSize)
+		fmt.Fprintf(out, "phase times: coreset %v, solve %v\n", res.coresetTime, res.finalTime)
+	default:
+		fmt.Fprintf(out, "algorithm: streaming (budget %d points, working memory %d)\n",
+			res.Budget, res.WorkingMemory)
+	}
+	fmt.Fprintf(out, "centers: %d\n", len(res.Centers))
+	fmt.Fprintf(out, "radius:  %.6g\n", res.Radius)
 }
 
 func loadPoints(input, generate string, n int, seed int64) (kcenter.Dataset, error) {
@@ -118,33 +177,43 @@ func options(mu int, eps float64, ell int, randomized bool, seed int64, workers 
 	return opts
 }
 
-func runPlain(points kcenter.Dataset, k, mu int, eps float64, ell, workers int, out io.Writer) (kcenter.Dataset, float64, error) {
+func runPlain(points kcenter.Dataset, k, mu int, eps float64, ell, workers int) (*result, error) {
 	res, err := kcenter.Cluster(points, k, options(mu, eps, ell, false, 0, workers)...)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	fmt.Fprintf(out, "algorithm: MapReduce k-center (%d partitions, coreset union %d points)\n",
-		res.Stats.Partitions, res.Stats.CoresetUnionSize)
-	fmt.Fprintf(out, "phase times: coreset %v, final %v\n", res.Stats.CoresetTime, res.Stats.FinalTime)
-	return res.Centers, res.Radius, nil
+	return &result{
+		Algorithm:        "mapreduce-kcenter",
+		K:                k,
+		Partitions:       res.Stats.Partitions,
+		CoresetUnionSize: res.Stats.CoresetUnionSize,
+		Radius:           res.Radius,
+		Centers:          res.Centers,
+		coresetTime:      res.Stats.CoresetTime,
+		finalTime:        res.Stats.FinalTime,
+	}, nil
 }
 
-func runOutliers(points kcenter.Dataset, k, z, mu int, eps float64, ell int, randomized bool, seed int64, workers int, out io.Writer) (kcenter.Dataset, float64, error) {
+func runOutliers(points kcenter.Dataset, k, z, mu int, eps float64, ell int, randomized bool, seed int64, workers int) (*result, error) {
 	res, err := kcenter.ClusterWithOutliers(points, k, z, options(mu, eps, ell, randomized, seed, workers)...)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	variant := "deterministic"
-	if randomized {
-		variant = "randomized"
-	}
-	fmt.Fprintf(out, "algorithm: MapReduce k-center with %d outliers (%s, %d partitions, coreset union %d points)\n",
-		z, variant, res.Stats.Partitions, res.Stats.CoresetUnionSize)
-	fmt.Fprintf(out, "phase times: coreset %v, solve %v\n", res.Stats.CoresetTime, res.Stats.FinalTime)
-	return res.Centers, res.Radius, nil
+	return &result{
+		Algorithm:        "mapreduce-outliers",
+		K:                k,
+		Z:                z,
+		Randomized:       randomized,
+		Partitions:       res.Stats.Partitions,
+		CoresetUnionSize: res.Stats.CoresetUnionSize,
+		Radius:           res.Radius,
+		Centers:          res.Centers,
+		coresetTime:      res.Stats.CoresetTime,
+		finalTime:        res.Stats.FinalTime,
+	}, nil
 }
 
-func runStreaming(points kcenter.Dataset, k, z, mu, budget, workers int) (kcenter.Dataset, float64, error) {
+func runStreaming(points kcenter.Dataset, k, z, mu, budget, workers int) (*result, error) {
 	if budget <= 0 {
 		budget = mu * (k + z)
 		if budget < k+z+1 {
@@ -158,76 +227,50 @@ func runStreaming(points kcenter.Dataset, k, z, mu, budget, workers int) (kcente
 	if z > 0 {
 		s, err := kcenter.NewStreamingOutliers(k, z, budget, opts...)
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		if err := s.ObserveAll(points); err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		centers, err := s.Centers()
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
-		return centers, outlierRadius(points, centers, z), nil
+		radius, err := kcenter.RadiusExcluding(points, centers, z, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &result{
+			Algorithm:     "streaming-outliers",
+			K:             k,
+			Z:             z,
+			Budget:        budget,
+			WorkingMemory: s.WorkingMemory(),
+			Radius:        radius,
+			Centers:       centers,
+		}, nil
 	}
 	s, err := kcenter.NewStreamingKCenter(k, budget, opts...)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	if err := s.ObserveAll(points); err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	centers, err := s.Centers()
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	return centers, plainRadius(points, centers), nil
-}
-
-func plainRadius(points, centers kcenter.Dataset) float64 {
-	var r float64
-	for _, p := range points {
-		best := -1.0
-		for _, c := range centers {
-			d := kcenter.Euclidean(p, c)
-			if best < 0 || d < best {
-				best = d
-			}
-		}
-		if best > r {
-			r = best
-		}
+	radius, err := kcenter.Radius(points, centers, opts...)
+	if err != nil {
+		return nil, err
 	}
-	return r
-}
-
-func outlierRadius(points, centers kcenter.Dataset, z int) float64 {
-	dists := make([]float64, 0, len(points))
-	for _, p := range points {
-		best := -1.0
-		for _, c := range centers {
-			d := kcenter.Euclidean(p, c)
-			if best < 0 || d < best {
-				best = d
-			}
-		}
-		dists = append(dists, best)
-	}
-	// Drop the z largest.
-	for i := 0; i < z && len(dists) > 0; i++ {
-		maxIdx := 0
-		for j, d := range dists {
-			if d > dists[maxIdx] {
-				maxIdx = j
-			}
-		}
-		dists[maxIdx] = dists[len(dists)-1]
-		dists = dists[:len(dists)-1]
-	}
-	var r float64
-	for _, d := range dists {
-		if d > r {
-			r = d
-		}
-	}
-	return r
+	return &result{
+		Algorithm:     "streaming-kcenter",
+		K:             k,
+		Budget:        budget,
+		WorkingMemory: s.WorkingMemory(),
+		Radius:        radius,
+		Centers:       centers,
+	}, nil
 }

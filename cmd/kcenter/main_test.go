@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -112,5 +113,59 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogusflag"}, &out); err == nil {
 		t.Error("bogus flag accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-generate", "higgs", "-n", "400", "-k", "5", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if res.Algorithm != "mapreduce-kcenter" || res.K != 5 || res.Points != 400 {
+		t.Errorf("unexpected JSON result: %+v", res)
+	}
+	if len(res.Centers) != 5 || res.Radius <= 0 {
+		t.Errorf("JSON result missing centers/radius: %+v", res)
+	}
+	for _, c := range res.Centers {
+		if len(c) != res.Dimensions {
+			t.Errorf("center dimension %d, want %d", len(c), res.Dimensions)
+		}
+	}
+}
+
+func TestRunJSONStreamingOutliers(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-generate", "power", "-n", "300", "-k", "3", "-z", "4", "-streaming", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if res.Algorithm != "streaming-outliers" || res.Z != 4 || res.Budget <= 0 {
+		t.Errorf("unexpected JSON result: %+v", res)
+	}
+	if res.WorkingMemory <= 0 || res.WorkingMemory > res.Budget {
+		t.Errorf("working memory %d outside (0, %d]", res.WorkingMemory, res.Budget)
+	}
+}
+
+// TestRunJSONDeterministicAcrossWorkers: the machine-readable output obeys
+// the same determinism contract as the human one.
+func TestRunJSONDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers string) string {
+		var out bytes.Buffer
+		if err := run([]string{"-generate", "higgs", "-n", "1500", "-k", "4", "-workers", workers, "-json"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if seq, par := render("1"), render("8"); seq != par {
+		t.Errorf("JSON output differs across workers:\n%s\nvs\n%s", seq, par)
 	}
 }

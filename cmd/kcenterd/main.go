@@ -1,0 +1,525 @@
+// Command kcenterd is a sharded-ingest daemon for streaming k-center
+// clustering: it hosts named streams, each backed by the library's
+// fixed-memory streaming clusterer, and exposes the sketch subsystem over
+// HTTP so that independent shard daemons can snapshot their state and a
+// coordinator can merge the sketches into a global summary.
+//
+// Endpoints:
+//
+//	GET    /healthz                      liveness probe
+//	GET    /streams                      list streams and their stats
+//	POST   /streams/{name}/points        batch ingest {"points": [[...], ...]}
+//	GET    /streams/{name}/centers       extract the current k centers
+//	POST   /streams/{name}/snapshot      serialize the stream (octet-stream)
+//	POST   /streams/{name}/restore       recreate the stream from a sketch body
+//	DELETE /streams/{name}               drop the stream
+//	POST   /merge                        merge base64 sketches {"sketches": [...]}
+//
+// Streams are created on first ingest with the daemon's default parameters;
+// ?k= &z= &budget= query parameters on that first request override them.
+// Every handler takes the owning stream's mutex, so concurrent ingest into
+// one stream is safe (and serialised), while distinct streams ingest in
+// parallel. SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// requests.
+//
+// Usage:
+//
+//	kcenterd -addr :8080 -k 20 -budget 320
+//	kcenterd -addr :8080 -k 20 -z 100 -distance manhattan
+package main
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	kcenter "coresetclustering"
+	"coresetclustering/internal/sketch"
+)
+
+// maxBodyBytes bounds every request body (batches and sketches alike).
+const maxBodyBytes = 64 << 20
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], log.New(os.Stderr, "kcenterd: ", log.LstdFlags)); err != nil {
+		fmt.Fprintln(os.Stderr, "kcenterd:", err)
+		os.Exit(1)
+	}
+}
+
+// config carries the daemon defaults applied to implicitly created streams.
+type config struct {
+	k       int
+	z       int
+	budget  int
+	workers int
+	dist    string
+}
+
+func run(ctx context.Context, args []string, logger *log.Logger) error {
+	fs := flag.NewFlagSet("kcenterd", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		k       = fs.Int("k", 10, "default number of centers for new streams")
+		z       = fs.Int("z", 0, "default number of outliers for new streams (0 = plain k-center)")
+		budget  = fs.Int("budget", 0, "default working-memory budget in points (0 = 8*(k+z))")
+		workers = fs.Int("workers", 0, "distance-engine parallelism for extraction (0 = one per CPU)")
+		dist    = fs.String("distance", "euclidean", fmt.Sprintf("distance function %v", sketch.DistanceNames()))
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, _, err := sketch.DistanceByName(*dist); err != nil {
+		return err
+	}
+	srv := newServer(config{k: *k, z: *z, budget: *budget, workers: *workers, dist: *dist})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.routes(), ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	logger.Printf("listening on %s (k=%d z=%d budget=%d distance=%s)", ln.Addr(), *k, *z, *budget, *dist)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// streamCore is the surface shared by the plain and the outlier-aware
+// streaming clusterers.
+type streamCore interface {
+	Observe(p kcenter.Point) error
+	Centers() (kcenter.Dataset, error)
+	Snapshot() ([]byte, error)
+	Observed() int64
+	WorkingMemory() int
+}
+
+// namedStream is one hosted stream. Its mutex serialises every access to the
+// core: the streaming clusterers are not safe for concurrent use, so all
+// ingest, extraction and snapshotting of one stream goes through here. gone
+// is set (under mu) when the stream is deleted or replaced by a restore, so
+// a handler that looked the stream up just before the swap fails loudly
+// instead of acknowledging a write into an orphaned object.
+type namedStream struct {
+	mu     sync.Mutex
+	core   streamCore
+	k, z   int
+	budget int
+	dim    int // fixed by the first batch (0 = not yet known)
+	gone   bool
+}
+
+// errGone is returned to clients whose request lost a race with a delete or
+// restore of the same stream; retrying observes the new state.
+var errGone = errors.New("stream was deleted or replaced concurrently; retry")
+
+type server struct {
+	cfg config
+
+	mu      sync.RWMutex
+	streams map[string]*namedStream
+}
+
+func newServer(cfg config) *server {
+	if cfg.budget <= 0 {
+		cfg.budget = 8 * (cfg.k + cfg.z)
+	}
+	if cfg.dist == "" {
+		cfg.dist = "euclidean"
+	}
+	return &server{cfg: cfg, streams: make(map[string]*namedStream)}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /streams", s.handleList)
+	mux.HandleFunc("POST /streams/{name}/points", s.handleIngest)
+	mux.HandleFunc("GET /streams/{name}/centers", s.handleCenters)
+	mux.HandleFunc("POST /streams/{name}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /streams/{name}/restore", s.handleRestore)
+	mux.HandleFunc("DELETE /streams/{name}", s.handleDelete)
+	mux.HandleFunc("POST /merge", s.handleMerge)
+	return http.MaxBytesHandler(mux, maxBodyBytes)
+}
+
+// newCore builds a streaming clusterer for the given parameters.
+func (s *server) newCore(k, z, budget int) (streamCore, error) {
+	distFn, _, err := sketch.DistanceByName(s.cfg.dist)
+	if err != nil {
+		return nil, err
+	}
+	opts := []kcenter.Option{kcenter.WithDistance(distFn), kcenter.WithWorkers(s.cfg.workers)}
+	if z > 0 {
+		return kcenter.NewStreamingOutliers(k, z, budget, opts...)
+	}
+	return kcenter.NewStreamingKCenter(k, budget, opts...)
+}
+
+// getOrCreate returns the named stream, creating it with the request's (or
+// the daemon's) parameters on first touch.
+func (s *server) getOrCreate(name string, r *http.Request) (*namedStream, error) {
+	s.mu.RLock()
+	st, ok := s.streams[name]
+	s.mu.RUnlock()
+	if ok {
+		return st, nil
+	}
+	k, err := queryInt(r, "k", s.cfg.k)
+	if err != nil {
+		return nil, err
+	}
+	z, err := queryInt(r, "z", s.cfg.z)
+	if err != nil {
+		return nil, err
+	}
+	budget, err := queryInt(r, "budget", 0)
+	if err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		if k == s.cfg.k && z == s.cfg.z {
+			budget = s.cfg.budget
+		} else {
+			budget = 8 * (k + z)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.streams[name]; ok {
+		return st, nil // lost the creation race; use the winner's stream
+	}
+	core, err := s.newCore(k, z, budget)
+	if err != nil {
+		return nil, err
+	}
+	st = &namedStream{core: core, k: k, z: z, budget: budget}
+	s.streams[name] = st
+	return st, nil
+}
+
+func (s *server) lookup(name string) (*namedStream, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.streams[name]
+	return st, ok
+}
+
+type ingestRequest struct {
+	Points kcenter.Dataset `json:"points"`
+}
+
+type streamStats struct {
+	Name          string `json:"name"`
+	K             int    `json:"k"`
+	Z             int    `json:"z"`
+	Budget        int    `json:"budget"`
+	Observed      int64  `json:"observed"`
+	WorkingMemory int    `json:"workingMemory"`
+}
+
+func (st *namedStream) statsLocked(name string) streamStats {
+	return streamStats{
+		Name:          name,
+		K:             st.k,
+		Z:             st.z,
+		Budget:        st.budget,
+		Observed:      st.core.Observed(),
+		WorkingMemory: st.core.WorkingMemory(),
+	}
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		return
+	}
+	if len(req.Points) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	batch := req.Points
+	if err := batch.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if batch.Dim() == 0 {
+		// Zero-dimension points would collide with the "dimension not yet
+		// known" sentinel and poison later real batches.
+		httpError(w, http.StatusBadRequest, errors.New("points must have at least one coordinate"))
+		return
+	}
+	st, err := s.getOrCreate(r.PathValue("name"), r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.gone {
+		httpError(w, http.StatusConflict, errGone)
+		return
+	}
+	if st.dim != 0 && batch.Dim() != st.dim {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("batch dimension %d does not match stream dimension %d", batch.Dim(), st.dim))
+		return
+	}
+	for _, p := range batch {
+		if err := st.core.Observe(p); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	st.dim = batch.Dim()
+	writeJSON(w, http.StatusOK, st.statsLocked(r.PathValue("name")))
+}
+
+type centersResponse struct {
+	streamStats
+	Centers kcenter.Dataset `json:"centers"`
+}
+
+func (s *server) handleCenters(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, ok := s.lookup(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown stream %q", name))
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.gone {
+		httpError(w, http.StatusConflict, errGone)
+		return
+	}
+	centers, err := st.core.Centers()
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, centersResponse{
+		streamStats: st.statsLocked(name),
+		Centers:     centers,
+	})
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, ok := s.lookup(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown stream %q", name))
+		return
+	}
+	st.mu.Lock()
+	if st.gone {
+		st.mu.Unlock()
+		httpError(w, http.StatusConflict, errGone)
+		return
+	}
+	snap, err := st.core.Snapshot()
+	st.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(snap)
+}
+
+func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	core, info, err := s.restoreCore(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("name")
+	st := &namedStream{core: core, k: info.K, z: info.Z, budget: info.Budget, dim: info.Dimensions}
+	s.mu.Lock()
+	if old, ok := s.streams[name]; ok {
+		// Mark the replaced stream dead under its own mutex so a handler
+		// that already looked it up fails with 409 instead of acknowledging
+		// a write into the orphan. (Lock order server->stream is safe: no
+		// handler acquires the server lock while holding a stream lock.)
+		old.mu.Lock()
+		old.gone = true
+		old.mu.Unlock()
+	}
+	s.streams[name] = st
+	s.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	writeJSON(w, http.StatusOK, st.statsLocked(name))
+}
+
+// restoreCore revives a sketch of either kind as a live stream.
+func (s *server) restoreCore(data []byte) (streamCore, *kcenter.SketchInfo, error) {
+	info, err := kcenter.InspectSketch(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	var core streamCore
+	if info.Outliers {
+		core, err = kcenter.RestoreStreamingOutliers(data, kcenter.WithWorkers(s.cfg.workers))
+	} else {
+		core, err = kcenter.RestoreStreamingKCenter(data, kcenter.WithWorkers(s.cfg.workers))
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return core, info, nil
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	st, ok := s.streams[name]
+	delete(s.streams, name)
+	s.mu.Unlock()
+	if ok {
+		st.mu.Lock()
+		st.gone = true
+		st.mu.Unlock()
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown stream %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.streams))
+	for name := range s.streams {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]streamStats, 0, len(names))
+	for _, name := range names {
+		if st, ok := s.lookup(name); ok {
+			st.mu.Lock()
+			out = append(out, st.statsLocked(name))
+			st.mu.Unlock()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"streams": out})
+}
+
+type mergeRequest struct {
+	Sketches []string `json:"sketches"`
+}
+
+type mergeResponse struct {
+	Sketch   string          `json:"sketch"`
+	Observed int64           `json:"observed"`
+	Centers  kcenter.Dataset `json:"centers"`
+}
+
+func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	var req mergeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		return
+	}
+	if len(req.Sketches) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("no sketches to merge"))
+		return
+	}
+	blobs := make([][]byte, len(req.Sketches))
+	for i, b64 := range req.Sketches {
+		blob, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("sketch %d: invalid base64: %w", i, err))
+			return
+		}
+		blobs[i] = blob
+	}
+	merged, err := kcenter.MergeSketches(blobs...)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	core, info, err := s.restoreCore(merged)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := mergeResponse{
+		Sketch:   base64.StdEncoding.EncodeToString(merged),
+		Observed: info.Observed,
+	}
+	if info.Observed > 0 {
+		centers, err := core.Centers()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Centers = centers
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func queryInt(r *http.Request, key string, fallback int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return fallback, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s=%q", key, v)
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,350 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	kcenter "coresetclustering"
+)
+
+func newTestServer(t *testing.T, cfg config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(cfg).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+func batch(points kcenter.Dataset) ingestRequest { return ingestRequest{Points: points} }
+
+func blobs(n, dim int, seed int64) kcenter.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(kcenter.Dataset, n)
+	for i := range out {
+		p := make(kcenter.Point, dim)
+		blob := float64(rng.Intn(5)) * 100
+		for j := range p {
+			p[j] = blob + rng.NormFloat64()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestIngestAndCenters(t *testing.T) {
+	// budget deliberately != 8*(k+z): new streams must inherit the daemon's
+	// configured default, not the derived fallback.
+	ts := newTestServer(t, config{k: 3, budget: 30})
+	var stats streamStats
+	resp := doJSON(t, "POST", ts.URL+"/streams/demo/points", batch(blobs(500, 2, 1)), &stats)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if stats.Observed != 500 || stats.K != 3 || stats.Budget != 30 {
+		t.Errorf("unexpected stats: %+v", stats)
+	}
+	if stats.WorkingMemory > 30 {
+		t.Errorf("working memory %d exceeds budget", stats.WorkingMemory)
+	}
+	var centers centersResponse
+	resp = doJSON(t, "GET", ts.URL+"/streams/demo/centers", nil, &centers)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("centers status %d", resp.StatusCode)
+	}
+	if len(centers.Centers) != 3 {
+		t.Errorf("got %d centers, want 3", len(centers.Centers))
+	}
+}
+
+func TestStreamParamsFromQuery(t *testing.T) {
+	ts := newTestServer(t, config{k: 3, budget: 24})
+	var stats streamStats
+	doJSON(t, "POST", ts.URL+"/streams/custom/points?k=5&z=2&budget=70", batch(blobs(100, 2, 2)), &stats)
+	if stats.K != 5 || stats.Z != 2 || stats.Budget != 70 {
+		t.Errorf("query params ignored: %+v", stats)
+	}
+}
+
+// TestConcurrentIngest hammers one stream from many goroutines (exercised
+// under -race in CI): every point must be observed exactly once, and
+// concurrent snapshot/centers calls must not corrupt the stream.
+func TestConcurrentIngest(t *testing.T) {
+	ts := newTestServer(t, config{k: 4, budget: 40})
+	const (
+		goroutines = 8
+		batches    = 10
+		perBatch   = 50
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				body, _ := json.Marshal(batch(blobs(perBatch, 3, int64(g*1000+b))))
+				resp, err := http.Post(ts.URL+"/streams/shared/points", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("ingest status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	// Interleave reads and snapshots with the ingest.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			resp, err := http.Post(ts.URL+"/streams/shared/snapshot", "application/octet-stream", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+
+	var stats centersResponse
+	doJSON(t, "GET", ts.URL+"/streams/shared/centers", nil, &stats)
+	if want := int64(goroutines * batches * perBatch); stats.Observed != want {
+		t.Errorf("observed %d points, want %d", stats.Observed, want)
+	}
+	if len(stats.Centers) != 4 {
+		t.Errorf("got %d centers, want 4", len(stats.Centers))
+	}
+}
+
+// TestShardedMergeFlow drives the daemon the way a coordinator would: two
+// shard streams, snapshot both over HTTP, merge, and check the merged
+// summary accounts for every point.
+func TestShardedMergeFlow(t *testing.T) {
+	ts := newTestServer(t, config{k: 4, budget: 64})
+	doJSON(t, "POST", ts.URL+"/streams/shard0/points", batch(blobs(600, 2, 10)), nil)
+	doJSON(t, "POST", ts.URL+"/streams/shard1/points", batch(blobs(400, 2, 11)), nil)
+
+	snapshot := func(name string) []byte {
+		resp, err := http.Post(ts.URL+"/streams/"+name+"/snapshot", "application/octet-stream", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("snapshot %s: status %d", name, resp.StatusCode)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	s0, s1 := snapshot("shard0"), snapshot("shard1")
+
+	var merged mergeResponse
+	resp := doJSON(t, "POST", ts.URL+"/merge", mergeRequest{Sketches: []string{
+		base64.StdEncoding.EncodeToString(s0),
+		base64.StdEncoding.EncodeToString(s1),
+	}}, &merged)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("merge status %d", resp.StatusCode)
+	}
+	if merged.Observed != 1000 {
+		t.Errorf("merged sketch observed %d, want 1000", merged.Observed)
+	}
+	if len(merged.Centers) != 4 {
+		t.Errorf("merged centers %d, want 4", len(merged.Centers))
+	}
+
+	// The merged sketch must be restorable as a live stream.
+	mergedBlob, err := base64.StdEncoding.DecodeString(merged.Sketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/streams/global/restore", bytes.NewReader(mergedBlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoreResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored streamStats
+	if err := json.NewDecoder(restoreResp.Body).Decode(&restored); err != nil {
+		t.Fatal(err)
+	}
+	restoreResp.Body.Close()
+	if restored.Observed != 1000 {
+		t.Errorf("restored stream observed %d, want 1000", restored.Observed)
+	}
+	// And it keeps ingesting.
+	var after streamStats
+	doJSON(t, "POST", ts.URL+"/streams/global/points", batch(blobs(10, 2, 12)), &after)
+	if after.Observed != 1010 {
+		t.Errorf("restored stream observed %d after ingest, want 1010", after.Observed)
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	ts := newTestServer(t, config{k: 2, budget: 16})
+	doJSON(t, "POST", ts.URL+"/streams/a/points", batch(blobs(10, 2, 20)), nil)
+	doJSON(t, "POST", ts.URL+"/streams/b/points", batch(blobs(10, 2, 21)), nil)
+	var list struct {
+		Streams []streamStats `json:"streams"`
+	}
+	doJSON(t, "GET", ts.URL+"/streams", nil, &list)
+	if len(list.Streams) != 2 || list.Streams[0].Name != "a" || list.Streams[1].Name != "b" {
+		t.Errorf("unexpected listing: %+v", list.Streams)
+	}
+	if resp := doJSON(t, "DELETE", ts.URL+"/streams/a", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("delete status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "DELETE", ts.URL+"/streams/a", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("second delete status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	ts := newTestServer(t, config{k: 3, budget: 24})
+	cases := []struct {
+		name   string
+		do     func() *http.Response
+		status int
+	}{
+		{"centers-of-unknown-stream", func() *http.Response {
+			return doJSON(t, "GET", ts.URL+"/streams/nope/centers", nil, nil)
+		}, http.StatusNotFound},
+		{"snapshot-of-unknown-stream", func() *http.Response {
+			return doJSON(t, "POST", ts.URL+"/streams/nope/snapshot", nil, nil)
+		}, http.StatusNotFound},
+		{"invalid-json", func() *http.Response {
+			resp, err := http.Post(ts.URL+"/streams/x/points", "application/json", bytes.NewReader([]byte("{")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			return resp
+		}, http.StatusBadRequest},
+		{"empty-batch", func() *http.Response {
+			return doJSON(t, "POST", ts.URL+"/streams/x/points", batch(nil), nil)
+		}, http.StatusBadRequest},
+		{"out-of-range-number", func() *http.Response {
+			resp, err := http.Post(ts.URL+"/streams/x/points", "application/json",
+				bytes.NewReader([]byte(`{"points": [[1, 1e999]]}`)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			return resp
+		}, http.StatusBadRequest},
+		{"restore-garbage", func() *http.Response {
+			resp, err := http.Post(ts.URL+"/streams/x/restore", "application/octet-stream",
+				bytes.NewReader([]byte("definitely not a sketch")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			return resp
+		}, http.StatusBadRequest},
+		{"merge-nothing", func() *http.Response {
+			return doJSON(t, "POST", ts.URL+"/merge", mergeRequest{}, nil)
+		}, http.StatusBadRequest},
+		{"merge-bad-base64", func() *http.Response {
+			return doJSON(t, "POST", ts.URL+"/merge", mergeRequest{Sketches: []string{"!!!"}}, nil)
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if resp := tc.do(); resp.StatusCode != tc.status {
+				t.Errorf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+		})
+	}
+}
+
+func TestDimensionMismatchRejected(t *testing.T) {
+	ts := newTestServer(t, config{k: 2, budget: 16})
+	doJSON(t, "POST", ts.URL+"/streams/d/points", batch(kcenter.Dataset{{1, 2}, {3, 4}}), nil)
+	resp := doJSON(t, "POST", ts.URL+"/streams/d/points", batch(kcenter.Dataset{{1, 2, 3}}), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched batch status %d, want 400", resp.StatusCode)
+	}
+	// In-batch mismatch too.
+	resp = doJSON(t, "POST", ts.URL+"/streams/d/points", batch(kcenter.Dataset{{1, 2}, {3}}), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("ragged batch status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRunGracefulShutdown boots the real daemon on an ephemeral port and
+// checks that cancelling the context shuts it down cleanly.
+func TestRunGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-k", "2"}, log.New(io.Discard, "", 0))
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down within 5s")
+	}
+}
+
+func TestRunRejectsUnknownDistance(t *testing.T) {
+	err := run(context.Background(), []string{"-distance", "warp"}, log.New(io.Discard, "", 0))
+	if err == nil {
+		t.Fatal("run accepted an unknown distance")
+	}
+	if got := fmt.Sprint(err); got == "" {
+		t.Error("empty error")
+	}
+}

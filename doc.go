@@ -31,6 +31,9 @@
 //     baseline and building block.
 //   - NewStreamingKCenter / NewStreamingOutliers: one-pass streaming
 //     algorithms with a fixed working-memory budget.
+//   - Snapshot / RestoreStreamingKCenter / RestoreStreamingOutliers /
+//     MergeSketches: durable, mergeable sketches of streaming state for
+//     sharded deployments (see below).
 //
 // # Parallelism and determinism
 //
@@ -54,6 +57,50 @@
 // to callers: a custom WithDistance function is invoked from multiple
 // goroutines whenever more than one worker is in play, so it must be safe
 // for concurrent use (the built-in distances are).
+//
+// # Sketches and sharding
+//
+// The streaming clusterers expose their complete state as a sketch: a
+// versioned, self-describing binary value holding the doubling algorithm's
+// weighted coreset, its lower bound phi, the processed count, the query
+// parameters (k, z, epsHat) and the identity of the distance function.
+// Snapshot captures one, RestoreStreamingKCenter / RestoreStreamingOutliers
+// revive one as a fully live stream (it can keep observing and be
+// snapshotted again), and MergeSketches unions sketches built on independent
+// shards, re-running the doubling reduction so the merged sketch is back
+// under the shared budget — the paper's composable-coreset property as an
+// operation on durable values. InspectSketch reports a sketch's metadata
+// without restoring it.
+//
+// Semantics and obligations:
+//
+//   - Snapshot is a pure read of stream state; observation may continue
+//     afterwards. Only built-in distances are serializable — a custom
+//     WithDistance function yields ErrSketchUnknownDistance, because a
+//     closure cannot be reconstructed on another machine.
+//   - MergeSketches requires all sketches to agree on kind, distance, k, z,
+//     epsHat, budget and dimensionality (ErrSketchIncompatible otherwise).
+//     The merge is fully sequential, independent of worker counts, and fixed
+//     by argument order; its weights keep accounting for every original
+//     point exactly once. Merging does not commute bit-for-bit (center
+//     identity may differ with order), but every order satisfies the same
+//     quality guarantee.
+//   - Decoding validates strictly: truncation, bad magic, unknown versions,
+//     kinds or distances, NaN/Inf values, weight and budget inconsistencies,
+//     and trailing bytes are rejected with the typed ErrSketch* errors, and
+//     the codec never panics on arbitrary input.
+//
+// cmd/kcenterd serves this subsystem over HTTP: named streams with batch
+// ingest (POST /streams/{name}/points), extraction (GET
+// /streams/{name}/centers), durable snapshots (POST
+// /streams/{name}/snapshot), revival (POST /streams/{name}/restore) and
+// coordinator-side merging (POST /merge). The streaming clusterers are not
+// safe for concurrent use, so every handler serialises access through the
+// owning stream's mutex: concurrent ingest into one stream is safe (batches
+// interleave at batch granularity), distinct streams ingest in parallel, and
+// a snapshot observes a consistent state — handlers added to the daemon must
+// preserve this locking discipline. Shutdown is graceful: in-flight requests
+// drain before the process exits.
 //
 // The cmd/ directory provides a clustering CLI, a dataset generator, and a
 // driver that reproduces every figure of the paper's evaluation; the

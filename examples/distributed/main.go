@@ -1,8 +1,13 @@
-// Distributed facility placement: choose k depot locations for a delivery
-// network from a large set of customer coordinates, tolerating a number of
-// unserviceable addresses (data-entry errors), and show how the coreset
-// multiplier trades memory for solution quality — the space-accuracy
-// trade-off at the heart of the paper.
+// Distributed sharded clustering with durable, mergeable sketches — the
+// paper's composable-coreset property as an operational flow.
+//
+// A fleet of ingest shards (think: one kcenterd per data centre) each
+// consumes its slice of a large point stream with a fixed working-memory
+// budget, then snapshots its state into a compact binary sketch. A
+// coordinator merges the sketches — without ever seeing a raw point — and
+// extracts the final k centers from the merged summary. The example checks
+// the result against (a) a single in-memory stream over the whole input and
+// (b) the sequential Gonzalez baseline, asserting the paper's quality bound.
 //
 // Run with:
 //
@@ -13,16 +18,21 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"time"
+	"sync"
 
 	kcenter "coresetclustering"
+)
+
+const (
+	shards = 4
+	k      = 12
+	budget = 16 * k // coreset budget per shard (mu = 16)
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(11))
 
-	// Customer locations: 30 towns of varying size spread over a region,
-	// plus a handful of bogus addresses far outside it.
+	// Customer locations: 30 towns of varying size spread over a region.
 	const towns = 30
 	var customers kcenter.Dataset
 	for t := 0; t < towns; t++ {
@@ -35,43 +45,111 @@ func main() {
 			})
 		}
 	}
-	const bogus = 15
-	for i := 0; i < bogus; i++ {
-		customers = append(customers, kcenter.Point{1e6 + rng.Float64()*1e4, -1e6})
-	}
 	rng.Shuffle(len(customers), func(i, j int) { customers[i], customers[j] = customers[j], customers[i] })
+	fmt.Printf("customers: %d, shards: %d, depots to place: %d, per-shard budget: %d points\n\n",
+		len(customers), shards, k, budget)
 
-	const depots = 12
-	fmt.Printf("customers: %d, depots to place: %d, bogus addresses tolerated: %d\n",
-		len(customers), depots, bogus)
+	// ---- Phase 1: independent shard processes -----------------------------
+	// Each shard consumes every shards-th point (a hash-partitioned feed) and
+	// retains at most `budget` weighted points, then snapshots its state.
+	sketches := make([][]byte, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			stream, err := kcenter.NewStreamingKCenter(k, budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := s; i < len(customers); i += shards {
+				if err := stream.Observe(customers[i]); err != nil {
+					log.Fatal(err)
+				}
+			}
+			snap, err := stream.Snapshot()
+			if err != nil {
+				log.Fatal(err)
+			}
+			sketches[s] = snap
+			fmt.Printf("shard %d: observed %6d points, retained %3d, sketch %5d bytes\n",
+				s, stream.Observed(), stream.WorkingMemory(), len(snap))
+		}(s)
+	}
+	wg.Wait()
 
-	dim, err := kcenter.EstimateDoublingDimension(customers)
+	// ---- Phase 2: the coordinator merges the sketches ---------------------
+	// MergeSketches needs only the byte strings: in a real deployment they
+	// arrive over the network (see cmd/kcenterd's POST /merge).
+	merged, err := kcenter.MergeSketches(sketches...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("estimated doubling dimension of the data: %.1f\n\n", dim)
-
-	// Sweep the coreset multiplier: larger coresets mean a better-informed
-	// final placement at the cost of more memory per worker and a more
-	// expensive second round. mu = 1 corresponds to the earlier state of the
-	// art (Malkomes et al.); on easy low-dimensional inputs like this one
-	// even small coresets already do well — the gap widens on noisy,
-	// high-dimensional, or adversarially ordered data (see Figure 4 of the
-	// paper and cmd/experiments -figure 4).
-	fmt.Println("mu   max delivery distance   coreset union   wall time")
-	for _, mu := range []int{1, 2, 4, 8} {
-		start := time.Now()
-		res, err := kcenter.ClusterWithOutliers(customers, depots, bogus,
-			kcenter.WithCoresetMultiplier(mu),
-			kcenter.WithRandomizedPartitioning(99),
-			kcenter.WithPartitions(8),
-		)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%2d   %21.1f   %13d   %9v\n",
-			mu, res.Radius, res.Stats.CoresetUnionSize, time.Since(start).Round(time.Millisecond))
+	info, err := kcenter.InspectSketch(merged)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("\n(the max delivery distance excludes the bogus addresses; towns have a ~5-unit radius,")
-	fmt.Println(" so a distance of a few hundred units means several towns share one depot)")
+	fmt.Printf("\nmerged sketch: %d bytes, %d weighted points summarising %d observations\n",
+		len(merged), info.CoresetSize, info.Observed)
+	if info.Observed != int64(len(customers)) {
+		log.Fatalf("merged sketch lost points: observed %d, want %d", info.Observed, len(customers))
+	}
+
+	// ---- Phase 3: extract and compare -------------------------------------
+	global, err := kcenter.RestoreStreamingKCenter(merged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	centers, err := global.Centers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	shardedRadius := mustRadius(customers, centers)
+
+	// Baseline 1: one stream over the whole input with the same budget.
+	single, err := kcenter.NewStreamingKCenter(k, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := single.ObserveAll(customers); err != nil {
+		log.Fatal(err)
+	}
+	singleCenters, err := single.Centers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	singleRadius := mustRadius(customers, singleCenters)
+
+	// Baseline 2: the sequential Gonzalez 2-approximation on the full data.
+	seq, err := kcenter.Gonzalez(customers, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nmax delivery distance (k-center radius):")
+	fmt.Printf("  sharded  (4 shards -> snapshot -> merge -> extract): %8.2f\n", shardedRadius)
+	fmt.Printf("  single stream (same budget, no sharding):            %8.2f\n", singleRadius)
+	fmt.Printf("  sequential Gonzalez (full data in memory):           %8.2f\n", seq.Radius)
+
+	// The paper's composability guarantee: the sharded pipeline stays within
+	// (2+eps) of the sequential baseline. eps = 1 generously absorbs the
+	// budget slack at mu = 16.
+	if bound := (2 + 1.0) * seq.Radius; shardedRadius > bound {
+		log.Fatalf("sharded radius %.2f exceeds the (2+eps) bound %.2f", shardedRadius, bound)
+	}
+	if shardedRadius > 3*singleRadius {
+		log.Fatalf("sharded radius %.2f is far off the single-stream radius %.2f", shardedRadius, singleRadius)
+	}
+	fmt.Println("\nOK: sharded result within (2+eps) of the sequential baseline —")
+	fmt.Println("the merged sketches are as good a summary as one machine's stream.")
+}
+
+// mustRadius evaluates the k-center objective with the library's public
+// helper, aborting the demo on the (impossible here) option error.
+func mustRadius(points, centers kcenter.Dataset) float64 {
+	r, err := kcenter.Radius(points, centers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }

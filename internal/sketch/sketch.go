@@ -1,0 +1,214 @@
+// Package sketch makes the coreset state of the streaming algorithms a
+// first-class, durable, mergeable value. A Sketch captures the complete
+// doubling-algorithm state of a CoresetStream or CoresetOutliers — budget,
+// lower bound phi, processed count, and the weighted coreset points — plus
+// the query-time parameters (k, z, epsHat) and the identity of the distance
+// function, so that a sketch is fully self-describing.
+//
+// Sketches serve the paper's composability property operationally: shards of
+// a stream can be summarised independently, snapshotted into compact byte
+// strings, shipped across machines, and merged; the merged sketch is still an
+// arbitrarily good summary of the union of the shards (the merge re-runs the
+// doubling reduction under the original budget). Encode/Decode implement a
+// versioned, strictly validated binary codec; Merge implements the union.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"coresetclustering/internal/metric"
+	"coresetclustering/internal/streaming"
+)
+
+// Typed decode/merge errors. Decode never panics: every malformed input maps
+// to one of these (possibly wrapped with positional detail).
+var (
+	// ErrBadMagic means the data does not start with the sketch magic bytes —
+	// it is not a sketch at all.
+	ErrBadMagic = errors.New("sketch: bad magic (not a sketch)")
+	// ErrUnsupportedVersion means the sketch was written by an incompatible
+	// (newer) codec version.
+	ErrUnsupportedVersion = errors.New("sketch: unsupported codec version")
+	// ErrTruncated means the data ends before the declared payload does.
+	ErrTruncated = errors.New("sketch: truncated data")
+	// ErrCorrupt means a structurally invalid field: unknown kind, NaN/Inf
+	// coordinate or phi, non-positive weight, weight/processed mismatch,
+	// budget violation, or trailing garbage.
+	ErrCorrupt = errors.New("sketch: corrupt data")
+	// ErrUnknownDistance means the distance identifier is not one of the
+	// registered built-in distances (or, on encode, the stream uses a custom
+	// distance function that cannot be serialized).
+	ErrUnknownDistance = errors.New("sketch: unknown distance")
+	// ErrIncompatible means two sketches cannot be merged or a sketch cannot
+	// be restored as the requested stream kind: different kind, distance,
+	// k/z/budget parameters, or point dimensionality.
+	ErrIncompatible = errors.New("sketch: incompatible sketches")
+)
+
+// Kind discriminates the two stream flavours a sketch can capture.
+type Kind uint8
+
+const (
+	// KindKCenter is a plain k-center stream (CoresetStream).
+	KindKCenter Kind = 1
+	// KindOutliers is a k-center-with-z-outliers stream (CoresetOutliers).
+	KindOutliers Kind = 2
+)
+
+func (k Kind) valid() bool { return k == KindKCenter || k == KindOutliers }
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindKCenter:
+		return "k-center"
+	case KindOutliers:
+		return "k-center-with-outliers"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Sketch is the decoded, in-memory form of a serialized coreset sketch.
+type Sketch struct {
+	// Kind says whether this is a plain or an outlier-aware stream.
+	Kind Kind
+	// DistID identifies the distance function (see the registry below).
+	DistID uint8
+	// K is the number of centers extracted at query time.
+	K int
+	// Z is the number of outliers tolerated (0 for KindKCenter).
+	Z int
+	// EpsHat is the slack of the outlier radius search (0 for KindKCenter).
+	EpsHat float64
+	// Tau is the coreset budget of the doubling algorithm.
+	Tau int
+	// Phi is the doubling algorithm's lower bound on r*_tau.
+	Phi float64
+	// Processed is the number of stream points summarised by the sketch.
+	Processed int64
+	// Initialized reports whether the doubling algorithm has left its
+	// buffering phase; when false, Points are the raw buffered prefix with
+	// unit weights.
+	Initialized bool
+	// Points is the weighted coreset (or unit-weight buffer).
+	Points metric.WeightedSet
+}
+
+// Dim returns the dimensionality of the sketch's points (0 if it is empty).
+func (s *Sketch) Dim() int {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[0].P.Dim()
+}
+
+// State converts the sketch's doubling fields into a streaming.DoublingState.
+func (s *Sketch) State() streaming.DoublingState {
+	return streaming.DoublingState{
+		Tau:         s.Tau,
+		Phi:         s.Phi,
+		Processed:   s.Processed,
+		Initialized: s.Initialized,
+		Points:      s.Points,
+	}
+}
+
+// FromState builds a sketch from a doubling state plus the stream's
+// query-time parameters.
+func FromState(kind Kind, distID uint8, k, z int, epsHat float64, st streaming.DoublingState) *Sketch {
+	return &Sketch{
+		Kind:        kind,
+		DistID:      distID,
+		K:           k,
+		Z:           z,
+		EpsHat:      epsHat,
+		Tau:         st.Tau,
+		Phi:         st.Phi,
+		Processed:   st.Processed,
+		Initialized: st.Initialized,
+		Points:      st.Points,
+	}
+}
+
+// Distance returns the sketch's distance function.
+func (s *Sketch) Distance() (metric.Distance, error) { return DistanceByID(s.DistID) }
+
+// builtinDistance is one entry of the distance registry. Only the built-in
+// distances are serializable: a sketch must be reconstructible on a machine
+// that never saw the originating process, so closures cannot be carried.
+type builtinDistance struct {
+	id   uint8
+	name string
+	fn   metric.Distance
+}
+
+// The registry. Identifiers are part of the wire format: never renumber,
+// only append.
+var builtins = []builtinDistance{
+	{1, "euclidean", metric.Euclidean},
+	{2, "manhattan", metric.Manhattan},
+	{3, "chebyshev", metric.Chebyshev},
+	{4, "angular", metric.Angular},
+	{5, "cosine", metric.Cosine},
+}
+
+// DistanceID maps a distance function to its wire identifier. A nil function
+// is treated as Euclidean (the library default). Custom functions return
+// ErrUnknownDistance: they cannot be serialized.
+func DistanceID(d metric.Distance) (uint8, error) {
+	if d == nil {
+		return 1, nil
+	}
+	ptr := reflect.ValueOf(d).Pointer()
+	for _, b := range builtins {
+		if reflect.ValueOf(b.fn).Pointer() == ptr {
+			return b.id, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: custom distance functions cannot be serialized; use a built-in distance", ErrUnknownDistance)
+}
+
+// DistanceByID maps a wire identifier back to the distance function.
+func DistanceByID(id uint8) (metric.Distance, error) {
+	for _, b := range builtins {
+		if b.id == id {
+			return b.fn, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: id %d", ErrUnknownDistance, id)
+}
+
+// DistanceName returns the registered name of a wire identifier ("unknown"
+// for unregistered ids).
+func DistanceName(id uint8) string {
+	for _, b := range builtins {
+		if b.id == id {
+			return b.name
+		}
+	}
+	return "unknown"
+}
+
+// DistanceByName maps a registered name (e.g. "euclidean") to its function
+// and wire identifier; it is used by CLIs and the daemon to parse -distance
+// flags.
+func DistanceByName(name string) (metric.Distance, uint8, error) {
+	for _, b := range builtins {
+		if b.name == name {
+			return b.fn, b.id, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: name %q", ErrUnknownDistance, name)
+}
+
+// DistanceNames lists the registered distance names in id order.
+func DistanceNames() []string {
+	out := make([]string, len(builtins))
+	for i, b := range builtins {
+		out[i] = b.name
+	}
+	return out
+}

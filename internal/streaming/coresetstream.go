@@ -39,11 +39,39 @@ func NewCoresetStream(dist metric.Distance, k, tau int) (*CoresetStream, error) 
 	return &CoresetStream{k: k, dist: dist, doubling: d}, nil
 }
 
+// RestoreCoresetStream reconstructs a CoresetStream around a restored (or
+// merged) doubling processor, e.g. one decoded from a serialized sketch.
+func RestoreCoresetStream(dist metric.Distance, k int, d *Doubling) (*CoresetStream, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("streaming: k must be positive, got %d", k)
+	}
+	if d == nil {
+		return nil, errors.New("streaming: nil doubling state")
+	}
+	if d.Tau() < k {
+		return nil, fmt.Errorf("streaming: tau (%d) must be at least k (%d)", d.Tau(), k)
+	}
+	if dist == nil {
+		dist = metric.Euclidean
+	}
+	return &CoresetStream{k: k, dist: dist, doubling: d}, nil
+}
+
 // SetWorkers sets the parallelism degree of the distance engine used by the
 // query-time coreset extraction: <= 0 (the default) selects one worker per
 // CPU, 1 forces the sequential path. The extracted centers are bit-identical
 // for any value. Not safe to call concurrently with Result.
 func (c *CoresetStream) SetWorkers(workers int) { c.workers = workers }
+
+// K returns the number of centers extracted at query time.
+func (c *CoresetStream) K() int { return c.k }
+
+// Distance returns the distance function the stream was built with.
+func (c *CoresetStream) Distance() metric.Distance { return c.dist }
+
+// Doubling exposes the underlying doubling processor (shared, not a copy);
+// use its State method to capture a serializable snapshot.
+func (c *CoresetStream) Doubling() *Doubling { return c.doubling }
 
 // Process implements Processor.
 func (c *CoresetStream) Process(p metric.Point) error { return c.doubling.Process(p) }
@@ -112,6 +140,46 @@ func NewCoresetOutliers(dist metric.Distance, k, z, tau int, epsHat float64) (*C
 	}
 	return &CoresetOutliers{k: k, z: z, epsHat: epsHat, dist: dist, doubling: d}, nil
 }
+
+// RestoreCoresetOutliers reconstructs a CoresetOutliers around a restored (or
+// merged) doubling processor, e.g. one decoded from a serialized sketch.
+func RestoreCoresetOutliers(dist metric.Distance, k, z int, epsHat float64, d *Doubling) (*CoresetOutliers, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("streaming: k must be positive, got %d", k)
+	}
+	if z < 0 {
+		return nil, fmt.Errorf("streaming: z must be non-negative, got %d", z)
+	}
+	if epsHat < 0 {
+		return nil, fmt.Errorf("streaming: epsHat must be non-negative, got %v", epsHat)
+	}
+	if d == nil {
+		return nil, errors.New("streaming: nil doubling state")
+	}
+	if d.Tau() < k+z {
+		return nil, fmt.Errorf("streaming: tau (%d) must be at least k+z (%d)", d.Tau(), k+z)
+	}
+	if dist == nil {
+		dist = metric.Euclidean
+	}
+	return &CoresetOutliers{k: k, z: z, epsHat: epsHat, dist: dist, doubling: d}, nil
+}
+
+// K returns the number of centers extracted at query time.
+func (c *CoresetOutliers) K() int { return c.k }
+
+// Z returns the number of outliers tolerated at query time.
+func (c *CoresetOutliers) Z() int { return c.z }
+
+// EpsHat returns the slack parameter of the query-time radius search.
+func (c *CoresetOutliers) EpsHat() float64 { return c.epsHat }
+
+// Distance returns the distance function the stream was built with.
+func (c *CoresetOutliers) Distance() metric.Distance { return c.dist }
+
+// Doubling exposes the underlying doubling processor (shared, not a copy);
+// use its State method to capture a serializable snapshot.
+func (c *CoresetOutliers) Doubling() *Doubling { return c.doubling }
 
 // SetSearchStrategy overrides the radius-search strategy used by Result (the
 // default is the paper's binary + geometric search).

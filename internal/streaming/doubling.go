@@ -146,6 +146,191 @@ func (d *Doubling) mergeCloserThan(threshold float64) {
 	d.centers = kept
 }
 
+// DoublingState is the complete, self-contained state of a Doubling
+// processor: everything needed to serialize it, move it across machines, and
+// resume (or merge) it elsewhere. Before initialisation (fewer than tau+1
+// points processed) Points holds the buffered raw points with unit weights;
+// after initialisation it holds the weighted centers.
+type DoublingState struct {
+	// Tau is the coreset budget.
+	Tau int
+	// Phi is the current lower bound on r*_tau of the processed prefix
+	// (meaningful only when Initialized).
+	Phi float64
+	// Processed is the number of points consumed so far.
+	Processed int64
+	// Initialized reports whether the initial buffering phase has completed.
+	Initialized bool
+	// Points are the weighted centers (Initialized) or the unit-weight
+	// buffered prefix (not Initialized).
+	Points metric.WeightedSet
+}
+
+// State returns a deep copy of the processor's state, suitable for
+// serialization. The processor can keep being used afterwards.
+func (d *Doubling) State() DoublingState {
+	st := DoublingState{Tau: d.tau, Phi: d.phi, Processed: d.processed}
+	if d.centers == nil {
+		st.Points = metric.Unweighted(d.initBuf).Clone()
+		return st
+	}
+	st.Initialized = true
+	st.Points = d.centers.Clone()
+	return st
+}
+
+// RestoreDoubling reconstructs a Doubling processor from a previously
+// captured state. The state is validated structurally (budget, weights,
+// coordinate finiteness, invariant (d)); a nil distance defaults to
+// Euclidean. The state's points are deep-copied, so the caller may keep
+// mutating its copy.
+func RestoreDoubling(dist metric.Distance, st DoublingState) (*Doubling, error) {
+	if st.Tau < 1 {
+		return nil, fmt.Errorf("streaming: restore: tau must be at least 1, got %d", st.Tau)
+	}
+	if math.IsNaN(st.Phi) || math.IsInf(st.Phi, 0) || st.Phi < 0 {
+		return nil, fmt.Errorf("streaming: restore: invalid phi %v", st.Phi)
+	}
+	if st.Processed < 0 {
+		return nil, fmt.Errorf("streaming: restore: negative processed count %d", st.Processed)
+	}
+	var total int64
+	dim := -1
+	for i, wp := range st.Points {
+		if err := wp.P.Validate(); err != nil {
+			return nil, fmt.Errorf("streaming: restore: point %d: %w", i, err)
+		}
+		if dim < 0 {
+			dim = wp.P.Dim()
+		} else if wp.P.Dim() != dim {
+			return nil, fmt.Errorf("streaming: restore: point %d: %w", i, metric.ErrDimensionMismatch)
+		}
+		if wp.W <= 0 {
+			return nil, fmt.Errorf("streaming: restore: point %d has non-positive weight %d", i, wp.W)
+		}
+		total += wp.W
+	}
+	if dist == nil {
+		dist = metric.Euclidean
+	}
+	d := &Doubling{dist: dist, tau: st.Tau}
+	if !st.Initialized {
+		if len(st.Points) > st.Tau {
+			return nil, fmt.Errorf("streaming: restore: %d buffered points exceed tau=%d", len(st.Points), st.Tau)
+		}
+		if total != st.Processed || int64(len(st.Points)) != st.Processed {
+			return nil, fmt.Errorf("streaming: restore: uninitialised state has %d unit points, processed %d", len(st.Points), st.Processed)
+		}
+		for _, wp := range st.Points {
+			if wp.W != 1 {
+				return nil, fmt.Errorf("streaming: restore: uninitialised state carries weight %d != 1", wp.W)
+			}
+			d.initBuf = append(d.initBuf, wp.P.Clone())
+		}
+		d.processed = st.Processed
+		return d, nil
+	}
+	if len(st.Points) == 0 {
+		return nil, errors.New("streaming: restore: initialised state with no centers")
+	}
+	if len(st.Points) > st.Tau {
+		return nil, fmt.Errorf("streaming: restore: %d centers exceed tau=%d", len(st.Points), st.Tau)
+	}
+	if total != st.Processed {
+		return nil, fmt.Errorf("streaming: restore: weights sum to %d, processed %d", total, st.Processed)
+	}
+	d.centers = st.Points.Clone()
+	d.phi = st.Phi
+	d.processed = st.Processed
+	return d, nil
+}
+
+// MergeDoublings unions the state of two or more Doubling processors built on
+// independent shards of a stream and re-establishes the coreset budget with
+// the merge rule — the streaming counterpart of the paper's composable
+// coreset union. All processors must share the same budget tau and (by
+// contract) the same distance function; the first processor's distance is
+// used.
+//
+// The merged phi starts at the maximum of the inputs' phis, which preserves
+// invariant (c) (every original point is within 8*phi of a surviving proxy).
+// Because centers from different shards can lie arbitrarily close together,
+// one extra merge-rule round is applied when the union violates invariant (b)
+// (some pair within 4*phi), so the result satisfies all structural invariants
+// and can keep processing points like any single-stream state. The merge is
+// fully sequential and depends only on the argument order, never on worker
+// counts.
+func MergeDoublings(ds ...*Doubling) (*Doubling, error) {
+	if len(ds) == 0 {
+		return nil, errors.New("streaming: nothing to merge")
+	}
+	for i, d := range ds {
+		if d == nil {
+			return nil, fmt.Errorf("streaming: merge: nil processor at position %d", i)
+		}
+	}
+	tau := ds[0].tau
+	dist := ds[0].dist
+	anyInitialized := false
+	for i, d := range ds {
+		if d.tau != tau {
+			return nil, fmt.Errorf("streaming: merge: budget mismatch: tau=%d at position %d, want %d", d.tau, i, tau)
+		}
+		if d.centers != nil {
+			anyInitialized = true
+		}
+	}
+	if !anyInitialized {
+		// Every shard is still buffering: replaying the raw points through a
+		// fresh processor reproduces the exact single-stream semantics.
+		out, err := NewDoubling(dist, tau)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range ds {
+			for _, p := range d.initBuf {
+				if err := out.Process(p.Clone()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	var phi float64
+	var processed int64
+	var union metric.WeightedSet
+	for _, d := range ds {
+		processed += d.processed
+		if d.centers != nil {
+			if d.phi > phi {
+				phi = d.phi
+			}
+			union = append(union, d.centers.Clone()...)
+		} else {
+			union = append(union, metric.Unweighted(d.initBuf).Clone()...)
+		}
+	}
+	out := &Doubling{dist: dist, tau: tau, centers: union, phi: phi, processed: processed}
+	// Collapse exact duplicates across shards (free: zero-distance merges
+	// never hurt coverage).
+	out.mergeCloserThan(0)
+	// Centers from different shards can lie arbitrarily close together, so
+	// the union can violate invariant (b) even when it fits the budget. One
+	// merge-rule round restores it: phi doubles, the shards' 8*phi coverage
+	// becomes 4*phi_new, and collapsing pairs within 4*phi_new displaces a
+	// proxy by at most another 4*phi_new — so (c) still holds at 8*phi_new,
+	// and the survivors are pairwise more than 4*phi_new apart by
+	// construction.
+	if min := metric.MinPairwiseDistance(out.dist, out.centers.Points()); min <= 4*out.phi {
+		out.merge()
+	}
+	// Then apply the merge rule until the budget holds.
+	for len(out.centers) > tau {
+		out.merge()
+	}
+	return out, nil
+}
+
 // WorkingMemory implements Processor.
 func (d *Doubling) WorkingMemory() int {
 	if d.centers == nil {

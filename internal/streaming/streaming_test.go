@@ -651,3 +651,74 @@ func TestTwoPassOutliersMaxCoresetSizeCap(t *testing.T) {
 		t.Errorf("coreset size = %d exceeds cap 25", res.CoresetSize)
 	}
 }
+
+func TestMergeDoublingsRestoresInvariants(t *testing.T) {
+	// Centers from different shards can lie arbitrarily close, so the union
+	// may violate invariant (b) even when it fits the budget; the merge must
+	// re-establish it. Shard A holds {0, 100}, shard B holds {1, 101}: the
+	// four centers fit tau=4, but 0 and 1 are within 4*phi.
+	mk := func(coords ...float64) *Doubling {
+		st := DoublingState{Tau: 4, Phi: 10, Processed: int64(len(coords)), Initialized: true}
+		for _, c := range coords {
+			st.Points = append(st.Points, metric.WeightedPoint{P: metric.Point{c}, W: 1})
+		}
+		d, err := RestoreDoubling(metric.Euclidean, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if _, err := MergeDoublings(nil, mk(0, 100)); err == nil {
+		t.Error("MergeDoublings(nil, ...) should error, not panic")
+	}
+	merged, err := MergeDoublings(mk(0, 100), mk(1, 101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.CheckInvariants(); err != nil {
+		t.Errorf("merged state: %v", err)
+	}
+	// The merged state must remain a live processor: keep observing and the
+	// invariants must keep holding.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		if err := merged.Process(metric.Point{rng.Float64() * 200}); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.CheckInvariants(); err != nil {
+			t.Fatalf("after point %d: %v", i, err)
+		}
+	}
+}
+
+func TestMergeDoublingsInvariantsProperty(t *testing.T) {
+	// Invariants hold for merges of real shard states across random data,
+	// shard counts and budgets.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tau := 4 + rng.Intn(12)
+		shards := 2 + rng.Intn(4)
+		ds := clusteredDataset(rng, 5, 30, 3, 100, 2)
+		procs := make([]*Doubling, shards)
+		for i := range procs {
+			d, err := NewDoubling(metric.Euclidean, tau)
+			if err != nil {
+				return false
+			}
+			for j := i; j < len(ds); j += shards {
+				if err := d.Process(ds[j]); err != nil {
+					return false
+				}
+			}
+			procs[i] = d
+		}
+		merged, err := MergeDoublings(procs...)
+		if err != nil {
+			return false
+		}
+		return merged.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("merged doubling invariants violated: %v", err)
+	}
+}

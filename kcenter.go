@@ -377,6 +377,32 @@ func Gonzalez(points Dataset, k int, opts ...Option) (*Clustering, error) {
 	}, nil
 }
 
+// Radius reports the k-center objective of a clustering: the maximum distance
+// from any point to its nearest center. An empty center set yields +Inf for
+// non-empty points. It accepts WithDistance and WithWorkers; as everywhere in
+// the library, the result is bit-identical for every worker count.
+func Radius(points, centers Dataset, opts ...Option) (float64, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return 0, err
+	}
+	return metric.ParallelRadius(o.distance, points, centers, o.workers), nil
+}
+
+// RadiusExcluding reports the outlier-aware k-center objective: the maximum
+// distance from points to centers after discarding the z points farthest from
+// the centers. It returns 0 when z >= len(points).
+func RadiusExcluding(points, centers Dataset, z int, opts ...Option) (float64, error) {
+	if z < 0 {
+		return 0, fmt.Errorf("kcenter: z must be non-negative, got %d", z)
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return 0, err
+	}
+	return metric.ParallelRadiusExcluding(o.distance, points, centers, z, o.workers), nil
+}
+
 // EstimateDoublingDimension reports an empirical estimate of the doubling
 // dimension of the dataset, the parameter that governs the space-accuracy
 // trade-off of every algorithm in this library. It is a sampling heuristic

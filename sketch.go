@@ -1,0 +1,198 @@
+package kcenter
+
+import (
+	"fmt"
+
+	"coresetclustering/internal/sketch"
+	"coresetclustering/internal/streaming"
+)
+
+// Sketch errors, re-exported from the codec so callers can branch on them
+// with errors.Is. Every malformed input to RestoreStreamingKCenter,
+// RestoreStreamingOutliers, MergeSketches or InspectSketch maps to one of
+// these; the codec never panics.
+var (
+	// ErrSketchBadMagic: the bytes are not a sketch at all.
+	ErrSketchBadMagic = sketch.ErrBadMagic
+	// ErrSketchVersion: the sketch was written by an incompatible codec.
+	ErrSketchVersion = sketch.ErrUnsupportedVersion
+	// ErrSketchTruncated: the data ends before the declared payload does.
+	ErrSketchTruncated = sketch.ErrTruncated
+	// ErrSketchCorrupt: a structurally invalid field (non-finite values,
+	// weight inconsistencies, budget violations, trailing bytes, ...).
+	ErrSketchCorrupt = sketch.ErrCorrupt
+	// ErrSketchUnknownDistance: the sketch names a distance this build does
+	// not know, or Snapshot was asked to serialize a custom distance.
+	ErrSketchUnknownDistance = sketch.ErrUnknownDistance
+	// ErrSketchIncompatible: sketches that cannot be merged (different kind,
+	// distance, parameters or dimensionality), or a sketch restored as the
+	// wrong stream kind.
+	ErrSketchIncompatible = sketch.ErrIncompatible
+)
+
+// Snapshot serializes the complete state of the streaming clusterer into a
+// compact, self-describing binary sketch: the doubling-algorithm state
+// (budget, lower bound, weighted coreset points), the query parameter k, and
+// the identity of the distance function. The sketch can be persisted, shipped
+// across machines, restored with RestoreStreamingKCenter, and merged with
+// sketches of other shards via MergeSketches; observation may continue after
+// the call.
+//
+// Only the built-in distances (Euclidean, Manhattan, Chebyshev, Angular,
+// Cosine) are serializable; a custom WithDistance function yields
+// ErrSketchUnknownDistance because the receiving machine could not
+// reconstruct it.
+func (s *StreamingKCenter) Snapshot() ([]byte, error) {
+	id, err := sketch.DistanceID(s.inner.Distance())
+	if err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	return sketch.Encode(sketch.FromState(
+		sketch.KindKCenter, id, s.inner.K(), 0, 0, s.inner.Doubling().State()))
+}
+
+// RestoreStreamingKCenter reconstructs a streaming clusterer from a sketch
+// produced by Snapshot (or MergeSketches). The distance function and all
+// parameters come from the sketch itself; options may tune the runtime
+// behaviour of the restored stream (WithWorkers), while WithDistance is
+// ignored. The restored stream is fully live: it can keep observing points,
+// answer Centers, and be snapshotted again.
+func RestoreStreamingKCenter(data []byte, opts ...Option) (*StreamingKCenter, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := sketch.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if sk.Kind != sketch.KindKCenter {
+		return nil, fmt.Errorf("kcenter: %w: sketch is %s, want k-center", ErrSketchIncompatible, sk.Kind)
+	}
+	dist, err := sk.Distance()
+	if err != nil {
+		return nil, err
+	}
+	d, err := streaming.RestoreDoubling(dist, sk.State())
+	if err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	inner, err := streaming.RestoreCoresetStream(dist, sk.K, d)
+	if err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	inner.SetWorkers(o.workers)
+	return &StreamingKCenter{inner: inner}, nil
+}
+
+// Snapshot serializes the complete state of the streaming outlier clusterer,
+// including z and the radius-search slack epsHat, with the same semantics as
+// (*StreamingKCenter).Snapshot.
+func (s *StreamingOutliers) Snapshot() ([]byte, error) {
+	id, err := sketch.DistanceID(s.inner.Distance())
+	if err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	return sketch.Encode(sketch.FromState(
+		sketch.KindOutliers, id, s.inner.K(), s.inner.Z(), s.inner.EpsHat(), s.inner.Doubling().State()))
+}
+
+// RestoreStreamingOutliers reconstructs a streaming outlier clusterer from a
+// sketch produced by (*StreamingOutliers).Snapshot (or MergeSketches over
+// such sketches), with the same semantics as RestoreStreamingKCenter.
+func RestoreStreamingOutliers(data []byte, opts ...Option) (*StreamingOutliers, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := sketch.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if sk.Kind != sketch.KindOutliers {
+		return nil, fmt.Errorf("kcenter: %w: sketch is %s, want k-center-with-outliers", ErrSketchIncompatible, sk.Kind)
+	}
+	dist, err := sk.Distance()
+	if err != nil {
+		return nil, err
+	}
+	d, err := streaming.RestoreDoubling(dist, sk.State())
+	if err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	inner, err := streaming.RestoreCoresetOutliers(dist, sk.K, sk.Z, sk.EpsHat, d)
+	if err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
+	}
+	inner.SetWorkers(o.workers)
+	return &StreamingOutliers{inner: inner, z: sk.Z}, nil
+}
+
+// MergeSketches unions two or more sketches built on independent shards of a
+// stream and re-runs the doubling reduction so the merged sketch is back
+// under the shared coreset budget — the paper's composable-coreset property
+// as an operation on durable values. All sketches must agree on kind,
+// distance, k, z, epsHat, budget and dimensionality (ErrSketchIncompatible
+// otherwise).
+//
+// Determinism: the merge is fully sequential and independent of worker
+// counts; its result is fixed by the argument order, and merging the same
+// sketches twice yields byte-identical output. The merged sketch accounts for
+// every original point exactly once (its weights sum to the total number of
+// points observed across the shards).
+func MergeSketches(sketches ...[]byte) ([]byte, error) {
+	decoded := make([]*sketch.Sketch, len(sketches))
+	for i, data := range sketches {
+		s, err := sketch.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("sketch %d: %w", i, err)
+		}
+		decoded[i] = s
+	}
+	merged, err := sketch.Merge(decoded...)
+	if err != nil {
+		return nil, err
+	}
+	return sketch.Encode(merged)
+}
+
+// SketchInfo summarises a sketch without restoring it.
+type SketchInfo struct {
+	// Outliers reports whether this is an outlier-aware sketch.
+	Outliers bool
+	// K is the number of centers extracted at query time.
+	K int
+	// Z is the number of outliers tolerated (0 unless Outliers).
+	Z int
+	// Budget is the coreset budget (tau) of the doubling algorithm.
+	Budget int
+	// Distance is the registered name of the distance function.
+	Distance string
+	// Observed is the number of stream points the sketch summarises.
+	Observed int64
+	// CoresetSize is the number of weighted points currently retained.
+	CoresetSize int
+	// Dimensions is the dimensionality of the points (0 if the sketch is
+	// empty).
+	Dimensions int
+}
+
+// InspectSketch decodes and validates a sketch and reports its metadata. It
+// is the cheap way to answer "what is this blob?" before deciding to restore
+// or merge it.
+func InspectSketch(data []byte) (*SketchInfo, error) {
+	sk, err := sketch.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &SketchInfo{
+		Outliers:    sk.Kind == sketch.KindOutliers,
+		K:           sk.K,
+		Z:           sk.Z,
+		Budget:      sk.Tau,
+		Distance:    sketch.DistanceName(sk.DistID),
+		Observed:    sk.Processed,
+		CoresetSize: len(sk.Points),
+		Dimensions:  sk.Dim(),
+	}, nil
+}

@@ -1,0 +1,343 @@
+package kcenter
+
+// Public-API tests for the sketch subsystem: snapshot/restore round-trips,
+// the end-to-end sharded flow (split -> snapshot -> merge -> extract), its
+// quality bound against the sequential Gonzalez baseline, and the
+// determinism contract (worker-count invariance, argument-order-fixed
+// merges).
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSketchSnapshotRestoreRoundTrip(t *testing.T) {
+	ds := clusteredTestData(5000, 4, 8, 31)
+	s, err := NewStreamingKCenter(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveAll(ds[:3000]); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restoring and re-snapshotting is byte-identical (the codec is golden).
+	restored, err := RestoreStreamingKCenter(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := restored.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, snap2) {
+		t.Error("snapshot -> restore -> snapshot is not byte-identical")
+	}
+
+	// A restored stream is fully live: feeding the rest of the stream into
+	// both the original and the restored copy must agree exactly.
+	if err := s.ObserveAll(ds[3000:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ObserveAll(ds[3000:]); err != nil {
+		t.Fatal(err)
+	}
+	if s.Observed() != restored.Observed() {
+		t.Fatalf("observed counts diverge: %d vs %d", s.Observed(), restored.Observed())
+	}
+	want, err := s.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("%d centers vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Errorf("center %d differs after restore: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedSnapshotMergeExtract is the end-to-end acceptance scenario:
+// split a dataset across 4 shards, Snapshot each, MergeSketches, extract k
+// centers — the radius must be within (2+eps) of the sequential Gonzalez
+// radius, and the output must be byte-identical for 1, 2 and 8 workers.
+func TestShardedSnapshotMergeExtract(t *testing.T) {
+	const (
+		k      = 10
+		shards = 4
+		budget = 16 * k
+	)
+	ds := clusteredTestData(12000, 4, 10, 37)
+
+	snaps := make([][]byte, shards)
+	for i := 0; i < shards; i++ {
+		s, err := NewStreamingKCenter(k, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := i; j < len(ds); j += shards {
+			if err := s.Observe(ds[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if snaps[i], err = s.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged, err := MergeSketches(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merging is deterministic: same arguments, byte-identical output.
+	merged2, err := MergeSketches(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, merged2) {
+		t.Error("MergeSketches is not deterministic for identical arguments")
+	}
+
+	info, err := InspectSketch(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Observed != int64(len(ds)) {
+		t.Errorf("merged sketch observed %d points, want %d", info.Observed, len(ds))
+	}
+	if info.CoresetSize > budget {
+		t.Errorf("merged coreset %d exceeds budget %d", info.CoresetSize, budget)
+	}
+
+	// Worker-count invariance of the extraction.
+	var baseline Dataset
+	for _, workers := range []int{1, 2, 8} {
+		restored, err := RestoreStreamingKCenter(merged, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		centers, err := restored.Centers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(centers) != k {
+			t.Fatalf("workers=%d: extracted %d centers, want %d", workers, len(centers), k)
+		}
+		if baseline == nil {
+			baseline = centers
+			continue
+		}
+		for i := range baseline {
+			if !baseline[i].Equal(centers[i]) {
+				t.Errorf("workers=%d: center %d differs from workers=1", workers, i)
+			}
+		}
+	}
+
+	// Quality: within (2+eps) of the sequential Gonzalez radius. Gonzalez is
+	// itself a 2-approximation, so this holds whenever the sharded pipeline
+	// meets its (2+eps)-of-optimum guarantee; eps = 1 absorbs the budget
+	// slack.
+	seq, err := Gonzalez(ds, k, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedRadius := radiusOf(t, ds, baseline)
+	if bound := (2 + 1.0) * seq.Radius; mergedRadius > bound {
+		t.Errorf("sharded radius %v exceeds (2+eps) bound %v (Gonzalez %v)", mergedRadius, bound, seq.Radius)
+	}
+
+	// And the sharded result should be comparable to a single in-memory
+	// stream over the same data with the same budget.
+	single, err := NewStreamingKCenter(k, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.ObserveAll(ds); err != nil {
+		t.Fatal(err)
+	}
+	singleCenters, err := single.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleRadius := radiusOf(t, ds, singleCenters)
+	if mergedRadius > 3*singleRadius {
+		t.Errorf("sharded radius %v much worse than single-stream radius %v", mergedRadius, singleRadius)
+	}
+}
+
+func TestSketchOutliersShardedFlow(t *testing.T) {
+	const (
+		k, z   = 5, 20
+		shards = 2
+		budget = 8 * (k + z)
+	)
+	ds := clusteredTestData(4000, 3, 5, 43)
+	// Plant z far-away outliers.
+	for i := 0; i < z; i++ {
+		ds = append(ds, Point{1e5 + float64(i), 1e5, 1e5})
+	}
+
+	snaps := make([][]byte, shards)
+	for i := 0; i < shards; i++ {
+		s, err := NewStreamingOutliers(k, z, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := i; j < len(ds); j += shards {
+			if err := s.Observe(ds[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if snaps[i], err = s.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergeSketches(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStreamingOutliers(merged, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Observed() != int64(len(ds)) {
+		t.Errorf("restored stream observed %d, want %d", restored.Observed(), len(ds))
+	}
+	centers, err := restored.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) == 0 || len(centers) > k {
+		t.Fatalf("extracted %d centers, want 1..%d", len(centers), k)
+	}
+	// The planted outliers must not drag the radius: excluding z points, the
+	// radius should stay modest relative to the blob spread (well under the
+	// 1e5 scale of the planted junk).
+	r := radiusExcluding(ds, centers, z)
+	if r > 1000 {
+		t.Errorf("outlier-aware radius %v: planted outliers were not discarded", r)
+	}
+}
+
+func TestSnapshotCustomDistanceRejected(t *testing.T) {
+	custom := func(a, b Point) float64 { return Euclidean(a, b) }
+	s, err := NewStreamingKCenter(3, 12, WithDistance(custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe(Point{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Snapshot(); !errors.Is(err, ErrSketchUnknownDistance) {
+		t.Errorf("Snapshot with custom distance = %v, want ErrSketchUnknownDistance", err)
+	}
+}
+
+func TestRestoreWrongKind(t *testing.T) {
+	s, err := NewStreamingKCenter(3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreStreamingOutliers(snap); !errors.Is(err, ErrSketchIncompatible) {
+		t.Errorf("RestoreStreamingOutliers(k-center sketch) = %v, want ErrSketchIncompatible", err)
+	}
+}
+
+func TestSketchErrorsAreTyped(t *testing.T) {
+	if _, err := RestoreStreamingKCenter(nil); !errors.Is(err, ErrSketchTruncated) {
+		t.Errorf("restore nil = %v, want ErrSketchTruncated", err)
+	}
+	if _, err := InspectSketch([]byte("this is not a sketch blob")); !errors.Is(err, ErrSketchBadMagic) {
+		t.Errorf("inspect garbage = %v, want ErrSketchBadMagic", err)
+	}
+	if _, err := MergeSketches([]byte("KCSK")); !errors.Is(err, ErrSketchTruncated) {
+		t.Errorf("merge truncated = %v, want ErrSketchTruncated", err)
+	}
+	if _, err := MergeSketches(); !errors.Is(err, ErrSketchIncompatible) {
+		t.Errorf("merge nothing = %v, want ErrSketchIncompatible", err)
+	}
+}
+
+func TestInspectSketch(t *testing.T) {
+	s, err := NewStreamingOutliers(4, 7, 88, WithDistance(Manhattan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveAll(clusteredTestData(500, 6, 3, 47)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := InspectSketch(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Outliers || info.K != 4 || info.Z != 7 || info.Budget != 88 ||
+		info.Distance != "manhattan" || info.Observed != 500 || info.Dimensions != 6 {
+		t.Errorf("unexpected sketch info: %+v", info)
+	}
+	if info.CoresetSize < 1 || info.CoresetSize > 88 {
+		t.Errorf("coreset size %d outside (0, budget]", info.CoresetSize)
+	}
+}
+
+// radiusOf is a plain sequential radius computation, independent of the
+// library's parallel engine.
+func radiusOf(t *testing.T, points, centers Dataset) float64 {
+	t.Helper()
+	r, err := Radius(points, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// radiusExcluding drops the z largest nearest-center distances.
+func radiusExcluding(points, centers Dataset, z int) float64 {
+	dists := make([]float64, len(points))
+	for i, p := range points {
+		best := math.Inf(1)
+		for _, c := range centers {
+			if d := Euclidean(p, c); d < best {
+				best = d
+			}
+		}
+		dists[i] = best
+	}
+	for i := 0; i < z && len(dists) > 0; i++ {
+		maxIdx := 0
+		for j, d := range dists {
+			if d > dists[maxIdx] {
+				maxIdx = j
+			}
+		}
+		dists[maxIdx] = dists[len(dists)-1]
+		dists = dists[:len(dists)-1]
+	}
+	var r float64
+	for _, d := range dists {
+		if d > r {
+			r = d
+		}
+	}
+	return r
+}
