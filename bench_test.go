@@ -249,14 +249,14 @@ func BenchmarkDistanceKernelsParallel(b *testing.B) {
 		b.Run("assign/"+name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				eng.Assign(metric.Euclidean, ds, centers)
+				eng.Assign(metric.EuclideanSpace, ds, centers)
 			}
 		})
 		b.Run("radius/"+name, func(b *testing.B) {
 			b.ReportAllocs()
 			var sink float64
 			for i := 0; i < b.N; i++ {
-				sink += eng.Radius(metric.Euclidean, ds, centers)
+				sink += eng.Radius(metric.EuclideanSpace, ds, centers)
 			}
 			_ = sink
 		})

@@ -1,11 +1,13 @@
 // Command datagen generates the synthetic datasets used throughout this
 // repository (Higgs-, Power- and Wiki-like families), optionally injecting
 // outliers and inflating the instance SMOTE-style, and writes the result as
-// CSV.
+// CSV (default) or as the binary flat-buffer layout that metric.Flat loads
+// into one contiguous buffer (-layout flat).
 //
 // Usage:
 //
 //	datagen -family higgs -n 100000 -outliers 200 -inflate 1 -seed 42 -out higgs.csv
+//	datagen -family higgs -n 1000000 -layout flat -out higgs.kcfl
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 
 	"coresetclustering/internal/dataset"
+	"coresetclustering/internal/metric"
 )
 
 func main() {
@@ -31,7 +34,8 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 42, "random seed")
 		outliers = fs.Int("outliers", 0, "number of far outliers to inject (paper's 100*r_MEB procedure)")
 		inflate  = fs.Int("inflate", 1, "SMOTE-like inflation factor (1 = none)")
-		out      = fs.String("out", "", "output CSV file (default: stdout)")
+		out      = fs.String("out", "", "output file (default: stdout)")
+		layout   = fs.String("layout", "csv", "output layout: csv (text) or flat (binary flat-buffer, loadable by metric.Flat and the kcenter CLI)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,12 +61,29 @@ func run(args []string) error {
 			len(inj.OutlierIndices), inj.MEBRadius)
 	}
 
-	if *out == "" {
-		return dataset.WriteCSV(os.Stdout, ds)
+	switch *layout {
+	case "csv":
+		if *out == "" {
+			return dataset.WriteCSV(os.Stdout, ds)
+		}
+		if err := dataset.SaveCSVFile(*out, ds); err != nil {
+			return err
+		}
+	case "flat":
+		if *out == "" {
+			f, err := metric.FlatFromDataset(ds)
+			if err != nil {
+				return err
+			}
+			_, err = f.WriteTo(os.Stdout)
+			return err
+		}
+		if err := dataset.SaveFlatFile(*out, ds); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown layout %q (want csv or flat)", *layout)
 	}
-	if err := dataset.SaveCSVFile(*out, ds); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "wrote %d points (%d dims) to %s\n", len(ds), ds.Dim(), *out)
+	fmt.Fprintf(os.Stderr, "wrote %d points (%d dims) to %s (%s layout)\n", len(ds), ds.Dim(), *out, *layout)
 	return nil
 }

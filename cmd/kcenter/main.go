@@ -70,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		ell        = fs.Int("ell", 0, "number of partitions (0 = sqrt(n/(k+z)))")
 		randomized = fs.Bool("randomized", false, "use randomized partitioning (outlier variant only)")
 		workers    = fs.Int("workers", 0, "distance-engine parallelism (0 = one worker per CPU, 1 = sequential; results are identical for any value)")
+		spaceName  = fs.String("space", "euclidean", "metric space: euclidean, manhattan, chebyshev, angular or cosine")
 		streamFlag = fs.Bool("streaming", false, "use the one-pass streaming algorithm instead of the MapReduce one")
 		budget     = fs.Int("budget", 0, "streaming working-memory budget in points (default mu*(k+z))")
 		centersOut = fs.String("centers", "", "write the selected centers to this CSV file")
@@ -86,15 +87,19 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	space := kcenter.SpaceByName(*spaceName)
+	if space == nil {
+		return fmt.Errorf("unknown space %q (want one of euclidean, manhattan, chebyshev, angular, cosine)", *spaceName)
+	}
 
 	var res *result
 	switch {
 	case *streamFlag:
-		res, err = runStreaming(points, *k, *z, *mu, *budget, *workers)
+		res, err = runStreaming(points, space, *k, *z, *mu, *budget, *workers)
 	case *z > 0:
-		res, err = runOutliers(points, *k, *z, *mu, *eps, *ell, *randomized, *seed, *workers)
+		res, err = runOutliers(points, space, *k, *z, *mu, *eps, *ell, *randomized, *seed, *workers)
 	default:
-		res, err = runPlain(points, *k, *mu, *eps, *ell, *workers)
+		res, err = runPlain(points, space, *k, *mu, *eps, *ell, *workers)
 	}
 	if err != nil {
 		return err
@@ -150,7 +155,9 @@ func loadPoints(input, generate string, n int, seed int64) (kcenter.Dataset, err
 	case input != "" && generate != "":
 		return nil, fmt.Errorf("use either -input or -generate, not both")
 	case input != "":
-		return dataset.LoadCSVFile(input)
+		// Auto-detects the binary flat-buffer layout (datagen -layout flat)
+		// and falls back to CSV.
+		return dataset.LoadFile(input)
 	case generate != "":
 		return dataset.Generate(dataset.Name(generate), n, seed)
 	default:
@@ -158,8 +165,8 @@ func loadPoints(input, generate string, n int, seed int64) (kcenter.Dataset, err
 	}
 }
 
-func options(mu int, eps float64, ell int, randomized bool, seed int64, workers int) []kcenter.Option {
-	var opts []kcenter.Option
+func options(space kcenter.Space, mu int, eps float64, ell int, randomized bool, seed int64, workers int) []kcenter.Option {
+	opts := []kcenter.Option{kcenter.WithSpace(space)}
 	if eps > 0 {
 		opts = append(opts, kcenter.WithPrecision(eps))
 	} else if mu > 0 {
@@ -177,8 +184,8 @@ func options(mu int, eps float64, ell int, randomized bool, seed int64, workers 
 	return opts
 }
 
-func runPlain(points kcenter.Dataset, k, mu int, eps float64, ell, workers int) (*result, error) {
-	res, err := kcenter.Cluster(points, k, options(mu, eps, ell, false, 0, workers)...)
+func runPlain(points kcenter.Dataset, space kcenter.Space, k, mu int, eps float64, ell, workers int) (*result, error) {
+	res, err := kcenter.Cluster(points, k, options(space, mu, eps, ell, false, 0, workers)...)
 	if err != nil {
 		return nil, err
 	}
@@ -194,8 +201,8 @@ func runPlain(points kcenter.Dataset, k, mu int, eps float64, ell, workers int) 
 	}, nil
 }
 
-func runOutliers(points kcenter.Dataset, k, z, mu int, eps float64, ell int, randomized bool, seed int64, workers int) (*result, error) {
-	res, err := kcenter.ClusterWithOutliers(points, k, z, options(mu, eps, ell, randomized, seed, workers)...)
+func runOutliers(points kcenter.Dataset, space kcenter.Space, k, z, mu int, eps float64, ell int, randomized bool, seed int64, workers int) (*result, error) {
+	res, err := kcenter.ClusterWithOutliers(points, k, z, options(space, mu, eps, ell, randomized, seed, workers)...)
 	if err != nil {
 		return nil, err
 	}
@@ -213,14 +220,14 @@ func runOutliers(points kcenter.Dataset, k, z, mu int, eps float64, ell int, ran
 	}, nil
 }
 
-func runStreaming(points kcenter.Dataset, k, z, mu, budget, workers int) (*result, error) {
+func runStreaming(points kcenter.Dataset, space kcenter.Space, k, z, mu, budget, workers int) (*result, error) {
 	if budget <= 0 {
 		budget = mu * (k + z)
 		if budget < k+z+1 {
 			budget = k + z + 1
 		}
 	}
-	var opts []kcenter.Option
+	opts := []kcenter.Option{kcenter.WithSpace(space)}
 	if workers != 0 {
 		opts = append(opts, kcenter.WithWorkers(workers))
 	}

@@ -78,7 +78,7 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 		z       = fs.Int("z", 0, "default number of outliers for new streams (0 = plain k-center)")
 		budget  = fs.Int("budget", 0, "default working-memory budget in points (0 = 8*(k+z))")
 		workers = fs.Int("workers", 0, "distance-engine parallelism for extraction (0 = one per CPU)")
-		dist    = fs.String("distance", "euclidean", fmt.Sprintf("distance function %v", sketch.DistanceNames()))
+		dist    = fs.String("distance", "euclidean", fmt.Sprintf("metric space %v", sketch.DistanceNames()))
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -176,13 +176,15 @@ func (s *server) routes() http.Handler {
 	return http.MaxBytesHandler(mux, maxBodyBytes)
 }
 
-// newCore builds a streaming clusterer for the given parameters.
+// newCore builds a streaming clusterer for the given parameters. The
+// configured name resolves to a full metric Space (batched kernels +
+// surrogate), so ingest runs on the native hot path.
 func (s *server) newCore(k, z, budget int) (streamCore, error) {
-	distFn, _, err := sketch.DistanceByName(s.cfg.dist)
+	space, _, err := sketch.SpaceByName(s.cfg.dist)
 	if err != nil {
 		return nil, err
 	}
-	opts := []kcenter.Option{kcenter.WithDistance(distFn), kcenter.WithWorkers(s.cfg.workers)}
+	opts := []kcenter.Option{kcenter.WithSpace(space), kcenter.WithWorkers(s.cfg.workers)}
 	if z > 0 {
 		return kcenter.NewStreamingOutliers(k, z, budget, opts...)
 	}

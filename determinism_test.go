@@ -218,3 +218,97 @@ func TestCoresetQualityProperty(t *testing.T) {
 		}
 	}
 }
+
+// assertSameCenters fails unless the two center sets are identical
+// coordinate for coordinate, in order.
+func assertSameCenters(t *testing.T, want, got Dataset) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("center count differs across paths: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Fatalf("center %d differs across paths: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestCrossPathGolden is the public-API half of the metric-space layer's
+// determinism contract: for every built-in space whose surrogate is an exact
+// monotone prefix of its true distance (Euclidean, Manhattan, Chebyshev),
+// the native Space path and the Distance-adapter path produce bit-identical
+// centers, radii and assignments, for both the MapReduce and the streaming
+// algorithms and for every worker count.
+func TestCrossPathGolden(t *testing.T) {
+	ds := clusteredTestData(4000, 3, 6, 99)
+	k, z := 5, 12
+	cases := []struct {
+		name    string
+		native  Space
+		adapter Space
+	}{
+		{"euclidean", EuclideanSpace, SpaceFromDistance("euclidean-adapter", Euclidean)},
+		{"manhattan", ManhattanSpace, SpaceFromDistance("manhattan-adapter", Manhattan)},
+		{"chebyshev", ChebyshevSpace, SpaceFromDistance("chebyshev-adapter", Chebyshev)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, w := range []int{1, 8} {
+				nat, err := Cluster(ds, k, WithSpace(tc.native), WithWorkers(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ada, err := Cluster(ds, k, WithSpace(tc.adapter), WithWorkers(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if nat.Radius != ada.Radius {
+					t.Fatalf("w=%d: Cluster radius native %v != adapter %v", w, nat.Radius, ada.Radius)
+				}
+				assertSameCenters(t, nat.Centers, ada.Centers)
+				for i := range nat.Assignment {
+					if nat.Assignment[i] != ada.Assignment[i] {
+						t.Fatalf("w=%d: assignment[%d] differs across paths", w, i)
+					}
+				}
+
+				natO, err := ClusterWithOutliers(ds, k, z, WithSpace(tc.native), WithWorkers(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				adaO, err := ClusterWithOutliers(ds, k, z, WithSpace(tc.adapter), WithWorkers(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if natO.Radius != adaO.Radius {
+					t.Fatalf("w=%d: outlier radius native %v != adapter %v", w, natO.Radius, adaO.Radius)
+				}
+				assertSameCenters(t, natO.Centers, adaO.Centers)
+
+				natS, err := NewStreamingKCenter(k, 8*k, WithSpace(tc.native), WithWorkers(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				adaS, err := NewStreamingKCenter(k, 8*k, WithSpace(tc.adapter), WithWorkers(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := natS.ObserveAll(ds); err != nil {
+					t.Fatal(err)
+				}
+				if err := adaS.ObserveAll(ds); err != nil {
+					t.Fatal(err)
+				}
+				natC, err := natS.Centers()
+				if err != nil {
+					t.Fatal(err)
+				}
+				adaC, err := adaS.Centers()
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameCenters(t, natC, adaC)
+			}
+		})
+	}
+}

@@ -35,28 +35,65 @@
 //     MergeSketches: durable, mergeable sketches of streaming state for
 //     sharded deployments (see below).
 //
+// # Metric spaces: Space vs Distance
+//
+// Distance evaluations dominate every algorithm here, so the metric is a
+// first-class object: a Space bundles a named distance function with batched
+// block kernels and a comparison-domain surrogate. The surrogate is a
+// monotone transform of the true distance that is cheaper to evaluate —
+// squared Euclidean drops the square root, the angular and cosine spaces
+// drop the arccos and reuse the query point's norm across a whole block —
+// and every argmin, max and order-statistic reduction runs in the surrogate
+// domain. The conversion back to a true distance is applied once per
+// REPORTED value (a radius, a nearest-neighbour distance), never once per
+// evaluation. On amd64 hardware with AVX the Euclidean kernels additionally
+// take a vectorised fast path that is bit-identical to the pure-Go kernels
+// by construction (the four SIMD lanes are exactly the four accumulator
+// lanes of the canonical summation order).
+//
+// WithSpace selects a space explicitly (EuclideanSpace, ManhattanSpace,
+// ChebyshevSpace, AngularSpace, CosineSpace). WithDistance keeps working
+// exactly as before: built-in functions are upgraded to their native spaces
+// automatically, and a custom function runs through the SpaceFromDistance
+// adapter, which calls it once per evaluation with the identity surrogate —
+// no caller breaks, custom metrics lose nothing. Named spaces are what the
+// sketch codec serializes, so restoring a sketch resolves the full
+// batched-kernel substrate, not just a scalar function.
+//
+// Datasets can live in contiguous flat storage (one backing buffer, zero
+// per-point allocations): cmd/datagen -layout flat emits the binary
+// flat-buffer format, and the dataset loaders auto-detect it (CSV parsing is
+// the unchanged fallback).
+//
 // # Parallelism and determinism
 //
-// Distance evaluations dominate every algorithm here, and all
-// distance-dominated passes (the Gonzalez farthest-point scans,
+// All distance-dominated passes (the Gonzalez farthest-point scans,
 // nearest-center assignment, radius computation, and the outlier covering
 // loop) run on a shared parallel distance engine (internal/metric) that
-// chunks the point set across a bounded set of worker goroutines, falling
-// back to plain sequential loops below a size cutoff. The WithWorkers option
-// controls the degree: 0 (the default) uses one worker per CPU, 1 forces the
-// fully sequential path.
+// chunks the point set across a bounded set of worker goroutines — each
+// chunk driven by the space's batched kernels — falling back to sequential
+// execution below a size cutoff. The WithWorkers option controls the degree:
+// 0 (the default) uses one worker per CPU, 1 forces the fully sequential
+// path.
 //
 // The engine honours a strict determinism contract: centers, radii and
 // assignments are bit-identical for every worker count. Parallelism is
 // applied only across independent points, ties break to the lowest index,
 // and per-chunk reductions are combined in chunk order — so WithWorkers
-// trades wall-clock time for CPUs without ever changing results. This is on
-// top of WithParallelism, which controls how many MapReduce partitions are
-// processed concurrently; the two compose (the engine's worker budget is
-// divided among concurrently running partitions). One obligation transfers
-// to callers: a custom WithDistance function is invoked from multiple
-// goroutines whenever more than one worker is in play, so it must be safe
-// for concurrent use (the built-in distances are).
+// trades wall-clock time for CPUs without ever changing results. The
+// surrogate domain preserves the contract: each surrogate is computed by
+// exactly the floating-point operations that prefix the true distance, and
+// the final conversion is the exact remaining operation (monotone and
+// correctly rounded), so reductions commute with it bit for bit. For
+// Euclidean, Manhattan and Chebyshev the native Space path and the
+// Distance-adapter path return bit-identical results, enforced by cross-path
+// golden tests. This is on top of WithParallelism, which controls how many
+// MapReduce partitions are processed concurrently; the two compose (the
+// engine's worker budget is divided among concurrently running partitions).
+// One obligation transfers to callers: a custom WithDistance function (or
+// Space implementation) is invoked from multiple goroutines whenever more
+// than one worker is in play, so it must be safe for concurrent use (the
+// built-ins are).
 //
 // # Sketches and sharding
 //

@@ -37,6 +37,7 @@ func KCenterViaEngine(points metric.Dataset, cfg KCenterConfig) (*KCenterResult,
 		RefCenters: cfg.K,
 		MaxSize:    cfg.MaxCoresetSize,
 		Workers:    exec.PerPartitionWorkers(ell),
+		Space:      cfg.Space,
 	}
 	assignPartition := func(p mapreduce.Pair[int, metric.Point]) ([]mapreduce.Pair[int, metric.Point], error) {
 		return []mapreduce.Pair[int, metric.Point]{{Key: p.Key % ell, Value: p.Value}}, nil
@@ -71,7 +72,7 @@ func KCenterViaEngine(points metric.Dataset, cfg KCenterConfig) (*KCenterResult,
 		return []mapreduce.Pair[int, metric.Point]{p}, nil
 	}
 	finalGMM := func(_ int, values []metric.Point) ([]mapreduce.Pair[int, metric.Point], error) {
-		res, err := gmm.Runner{Dist: cfg.Distance, Workers: cfg.Workers}.Run(values, cfg.K, 0)
+		res, err := gmm.Runner{Space: cfg.Space, Workers: cfg.Workers}.Run(values, cfg.K, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +96,7 @@ func KCenterViaEngine(points metric.Dataset, cfg KCenterConfig) (*KCenterResult,
 	}
 	return &KCenterResult{
 		Centers:          centers,
-		Radius:           metric.ParallelRadius(cfg.Distance, points, centers, cfg.Workers),
+		Radius:           metric.NewEngine(cfg.Workers).Radius(cfg.Space, points, centers),
 		CoresetUnionSize: len(round1),
 		LocalMemoryPeak:  maxInt(stats1.LocalMemory, stats2.LocalMemory),
 	}, nil

@@ -37,6 +37,11 @@ type KCenterConfig struct {
 	CoresetSize int
 	// Distance is the metric; nil defaults to Euclidean.
 	Distance metric.Distance
+	// Space, when non-nil, overrides Distance as the metric space driving
+	// every distance-dominated pass (batched kernels + comparison-domain
+	// surrogate). When nil, Distance is upgraded to its native space
+	// (built-ins) or wrapped in the identity-surrogate adapter.
+	Space metric.Space
 	// Partitioner splits the input in the first round; nil defaults to
 	// UniformPartitioner (the paper's equal-size split).
 	Partitioner mapreduce.Partitioner
@@ -70,8 +75,11 @@ func (c *KCenterConfig) normalize(n int) error {
 	if c.Eps < 0 || c.CoresetSize < 0 {
 		return fmt.Errorf("%w: eps=%v coresetSize=%d", ErrInvalidSpec, c.Eps, c.CoresetSize)
 	}
+	if c.Space == nil {
+		c.Space = metric.SpaceFor(c.Distance)
+	}
 	if c.Distance == nil {
-		c.Distance = metric.Euclidean
+		c.Distance = c.Space.Dist()
 	}
 	if c.Partitioner == nil {
 		c.Partitioner = mapreduce.UniformPartitioner{}
@@ -125,6 +133,7 @@ func KCenter(points metric.Dataset, cfg KCenterConfig) (*KCenterResult, error) {
 		RefCenters: cfg.K,
 		MaxSize:    cfg.MaxCoresetSize,
 		Workers:    exec.PerPartitionWorkers(len(parts)),
+		Space:      cfg.Space,
 	}
 	start := time.Now()
 	coresets, execStats, err := mapreduce.MapPartitions(
@@ -149,7 +158,7 @@ func KCenter(points metric.Dataset, cfg KCenterConfig) (*KCenterResult, error) {
 
 	// Round 2: GMM on the union of the coresets.
 	start = time.Now()
-	final, err := gmm.Runner{Dist: cfg.Distance, Workers: cfg.Workers}.Run(union, cfg.K, 0)
+	final, err := gmm.Runner{Space: cfg.Space, Workers: cfg.Workers}.Run(union, cfg.K, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: final GMM failed: %w", err)
 	}
@@ -157,7 +166,7 @@ func KCenter(points metric.Dataset, cfg KCenterConfig) (*KCenterResult, error) {
 
 	res := &KCenterResult{
 		Centers:          final.Centers,
-		Radius:           metric.ParallelRadius(cfg.Distance, points, final.Centers, cfg.Workers),
+		Radius:           metric.NewEngine(cfg.Workers).Radius(cfg.Space, points, final.Centers),
 		CoresetUnionSize: len(union),
 		LocalMemoryPeak:  maxInt(execStats.LocalMemoryPeak, len(union)),
 		CoresetTime:      coresetTime,

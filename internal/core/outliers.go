@@ -42,6 +42,11 @@ type OutliersConfig struct {
 	Rand *rand.Rand
 	// Distance is the metric; nil defaults to Euclidean.
 	Distance metric.Distance
+	// Space, when non-nil, overrides Distance as the metric space driving
+	// every distance-dominated pass (batched kernels + comparison-domain
+	// surrogate). When nil, Distance is upgraded to its native space
+	// (built-ins) or wrapped in the identity-surrogate adapter.
+	Space metric.Space
 	// Partitioner overrides the default partitioner (uniform for the
 	// deterministic variant, random for the randomized one). The Figure 4
 	// experiment uses an adversarial partitioner here.
@@ -85,8 +90,11 @@ func (c *OutliersConfig) normalize(n int) error {
 	if c.CoresetSize == 0 && c.EpsHat == 0 {
 		return fmt.Errorf("%w: need CoresetSize > 0 or EpsHat > 0", ErrInvalidSpec)
 	}
+	if c.Space == nil {
+		c.Space = metric.SpaceFor(c.Distance)
+	}
 	if c.Distance == nil {
-		c.Distance = metric.Euclidean
+		c.Distance = c.Space.Dist()
 	}
 	if c.Partitioner == nil {
 		if c.Randomized {
@@ -168,6 +176,7 @@ func KCenterOutliers(points metric.Dataset, cfg OutliersConfig) (*OutliersResult
 		RefCenters: refCenters,
 		MaxSize:    cfg.MaxCoresetSize,
 		Workers:    exec.PerPartitionWorkers(len(parts)),
+		Space:      cfg.Space,
 	}
 	if cfg.CoresetSize > 0 {
 		// Fixed-size rule: Spec requires exactly one of Eps/Size.
@@ -198,7 +207,7 @@ func KCenterOutliers(points metric.Dataset, cfg OutliersConfig) (*OutliersResult
 
 	// Round 2: radius search over the weighted union.
 	start = time.Now()
-	solved, err := outliers.SolveWithWorkers(cfg.Distance, union, cfg.K, int64(cfg.Z), cfg.EpsHat, cfg.SearchStrategy, cfg.Workers)
+	solved, err := outliers.SolveIn(cfg.Space, union, cfg.K, int64(cfg.Z), cfg.EpsHat, cfg.SearchStrategy, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: second-round solve failed: %w", err)
 	}
@@ -206,7 +215,7 @@ func KCenterOutliers(points metric.Dataset, cfg OutliersConfig) (*OutliersResult
 
 	res := &OutliersResult{
 		Centers:           solved.Centers,
-		Radius:            metric.ParallelRadiusExcluding(cfg.Distance, points, solved.Centers, cfg.Z, cfg.Workers),
+		Radius:            metric.NewEngine(cfg.Workers).RadiusExcluding(cfg.Space, points, solved.Centers, cfg.Z),
 		SearchRadius:      solved.Radius,
 		UncoveredWeight:   solved.UncoveredWeight,
 		CoresetUnionSize:  len(union),

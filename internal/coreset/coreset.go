@@ -52,6 +52,11 @@ type Spec struct {
 	// underlying GMM run: <= 0 selects one worker per CPU, 1 forces the
 	// sequential path. The coreset is bit-identical for any value.
 	Workers int
+	// Space, when non-nil, overrides the Distance passed to Build as the
+	// metric space of the underlying GMM run (batched kernels +
+	// comparison-domain surrogate). When nil, the Distance is upgraded to
+	// its native space automatically.
+	Space metric.Space
 }
 
 func (s Spec) validate() error {
@@ -121,7 +126,7 @@ func Build(dist metric.Distance, partition metric.Dataset, spec Spec) (*Coreset,
 		seed = 0
 	}
 
-	runner := gmm.Runner{Dist: dist, Workers: spec.Workers}
+	runner := gmm.Runner{Dist: dist, Space: spec.Space, Workers: spec.Workers}
 	var res *gmm.Result
 	var err error
 	if spec.Eps > 0 {

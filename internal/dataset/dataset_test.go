@@ -2,7 +2,9 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -341,5 +343,57 @@ func TestCSVFileHelpers(t *testing.T) {
 	}
 	if err := SaveCSVFile(filepath.Join(dir, "nodir", "x.csv"), ds); err == nil {
 		t.Error("unwritable path accepted")
+	}
+}
+
+func TestLoadFileAutoDetectsLayout(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := Generate(Higgs, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	csvPath := filepath.Join(dir, "p.csv")
+	if err := SaveCSVFile(csvPath, ds); err != nil {
+		t.Fatal(err)
+	}
+	flatPath := filepath.Join(dir, "p.kcfl")
+	if err := SaveFlatFile(flatPath, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	fromCSV, err := LoadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFlat, err := LoadFile(flatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromCSV) != len(ds) || len(fromFlat) != len(ds) {
+		t.Fatalf("sizes differ: csv %d flat %d want %d", len(fromCSV), len(fromFlat), len(ds))
+	}
+	for i := range ds {
+		if !fromFlat[i].Equal(ds[i]) {
+			t.Fatalf("flat point %d differs from the original", i)
+		}
+		if !fromCSV[i].Equal(fromFlat[i]) {
+			// CSV stores full float64 precision ('g', -1), so the two loads
+			// must agree exactly.
+			t.Fatalf("point %d differs between CSV and flat loads", i)
+		}
+	}
+
+	if _, err := LoadFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	// A corrupt flat file must surface the codec's typed error.
+	bad := filepath.Join(dir, "bad.kcfl")
+	if err := os.WriteFile(bad, []byte("KCFL1234"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); !errors.Is(err, metric.ErrFlatCorrupt) && !errors.Is(err, metric.ErrFlatUnsupportedVersion) {
+		t.Errorf("corrupt flat file error = %v, want a flat codec error", err)
 	}
 }

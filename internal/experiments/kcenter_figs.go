@@ -235,7 +235,7 @@ func RunFigure3(cfg Figure3Config) (*Figure3Result, error) {
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		radius = metric.Radius(metric.Euclidean, shuffled, centers)
+		radius = metric.NewEngine(1).Radius(metric.EuclideanSpace, shuffled, centers)
 		tput = stats.Throughput(int64(len(shuffled)), elapsed)
 		return radius, tput, space, nil
 	}

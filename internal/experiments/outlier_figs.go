@@ -284,7 +284,7 @@ func RunFigure5(cfg Figure5Config) (*Figure5Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				radius := metric.RadiusExcluding(metric.Euclidean, shuffled, cres.Centers, cfg.Z)
+				radius := metric.NewEngine(1).RadiusExcluding(metric.EuclideanSpace, shuffled, cres.Centers, cfg.Z)
 				coresetCell.radii = append(coresetCell.radii, radius)
 				coresetCell.throughput = append(coresetCell.throughput, stats.Throughput(int64(len(shuffled)), elapsed))
 				coresetCell.spaces = append(coresetCell.spaces, float64(co.WorkingMemory()))
@@ -306,7 +306,7 @@ func RunFigure5(cfg Figure5Config) (*Figure5Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				radius = metric.RadiusExcluding(metric.Euclidean, shuffled, centers, cfg.Z)
+				radius = metric.NewEngine(1).RadiusExcluding(metric.EuclideanSpace, shuffled, centers, cfg.Z)
 				baseCell.radii = append(baseCell.radii, radius)
 				baseCell.throughput = append(baseCell.throughput, stats.Throughput(int64(len(shuffled)), elapsed))
 				baseCell.spaces = append(baseCell.spaces, float64(bo.WorkingMemory()))

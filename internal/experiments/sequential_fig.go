@@ -145,7 +145,7 @@ func RunFigure8(cfg Figure8Config) (*Figure8Result, error) {
 					return nil, fmt.Errorf("experiments: figure 8 %s on %s: %w", a.name, name, err)
 				}
 				seconds = append(seconds, elapsed.Seconds())
-				radii = append(radii, metric.RadiusExcluding(metric.Euclidean, shuffled, centers, cfg.Z))
+				radii = append(radii, metric.NewEngine(1).RadiusExcluding(metric.EuclideanSpace, shuffled, centers, cfg.Z))
 			}
 			ts, err := stats.Summarize(seconds)
 			if err != nil {

@@ -44,17 +44,32 @@ type Result struct {
 	Assignment []int
 }
 
-// Runner bundles the distance function with the parallelism degree of the
+// Runner bundles the metric space with the parallelism degree of the
 // distance engine. Every per-iteration O(n) pass of the greedy (the farthest
 // scan and the nearest-center cache update) is chunked across Workers
-// goroutines; results are bit-identical to the sequential path for any
+// goroutines and runs on the space's batched UpdateNearest kernel in the
+// surrogate domain; results are bit-identical to the sequential path for any
 // worker count (see the determinism contract in internal/metric/parallel.go).
 type Runner struct {
-	// Dist is the metric.
+	// Dist is the metric. When Space is nil it is upgraded to its native
+	// Space (built-in functions) or wrapped in the identity-surrogate
+	// adapter (custom functions); nil defaults to Euclidean.
 	Dist metric.Distance
+	// Space, when non-nil, overrides Dist as the metric space: the batched
+	// kernels and the comparison-domain surrogate of the space drive every
+	// inner loop.
+	Space metric.Space
 	// Workers is the parallelism degree: <= 0 selects one worker per CPU,
 	// 1 forces the sequential path.
 	Workers int
+}
+
+// space resolves the runner's metric space.
+func (r Runner) space() metric.Space {
+	if r.Space != nil {
+		return r.Space
+	}
+	return metric.SpaceFor(r.Dist)
 }
 
 // Run executes the classic GMM algorithm selecting exactly k centers
@@ -222,83 +237,73 @@ func (r Runner) RunToRadius(points metric.Dataset, targetRadius float64, maxCent
 	return st.result(st.size()), nil
 }
 
-// state maintains, for every input point, the distance to the closest center
-// selected so far, allowing each new center to be added in O(n) distance
-// evaluations (the standard O(k*n) implementation of GMM). The two O(n)
-// passes per iteration (farthest scan, cache update) run on the parallel
-// distance engine; per-point cache entries are only ever written by the
-// worker owning that point's chunk, so the caches stay coherent without
-// locks, and all reductions follow the engine's deterministic ordering.
+// state maintains, for every input point, the SURROGATE distance to the
+// closest center selected so far, allowing each new center to be added in
+// O(n) distance evaluations (the standard O(k*n) implementation of GMM) —
+// the cache is only ever min-merged against the single new center per round
+// via the space's batched UpdateNearest kernel, never rebuilt by a full
+// rescan. The two O(n) passes per iteration (farthest scan, cache update)
+// run on the parallel distance engine; per-point cache entries are only ever
+// written by the worker owning that point's chunk, so the caches stay
+// coherent without locks, and all reductions follow the engine's
+// deterministic ordering. Radii are converted out of the surrogate domain
+// once per selection round (one FromSurrogate per reported radius, never one
+// per evaluation).
 type state struct {
-	dist    metric.Distance
+	sp      metric.Space
 	eng     metric.Engine
 	points  metric.Dataset
 	centers []int     // indices into points, in selection order
-	minDist []float64 // minDist[i] = d(points[i], current centers)
+	minDist []float64 // minDist[i] = surrogate d(points[i], current centers)
 	closest []int     // closest[i] = index into centers of the closest center
-	radii   []float64 // radii[j] = radius after j+1 centers were selected
+	radii   []float64 // radii[j] = TRUE radius after j+1 centers were selected
 }
 
 func newState(r Runner, points metric.Dataset, seedIndex int) *state {
 	st := &state{
-		dist:    r.Dist,
+		sp:      r.space(),
 		eng:     metric.NewEngine(r.Workers),
 		points:  points,
 		minDist: make([]float64, len(points)),
 		closest: make([]int, len(points)),
 	}
+	for i := range st.minDist {
+		st.minDist[i] = math.Inf(1) // "no center yet"
+	}
 	seed := points[seedIndex]
-	st.radii = append(st.radii, st.updateCaches(seed, 0, true))
+	st.radii = append(st.radii, st.updateCaches(seed, 0))
 	st.centers = append(st.centers, seedIndex)
 	return st
 }
 
-// updateCaches refreshes minDist/closest against a newly selected center c
-// (with index newIdx into centers) and returns the new radius
-// max_i minDist[i]. When init is true the caches are (re)initialised from
-// scratch instead of min-merged. The pass is chunked across the engine's
+// updateCaches min-merges the caches against a newly selected center c (with
+// index newIdx into centers) and returns the new TRUE radius
+// FromSurrogate(max_i minDist[i]). The pass is chunked across the engine's
 // workers; each chunk's partial max is reduced in chunk order, which yields
 // the exact same float as the sequential scan (max is associative and
-// commutative).
-func (st *state) updateCaches(c metric.Point, newIdx int, init bool) float64 {
+// commutative, and FromSurrogate is monotone).
+func (st *state) updateCaches(c metric.Point, newIdx int) float64 {
 	n := len(st.points)
+	var m float64
 	if st.eng.Sequential(n) {
-		return st.updateChunk(c, newIdx, init, 0, n)
-	}
-	nc := st.eng.NumChunks(n)
-	maxes := make([]float64, nc)
-	st.eng.ForEachChunk(n, func(chunk, lo, hi int) {
-		maxes[chunk] = st.updateChunk(c, newIdx, init, lo, hi)
-	})
-	m := math.Inf(-1)
-	for _, v := range maxes {
-		if v > m {
-			m = v
+		m = st.sp.UpdateNearest(st.minDist, st.closest, c, newIdx, st.points)
+	} else {
+		nc := st.eng.NumChunks(n)
+		maxes := make([]float64, nc)
+		st.eng.ForEachChunk(n, func(chunk, lo, hi int) {
+			maxes[chunk] = st.sp.UpdateNearest(st.minDist[lo:hi], st.closest[lo:hi], c, newIdx, st.points[lo:hi])
+		})
+		m = math.Inf(-1)
+		for _, v := range maxes {
+			if v > m {
+				m = v
+			}
 		}
 	}
 	if math.IsInf(m, -1) {
 		return 0
 	}
-	return m
-}
-
-// updateChunk is the sequential kernel of updateCaches over [lo, hi).
-func (st *state) updateChunk(c metric.Point, newIdx int, init bool, lo, hi int) float64 {
-	m := math.Inf(-1)
-	for i := lo; i < hi; i++ {
-		d := st.dist(c, st.points[i])
-		if init || d < st.minDist[i] {
-			st.minDist[i] = d
-			st.closest[i] = newIdx
-		}
-		if st.minDist[i] > m {
-			m = st.minDist[i]
-		}
-	}
-	if math.IsInf(m, -1) {
-		return 0
-	}
-	return m
+	return st.sp.FromSurrogate(m)
 }
 
 func (st *state) size() int { return len(st.centers) }
@@ -313,13 +318,14 @@ func (st *state) addFarthest() bool {
 	if len(st.centers) >= len(st.points) {
 		return false
 	}
-	// Find the farthest point (parallel argmax; ties resolve to the lowest
-	// index, as in a sequential left-to-right scan).
+	// Find the farthest point (parallel argmax over the surrogate caches;
+	// ties resolve to the lowest index, as in a sequential left-to-right
+	// scan).
 	far, farDist := st.eng.ArgMax(st.minDist)
 	if far < 0 {
 		return false
 	}
-	if farDist == 0 {
+	if st.sp.FromSurrogate(farDist) == 0 {
 		// Every remaining point coincides with an existing center; adding
 		// duplicates would not decrease the radius. Still allow growth so
 		// callers asking for exactly k centers get k of them.
@@ -330,7 +336,7 @@ func (st *state) addFarthest() bool {
 	}
 	newIdx := len(st.centers)
 	st.centers = append(st.centers, far)
-	st.radii = append(st.radii, st.updateCaches(st.points[far], newIdx, false))
+	st.radii = append(st.radii, st.updateCaches(st.points[far], newIdx))
 	return true
 }
 

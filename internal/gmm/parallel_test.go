@@ -135,6 +135,21 @@ func TestRunnerDistanceBudgetAcrossWorkers(t *testing.T) {
 			t.Fatalf("workers=%d: %d distance calls, want exactly %d", w, got, want)
 		}
 	}
+
+	// The native Space path must stay on the same budget: the nearest-center
+	// cache is min-merged against the single new center per round via
+	// UpdateNearest (one pass of n evaluations per selected center), never
+	// rebuilt by a full rescan against all selected centers — a rescanning
+	// implementation would need n*k*(k+1)/2 evaluations instead of k*n.
+	for _, w := range []int{1, 8} {
+		cs := metric.NewCountingSpace(metric.EuclideanSpace)
+		if _, err := (Runner{Space: cs, Workers: w}).Run(ds, k, 0); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := cs.Evaluations(), int64(k*n); got != want {
+			t.Fatalf("space path, workers=%d: %d evaluations, want exactly %d", w, got, want)
+		}
+	}
 }
 
 // TestRunnerConcurrentRuns exercises concurrent GMM runs sharing nothing but

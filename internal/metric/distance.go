@@ -3,6 +3,8 @@ package metric
 import (
 	"math"
 	"sync/atomic"
+
+	"coresetclustering/internal/selection"
 )
 
 // Distance computes the distance between two points of equal dimensionality.
@@ -18,27 +20,41 @@ import (
 type Distance func(a, b Point) float64
 
 // Euclidean is the L2 distance, the metric used by all experiments in the
-// paper.
+// paper. The summation order (four independent accumulator lanes combined as
+// (s0+s1)+(s2+s3), remainder into lane 0) is part of the determinism
+// contract: the batched kernels of EuclideanSpace accumulate in exactly this
+// order, so the surrogate path and this scalar path agree bit for bit.
 func Euclidean(a, b Point) float64 {
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(SquaredEuclidean(a, b))
 }
 
-// SquaredEuclidean returns the squared L2 distance. It is NOT a metric (it
-// violates the triangle inequality) and must not be passed to the clustering
-// algorithms; it is exposed only for nearest-neighbour style comparisons where
-// monotonicity suffices.
+// SquaredEuclidean returns the squared L2 distance — the comparison-domain
+// surrogate of EuclideanSpace. It is NOT a metric (it violates the triangle
+// inequality) and must not be passed to the clustering algorithms directly;
+// argmin/threshold reductions over it are exactly equivalent to reductions
+// over Euclidean because the square root is monotone. The four-lane
+// accumulation breaks the floating-point add dependency chain (the hot-path
+// kernels are compute-bound on it) and is replicated verbatim by the batched
+// kernels.
 func SquaredEuclidean(a, b Point) float64 {
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+3 < len(a); j += 4 {
+		d0 := a[j] - b[j]
+		d1 := a[j+1] - b[j+1]
+		d2 := a[j+2] - b[j+2]
+		d3 := a[j+3] - b[j+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return s
+	for ; j < len(a); j++ {
+		d := a[j] - b[j]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Manhattan is the L1 distance.
@@ -201,7 +217,11 @@ func RadiusExcluding(dist Distance, points Dataset, centers Dataset, z int) floa
 	}
 	// The radius with z outliers is the (n-z)-th smallest distance, i.e. we
 	// drop the z largest. Select rather than sort: len(points) can be large.
-	return kthSmallest(dists, len(dists)-z-1)
+	r, err := selection.SelectInPlace(dists, len(dists)-z-1)
+	if err != nil {
+		return 0 // unreachable: dists is non-empty and the rank is in range
+	}
+	return r
 }
 
 // Assign maps every point to the index of its closest center, producing the
@@ -213,59 +233,6 @@ func Assign(dist Distance, points Dataset, centers Dataset) []int {
 		out[i] = idx
 	}
 	return out
-}
-
-// kthSmallest returns the element with rank k (0-based) of values using an
-// in-place iterative quickselect with median-of-three pivoting. The slice is
-// reordered.
-func kthSmallest(values []float64, k int) float64 {
-	lo, hi := 0, len(values)-1
-	if k < 0 {
-		k = 0
-	}
-	if k > hi {
-		k = hi
-	}
-	for lo < hi {
-		p := partition(values, lo, hi)
-		switch {
-		case k == p:
-			return values[k]
-		case k < p:
-			hi = p - 1
-		default:
-			lo = p + 1
-		}
-	}
-	return values[k]
-}
-
-// partition performs Hoare-style partitioning around a median-of-three pivot
-// and returns the final pivot index.
-func partition(v []float64, lo, hi int) int {
-	mid := lo + (hi-lo)/2
-	// Median-of-three: order v[lo], v[mid], v[hi].
-	if v[mid] < v[lo] {
-		v[mid], v[lo] = v[lo], v[mid]
-	}
-	if v[hi] < v[lo] {
-		v[hi], v[lo] = v[lo], v[hi]
-	}
-	if v[hi] < v[mid] {
-		v[hi], v[mid] = v[mid], v[hi]
-	}
-	pivot := v[mid]
-	// Move pivot out of the way.
-	v[mid], v[hi-1] = v[hi-1], v[mid]
-	i := lo
-	for j := lo; j < hi-1; j++ {
-		if v[j] < pivot {
-			v[i], v[j] = v[j], v[i]
-			i++
-		}
-	}
-	v[i], v[hi-1] = v[hi-1], v[i]
-	return i
 }
 
 // PairwiseDistances returns all n*(n-1)/2 distinct pairwise distances of the
@@ -281,6 +248,28 @@ func PairwiseDistances(dist Distance, points Dataset) []float64 {
 		for j := i + 1; j < n; j++ {
 			out = append(out, dist(points[i], points[j]))
 		}
+	}
+	return out
+}
+
+// PairwiseDistancesIn is PairwiseDistances on a Space: each row i is one
+// batched DistancesTo over points[i+1:], converted to the true domain in
+// place. Row i's distances occupy out[i*n - i*(i+1)/2 ...], the same order as
+// PairwiseDistances.
+func PairwiseDistancesIn(sp Space, points Dataset) []float64 {
+	n := len(points)
+	if n < 2 {
+		return nil
+	}
+	out := make([]float64, n*(n-1)/2)
+	off := 0
+	for i := 0; i < n-1; i++ {
+		row := out[off : off+n-1-i]
+		sp.DistancesTo(row, points[i], points[i+1:])
+		for j, s := range row {
+			row[j] = sp.FromSurrogate(s)
+		}
+		off += n - 1 - i
 	}
 	return out
 }

@@ -20,8 +20,23 @@ import (
 //
 // anchors bounds the number of sampled ball centers and radii the number of
 // radius scales per anchor. rng may be nil, in which case a fixed-seed source
-// is used so the estimate is deterministic.
+// is used so the estimate is deterministic. This wrapper runs on the
+// auto-parallel engine; the result is identical for any worker count (and to
+// the historical fully sequential scan).
 func EstimateDoublingDimension(dist Distance, points Dataset, anchors, radii int, rng *rand.Rand) float64 {
+	return NewEngine(0).EstimateDoublingDimension(SpaceFor(dist), points, anchors, radii, rng)
+}
+
+// EstimateDoublingDimension is the engine form of the package-level function:
+// all pairwise scans (the farthest-point pass per anchor and the cover passes
+// of the greedy) run through the engine's chunked batch kernels instead of
+// sequential per-pair loops. The anchor's distance vector is computed once
+// per anchor and reused across every radius scale, where the historical
+// implementation recomputed it per scale. Greedy decisions (first uncovered
+// point, cover membership) are taken sequentially on the chunk-assembled
+// vectors, so the estimate is bit-identical to the sequential scan for every
+// worker count.
+func (e Engine) EstimateDoublingDimension(sp Space, points Dataset, anchors, radii int, rng *rand.Rand) float64 {
 	if len(points) < 2 {
 		return 0
 	}
@@ -38,13 +53,16 @@ func EstimateDoublingDimension(dist Distance, points Dataset, anchors, radii int
 		anchors = len(points)
 	}
 	maxCover := 1
+	dvec := make([]float64, len(points)) // true distances from the current anchor
 	perm := rng.Perm(len(points))[:anchors]
 	for _, ai := range perm {
 		anchor := points[ai]
-		// Largest radius: distance to the farthest point from the anchor.
+		// One chunked pass computes every distance from the anchor; the
+		// vector is reused by all radius scales below.
+		e.trueDistances(sp, dvec, anchor, points)
 		var rmax float64
-		for _, p := range points {
-			if d := dist(anchor, p); d > rmax {
+		for _, d := range dvec {
+			if d > rmax {
 				rmax = d
 			}
 		}
@@ -53,15 +71,15 @@ func EstimateDoublingDimension(dist Distance, points Dataset, anchors, radii int
 		}
 		r := rmax
 		for s := 0; s < radii; s++ {
-			// Points inside B(anchor, r).
+			// Points inside B(anchor, r), in index order.
 			var ball Dataset
-			for _, p := range points {
-				if dist(anchor, p) <= r {
-					ball = append(ball, p)
+			for i, d := range dvec {
+				if d <= r {
+					ball = append(ball, points[i])
 				}
 			}
 			if len(ball) > 1 {
-				c := greedyCoverCount(dist, ball, r/2)
+				c := e.greedyCoverCount(sp, ball, r/2)
 				if c > maxCover {
 					maxCover = c
 				}
@@ -72,18 +90,39 @@ func EstimateDoublingDimension(dist Distance, points Dataset, anchors, radii int
 	return math.Log2(float64(maxCover))
 }
 
+// trueDistances fills dst[i] with the TRUE distance from p to points[i],
+// chunking the batched surrogate kernel across the workers and converting
+// each chunk in place.
+func (e Engine) trueDistances(sp Space, dst []float64, p Point, points Dataset) {
+	fill := func(lo, hi int) {
+		sp.DistancesTo(dst[lo:hi], p, points[lo:hi])
+		for i := lo; i < hi; i++ {
+			dst[i] = sp.FromSurrogate(dst[i])
+		}
+	}
+	if e.Sequential(len(points)) {
+		fill(0, len(points))
+		return
+	}
+	e.ForEachChunk(len(points), func(_, lo, hi int) { fill(lo, hi) })
+}
+
 // greedyCoverCount covers the given points with balls of radius r centered at
 // points of the set, greedily, and returns the number of balls used. This is
-// the classic farthest-point cover: repeatedly pick an uncovered point as a
-// new center until everything is covered.
-func greedyCoverCount(dist Distance, points Dataset, r float64) int {
+// the classic farthest-point cover: repeatedly pick the first uncovered point
+// as a new center until everything is covered. Each cover pass is one
+// chunked batch kernel; the uncovered-point selection stays sequential, so
+// the count matches the sequential greedy exactly.
+func (e Engine) greedyCoverCount(sp Space, points Dataset, r float64) int {
 	covered := make([]bool, len(points))
+	row := make([]float64, len(points))
 	count := 0
+	start := 0
 	for {
 		// Find the first uncovered point.
 		idx := -1
-		for i, c := range covered {
-			if !c {
+		for i := start; i < len(covered); i++ {
+			if !covered[i] {
 				idx = i
 				break
 			}
@@ -92,9 +131,10 @@ func greedyCoverCount(dist Distance, points Dataset, r float64) int {
 			return count
 		}
 		count++
-		center := points[idx]
-		for i, p := range points {
-			if !covered[i] && dist(center, p) <= r {
+		start = idx + 1
+		e.trueDistances(sp, row, points[idx], points)
+		for i, d := range row {
+			if !covered[i] && d <= r {
 				covered[i] = true
 			}
 		}

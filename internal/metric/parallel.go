@@ -4,11 +4,18 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"coresetclustering/internal/selection"
 )
 
 // This file implements the parallel distance engine: blocked kernels for the
 // distance-dominated hot paths (nearest-center assignment, radius, farthest
-// scans) that chunk the point set across a bounded set of workers.
+// scans) that chunk the point set across a bounded set of workers. Since the
+// metric-space layer v2 the per-chunk inner loops are the batched kernels of
+// a Space (see space.go) rather than per-pair Distance closures, and all
+// comparisons inside a kernel happen in the space's surrogate domain; the
+// conversion back to true distances (FromSurrogate) is applied once per
+// reported value.
 //
 // Determinism contract: every kernel returns results that are bit-identical
 // to its sequential counterpart, regardless of the worker count.
@@ -18,7 +25,10 @@ import (
 // of floating-point operations as in the sequential path. Reductions over
 // chunks (min/max with argument) are performed in ascending chunk order with
 // strict comparisons, so ties resolve to the lowest index exactly as a
-// sequential left-to-right scan does.
+// sequential left-to-right scan does. Additionally, for the built-in spaces
+// whose surrogate is an exact monotone prefix of the true distance
+// (Euclidean, Manhattan, Chebyshev), the reported radii are bit-identical
+// between the native Space path and the SpaceFromDistance adapter path.
 
 // SequentialCutoff is the number of distance evaluations below which the
 // kernels fall back to the plain sequential loops, so small inputs pay no
@@ -155,28 +165,27 @@ func (e Engine) Sequential(evals int) bool {
 	return e.Workers() == 1 || evals < SequentialCutoff
 }
 
-// DistanceToSet is the parallel counterpart of DistanceToSet: it chunks the
-// candidate set across the workers and reduces the per-chunk minima in chunk
-// order, so the returned (distance, index) pair is identical to the
-// sequential scan, including the lowest-index tie-break. An empty set yields
-// (+Inf, -1).
-func (e Engine) DistanceToSet(dist Distance, p Point, set Dataset) (float64, int) {
+// DistanceToSet returns min_{x in set} d(p, x) in the TRUE distance domain
+// together with the index of the closest point, chunking the candidate set
+// across the workers and reducing the per-chunk surrogate minima in chunk
+// order (lowest index wins ties). An empty set yields (+Inf, -1).
+func (e Engine) DistanceToSet(sp Space, p Point, set Dataset) (float64, int) {
+	if len(set) == 0 {
+		return math.Inf(1), -1
+	}
 	if e.Sequential(len(set)) {
-		return DistanceToSet(dist, p, set)
+		s, idx := sp.ArgNearest(p, set)
+		return sp.FromSurrogate(s), idx
 	}
 	nc := e.NumChunks(len(set))
 	bests := make([]float64, nc)
 	idxs := make([]int, nc)
 	e.ForEachChunk(len(set), func(chunk, lo, hi int) {
-		best := math.Inf(1)
-		idx := -1
-		for i := lo; i < hi; i++ {
-			if d := dist(p, set[i]); d < best {
-				best = d
-				idx = i
-			}
+		s, idx := sp.ArgNearest(p, set[lo:hi])
+		bests[chunk] = s
+		if idx >= 0 {
+			idx += lo
 		}
-		bests[chunk] = best
 		idxs[chunk] = idx
 	})
 	best := math.Inf(1)
@@ -187,21 +196,20 @@ func (e Engine) DistanceToSet(dist Distance, p Point, set Dataset) (float64, int
 			idx = idxs[c]
 		}
 	}
-	return best, idx
+	return sp.FromSurrogate(best), idx
 }
 
-// NearestBatch computes, for every point, the distance to and the index of
-// its closest center: the fused batch form of DistanceToSet that Assign,
-// Radius and the outlier selection are built on. Points are chunked across
-// the workers; each point's scan over the centers stays sequential, so every
-// entry is bit-identical to the sequential computation. Empty centers yield
-// (+Inf, -1) entries.
-func (e Engine) NearestBatch(dist Distance, points Dataset, centers Dataset) ([]float64, []int) {
+// surrogateNearest computes, for every point, the surrogate distance to and
+// the index of its closest center, chunking the points across the workers.
+// Each point's scan over the centers is the space's batched ArgNearest row
+// kernel, so every entry is bit-identical to the sequential computation.
+// Empty centers yield (+Inf, -1) entries.
+func (e Engine) surrogateNearest(sp Space, points Dataset, centers Dataset) ([]float64, []int) {
 	dists := make([]float64, len(points))
 	idxs := make([]int, len(points))
 	fill := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			dists[i], idxs[i] = DistanceToSet(dist, points[i], centers)
+			dists[i], idxs[i] = sp.ArgNearest(points[i], centers)
 		}
 	}
 	cost := max(1, len(centers))
@@ -213,70 +221,100 @@ func (e Engine) NearestBatch(dist Distance, points Dataset, centers Dataset) ([]
 	return dists, idxs
 }
 
-// Assign is the parallel counterpart of Assign: it maps every point to the
-// index of its closest center, chunking the points across the workers.
-func (e Engine) Assign(dist Distance, points Dataset, centers Dataset) []int {
+// NearestBatch computes, for every point, the TRUE distance to and the index
+// of its closest center: the fused batch form of DistanceToSet that Assign,
+// Radius and the outlier selection are built on. The per-point scans run in
+// the surrogate domain; the conversion to true distances is one
+// FromSurrogate per point (not per evaluation).
+func (e Engine) NearestBatch(sp Space, points Dataset, centers Dataset) ([]float64, []int) {
+	dists, idxs := e.surrogateNearest(sp, points, centers)
+	for i, s := range dists {
+		dists[i] = sp.FromSurrogate(s)
+	}
+	return dists, idxs
+}
+
+// Assign maps every point to the index of its closest center, chunking the
+// points across the workers. The scan stays entirely in the surrogate
+// domain — no conversion is ever needed for an argmin — and only the index
+// vector is materialised.
+func (e Engine) Assign(sp Space, points Dataset, centers Dataset) []int {
+	idxs := make([]int, len(points))
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			_, idxs[i] = sp.ArgNearest(points[i], centers)
+		}
+	}
 	cost := max(1, len(centers))
 	if e.Sequential(len(points) * cost) {
-		return Assign(dist, points, centers)
+		fill(0, len(points))
+		return idxs
 	}
-	idxs := make([]int, len(points))
-	e.ForEachChunkCost(len(points), cost, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			_, idxs[i] = DistanceToSet(dist, points[i], centers)
-		}
-	})
+	e.ForEachChunkCost(len(points), cost, func(_, lo, hi int) { fill(lo, hi) })
 	return idxs
 }
 
-// Radius is the parallel counterpart of Radius: max_{s in points} d(s,
-// centers), computed as per-chunk maxima reduced in chunk order. Max is an
-// exact (associative and commutative) operation on floats, so the value is
-// bit-identical to the sequential one.
-func (e Engine) Radius(dist Distance, points Dataset, centers Dataset) float64 {
+// Radius computes max_{s in points} d(s, centers): per-chunk surrogate
+// maxima reduced in chunk order, with a single FromSurrogate on the final
+// maximum. Max is an exact (associative and commutative) operation on
+// floats and FromSurrogate is monotone, so the value is bit-identical to the
+// sequential true-domain scan.
+func (e Engine) Radius(sp Space, points Dataset, centers Dataset) float64 {
 	if len(points) == 0 {
 		return 0
 	}
 	cost := max(1, len(centers))
+	scan := func(lo, hi int) float64 {
+		var r float64
+		first := true
+		for i := lo; i < hi; i++ {
+			s, _ := sp.ArgNearest(points[i], centers)
+			if first || s > r {
+				r = s
+				first = false
+			}
+		}
+		return r
+	}
 	if e.Sequential(len(points) * cost) {
-		return Radius(dist, points, centers)
+		return sp.FromSurrogate(scan(0, len(points)))
 	}
 	nc := e.NumChunksCost(len(points), cost)
 	maxes := make([]float64, nc)
 	e.ForEachChunkCost(len(points), cost, func(chunk, lo, hi int) {
-		var r float64
-		for i := lo; i < hi; i++ {
-			if d, _ := DistanceToSet(dist, points[i], centers); d > r {
-				r = d
-			}
-		}
-		maxes[chunk] = r
+		maxes[chunk] = scan(lo, hi)
 	})
-	var r float64
-	for _, m := range maxes {
+	r := maxes[0]
+	for _, m := range maxes[1:] {
 		if m > r {
 			r = m
 		}
 	}
-	return r
+	return sp.FromSurrogate(r)
 }
 
-// RadiusExcluding is the parallel counterpart of RadiusExcluding: the radius
-// after discarding the z points farthest from the centers. The distance pass
-// is parallel; the rank selection runs sequentially on the identical distance
-// vector, so the result matches the sequential path bit for bit.
-func (e Engine) RadiusExcluding(dist Distance, points Dataset, centers Dataset, z int) float64 {
+// RadiusExcluding computes the radius after discarding the z points farthest
+// from the centers. The nearest-distance pass is chunked across the workers
+// in the surrogate domain; the rank selection runs sequentially on the
+// surrogate vector (order statistics commute with the monotone
+// FromSurrogate), so the result matches the sequential true-domain path bit
+// for bit.
+func (e Engine) RadiusExcluding(sp Space, points Dataset, centers Dataset, z int) float64 {
 	if len(points) == 0 || z >= len(points) {
 		return 0
 	}
 	if z <= 0 {
-		return e.Radius(dist, points, centers)
+		return e.Radius(sp, points, centers)
 	}
-	if e.Sequential(len(points) * max(1, len(centers))) {
-		return RadiusExcluding(dist, points, centers, z)
+	dists, _ := e.surrogateNearest(sp, points, centers)
+	// The radius with z outliers is the (n-z)-th smallest distance, i.e. we
+	// drop the z largest. Select rather than sort: len(points) can be large.
+	s, err := selection.SelectInPlace(dists, len(dists)-z-1)
+	if err != nil {
+		// Unreachable: dists is non-empty and the rank is in range.
+		return 0
 	}
-	dists, _ := e.NearestBatch(dist, points, centers)
-	return kthSmallest(dists, len(dists)-z-1)
+	return sp.FromSurrogate(s)
 }
 
 // ArgMax returns the index of the largest value and the value itself,
@@ -318,32 +356,73 @@ func argMaxSeq(v []float64, lo, hi int) (int, float64) {
 	return best, bestVal
 }
 
+// MinPairwiseDistance returns the minimum TRUE distance between two distinct
+// points of the dataset (+Inf for fewer than two points), chunking the outer
+// row loop across the workers with the batched row kernel. It is the engine
+// form of the package-level MinPairwiseDistance.
+func (e Engine) MinPairwiseDistance(sp Space, points Dataset) float64 {
+	n := len(points)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	rowMin := func(lo, hi int) float64 {
+		m := math.Inf(1)
+		for i := lo; i < hi; i++ {
+			if s, idx := sp.ArgNearest(points[i], points[i+1:]); idx >= 0 && s < m {
+				m = s
+			}
+		}
+		return m
+	}
+	if e.Sequential(n * (n - 1) / 2) {
+		return sp.FromSurrogate(rowMin(0, n-1))
+	}
+	nc := e.NumChunksCost(n-1, n/2)
+	mins := make([]float64, nc)
+	e.ForEachChunkCost(n-1, n/2, func(chunk, lo, hi int) {
+		mins[chunk] = rowMin(lo, hi)
+	})
+	m := math.Inf(1)
+	for _, v := range mins {
+		if v < m {
+			m = v
+		}
+	}
+	return sp.FromSurrogate(m)
+}
+
+// Package-level compatibility wrappers. They keep the Distance-typed
+// signatures of the v1 engine: the distance function is upgraded to its
+// native Space when it is one of the built-ins (SpaceFor), or wrapped in the
+// identity-surrogate adapter otherwise, so instrumented distances still see
+// every evaluation.
+
 // ParallelDistanceToSet computes min_{x in set} dist(p, x) and the index of
 // the closest point on up to workers goroutines (<= 0 selects one per CPU).
 func ParallelDistanceToSet(dist Distance, p Point, set Dataset, workers int) (float64, int) {
-	return NewEngine(workers).DistanceToSet(dist, p, set)
+	return NewEngine(workers).DistanceToSet(SpaceFor(dist), p, set)
 }
 
 // ParallelAssign maps every point to the index of its closest center on up to
 // workers goroutines (<= 0 selects one per CPU).
 func ParallelAssign(dist Distance, points Dataset, centers Dataset, workers int) []int {
-	return NewEngine(workers).Assign(dist, points, centers)
+	return NewEngine(workers).Assign(SpaceFor(dist), points, centers)
 }
 
 // ParallelRadius computes max_{s in points} d(s, centers) on up to workers
 // goroutines (<= 0 selects one per CPU).
 func ParallelRadius(dist Distance, points Dataset, centers Dataset, workers int) float64 {
-	return NewEngine(workers).Radius(dist, points, centers)
+	return NewEngine(workers).Radius(SpaceFor(dist), points, centers)
 }
 
 // ParallelRadiusExcluding computes the outlier-aware radius on up to workers
 // goroutines (<= 0 selects one per CPU).
 func ParallelRadiusExcluding(dist Distance, points Dataset, centers Dataset, z, workers int) float64 {
-	return NewEngine(workers).RadiusExcluding(dist, points, centers, z)
+	return NewEngine(workers).RadiusExcluding(SpaceFor(dist), points, centers, z)
 }
 
 // NearestBatch computes every point's closest-center distance and index on up
 // to workers goroutines (<= 0 selects one per CPU).
 func NearestBatch(dist Distance, points Dataset, centers Dataset, workers int) ([]float64, []int) {
-	return NewEngine(workers).NearestBatch(dist, points, centers)
+	return NewEngine(workers).NearestBatch(SpaceFor(dist), points, centers)
 }

@@ -85,22 +85,22 @@ func TestParallelKernelsMatchSequential(t *testing.T) {
 
 		for _, w := range []int{0, 1, 2, 3, 8} {
 			e := NewEngine(w)
-			if d, i := e.DistanceToSet(Euclidean, query, ds); d != wantDist || i != wantIdx {
+			if d, i := e.DistanceToSet(EuclideanSpace, query, ds); d != wantDist || i != wantIdx {
 				t.Fatalf("n=%d w=%d DistanceToSet = (%v,%d), want (%v,%d)", n, w, d, i, wantDist, wantIdx)
 			}
-			got := e.Assign(Euclidean, ds, centers)
+			got := e.Assign(EuclideanSpace, ds, centers)
 			for i := range got {
 				if got[i] != wantAssign[i] {
 					t.Fatalf("n=%d w=%d Assign[%d] = %d, want %d", n, w, i, got[i], wantAssign[i])
 				}
 			}
-			if r := e.Radius(Euclidean, ds, centers); r != wantRadius {
+			if r := e.Radius(EuclideanSpace, ds, centers); r != wantRadius {
 				t.Fatalf("n=%d w=%d Radius = %v, want %v", n, w, r, wantRadius)
 			}
-			if r := e.RadiusExcluding(Euclidean, ds.Clone(), centers, n/10); r != wantExcl {
+			if r := e.RadiusExcluding(EuclideanSpace, ds.Clone(), centers, n/10); r != wantExcl {
 				t.Fatalf("n=%d w=%d RadiusExcluding = %v, want %v", n, w, r, wantExcl)
 			}
-			gd, gi := e.NearestBatch(Euclidean, ds, centers)
+			gd, gi := e.NearestBatch(EuclideanSpace, ds, centers)
 			for i := range gd {
 				if gd[i] != minD[i] {
 					t.Fatalf("n=%d w=%d NearestBatch dist[%d] = %v, want %v", n, w, i, gd[i], minD[i])
@@ -120,19 +120,19 @@ func TestParallelKernelsMatchSequential(t *testing.T) {
 func TestParallelKernelsEdgeCases(t *testing.T) {
 	e := NewEngine(4)
 	ds := randDataset(50, 3, 1)
-	if d, i := e.DistanceToSet(Euclidean, ds[0], nil); !math.IsInf(d, 1) || i != -1 {
+	if d, i := e.DistanceToSet(EuclideanSpace, ds[0], nil); !math.IsInf(d, 1) || i != -1 {
 		t.Fatalf("DistanceToSet on empty set = (%v,%d), want (+Inf,-1)", d, i)
 	}
-	if r := e.Radius(Euclidean, nil, ds[:3]); r != 0 {
+	if r := e.Radius(EuclideanSpace, nil, ds[:3]); r != 0 {
 		t.Fatalf("Radius of empty points = %v, want 0", r)
 	}
-	if r := e.RadiusExcluding(Euclidean, ds, ds[:3], len(ds)); r != 0 {
+	if r := e.RadiusExcluding(EuclideanSpace, ds, ds[:3], len(ds)); r != 0 {
 		t.Fatalf("RadiusExcluding with z >= n = %v, want 0", r)
 	}
 	if i, v := e.ArgMax(nil); i != -1 || !math.IsInf(v, -1) {
 		t.Fatalf("ArgMax of empty slice = (%d,%v), want (-1,-Inf)", i, v)
 	}
-	if got := e.Assign(Euclidean, nil, ds[:3]); len(got) != 0 {
+	if got := e.Assign(EuclideanSpace, nil, ds[:3]); len(got) != 0 {
 		t.Fatalf("Assign of empty points = %v, want empty", got)
 	}
 }
@@ -221,18 +221,18 @@ func TestEngineConcurrentCallers(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for iter := 0; iter < 5; iter++ {
-				if r := e.Radius(Euclidean, ds, centers); r != wantRadius {
+				if r := e.Radius(EuclideanSpace, ds, centers); r != wantRadius {
 					errc <- errMismatch("Radius", c, iter)
 					return
 				}
-				got := e.Assign(Euclidean, ds, centers)
+				got := e.Assign(EuclideanSpace, ds, centers)
 				for i := range got {
 					if got[i] != wantAssign[i] {
 						errc <- errMismatch("Assign", c, iter)
 						return
 					}
 				}
-				d, i := e.DistanceToSet(Euclidean, ds[c], ds)
+				d, i := e.DistanceToSet(EuclideanSpace, ds[c], ds)
 				if i != c || d != 0 {
 					errc <- errMismatch("DistanceToSet", c, iter)
 					return

@@ -1,0 +1,36 @@
+//go:build amd64
+
+package metric
+
+// AVX fast paths for the Euclidean row kernels. The vector accumulation is
+// bit-identical to the pure-Go kernels by construction: one 256-bit
+// accumulator register holds exactly the four lanes (s0, s1, s2, s3) of the
+// canonical SquaredEuclidean order, VSUBPD/VMULPD/VADDPD are the same IEEE
+// operations applied lane-wise, and the final combine is (s0+s1)+(s2+s3).
+// The kernels require the dimensionality to be a multiple of four (no
+// remainder handling in assembly); other shapes take the pure-Go path.
+//
+// Memory contract (same as the Go kernels' q[:len(p)] reslice, but enforced
+// by the caller instead of a bounds check): every point of the set must have
+// at least len(p) coordinates. The engine only invokes kernels on validated
+// Datasets, whose dimensionality is uniform.
+
+// haveAVXKernels gates the assembly kernels at runtime: AVX must be present
+// and the OS must have enabled YMM state (OSXSAVE + XCR0).
+var haveAVXKernels = x86HasAVX()
+
+// x86HasAVX reports AVX availability via CPUID and XGETBV.
+func x86HasAVX() bool
+
+// argNearestEucAVX returns the minimum squared Euclidean distance from p to
+// the set and the index attaining it (strict comparison, lowest index wins
+// ties). len(p) must be a positive multiple of 4 and the set non-empty.
+//
+//go:noescape
+func argNearestEucAVX(p Point, set []Point) (float64, int)
+
+// distancesToEucAVX writes dst[i] = SquaredEuclidean(p, set[i]). len(p) must
+// be a positive multiple of 4 and len(dst) >= len(set).
+//
+//go:noescape
+func distancesToEucAVX(p Point, set []Point, dst []float64)

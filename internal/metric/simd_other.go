@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package metric
+
+// Non-amd64 builds always take the pure-Go kernels, which are bit-identical
+// to the assembly fast paths by construction.
+
+const haveAVXKernels = false
+
+func argNearestEucAVX(p Point, set []Point) (float64, int) {
+	panic("metric: AVX kernel called on a non-amd64 build")
+}
+
+func distancesToEucAVX(p Point, set []Point, dst []float64) {
+	panic("metric: AVX kernel called on a non-amd64 build")
+}

@@ -1,0 +1,363 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// spaceCase pairs each built-in space with its scalar distance function for
+// the surrogate-agreement property tests.
+var spaceCases = []struct {
+	sp   Space
+	dist Distance
+}{
+	{EuclideanSpace, Euclidean},
+	{ManhattanSpace, Manhattan},
+	{ChebyshevSpace, Chebyshev},
+	{AngularSpace, Angular},
+	{CosineSpace, Cosine},
+}
+
+func randPoint(rng *rand.Rand, dim int) Point {
+	p := make(Point, dim)
+	for i := range p {
+		p[i] = rng.NormFloat64() * 10
+	}
+	return p
+}
+
+// TestSurrogateAgreesWithTrueDistance is the surrogate property test: for
+// every built-in space and random valid inputs (including zero vectors, which
+// exercise the angular/cosine special cases), the surrogate converts back to
+// the scalar distance bit for bit, and neither domain ever produces NaN.
+func TestSurrogateAgreesWithTrueDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range spaceCases {
+		t.Run(tc.sp.Name(), func(t *testing.T) {
+			for trial := 0; trial < 500; trial++ {
+				dim := 1 + rng.Intn(24)
+				a, b := randPoint(rng, dim), randPoint(rng, dim)
+				switch trial % 10 {
+				case 7: // one zero vector
+					for i := range a {
+						a[i] = 0
+					}
+				case 8: // both zero
+					for i := range a {
+						a[i], b[i] = 0, 0
+					}
+				case 9: // coincident points
+					copy(b, a)
+				}
+				want := tc.dist(a, b)
+				s := tc.sp.Surrogate(a, b)
+				if math.IsNaN(s) {
+					t.Fatalf("surrogate(%v, %v) is NaN", a, b)
+				}
+				got := tc.sp.FromSurrogate(s)
+				if math.IsNaN(got) || math.IsNaN(want) {
+					t.Fatalf("NaN distance for valid points %v, %v", a, b)
+				}
+				if got != want {
+					t.Fatalf("FromSurrogate(Surrogate) = %v, want %v (a=%v b=%v)", got, want, a, b)
+				}
+				if d := tc.sp.Distance(a, b); d != want {
+					t.Fatalf("Distance = %v, want %v", d, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSurrogateArgminAndThresholdDecisions checks that decisions taken in the
+// surrogate domain match decisions taken with the scalar true distance:
+// the argmin index over a random candidate set is identical, and threshold
+// tests at realized distance values agree after the single FromSurrogate
+// conversion the hot paths apply.
+func TestSurrogateArgminAndThresholdDecisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range spaceCases {
+		t.Run(tc.sp.Name(), func(t *testing.T) {
+			for trial := 0; trial < 200; trial++ {
+				dim := 1 + rng.Intn(12)
+				n := 2 + rng.Intn(40)
+				set := make(Dataset, n)
+				for i := range set {
+					set[i] = randPoint(rng, dim)
+				}
+				q := randPoint(rng, dim)
+
+				// Scalar reference scan in the true domain.
+				wantBest, wantIdx := math.Inf(1), -1
+				for i, p := range set {
+					if d := tc.dist(q, p); d < wantBest {
+						wantBest = d
+						wantIdx = i
+					}
+				}
+				s, idx := tc.sp.ArgNearest(q, set)
+				if idx != wantIdx {
+					t.Fatalf("trial %d: ArgNearest idx = %d, want %d", trial, idx, wantIdx)
+				}
+				if got := tc.sp.FromSurrogate(s); got != wantBest {
+					t.Fatalf("trial %d: ArgNearest dist = %v, want %v", trial, got, wantBest)
+				}
+
+				// Threshold decisions at a realized distance (the kind of
+				// threshold the covering loops use).
+				thr := tc.dist(q, set[rng.Intn(n)])
+				for i, p := range set {
+					trueDec := tc.dist(q, p) <= thr
+					surrDec := tc.sp.FromSurrogate(tc.sp.Surrogate(q, p)) <= thr
+					if trueDec != surrDec {
+						t.Fatalf("trial %d point %d: threshold decision mismatch", trial, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpaceKernelsMatchScalarLoops pins DistancesTo and UpdateNearest against
+// the scalar surrogate, per space.
+func TestSpaceKernelsMatchScalarLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, tc := range spaceCases {
+		t.Run(tc.sp.Name(), func(t *testing.T) {
+			dim := 6
+			block := make(Dataset, 64)
+			for i := range block {
+				block[i] = randPoint(rng, dim)
+			}
+			q := randPoint(rng, dim)
+
+			dst := make([]float64, len(block))
+			tc.sp.DistancesTo(dst, q, block)
+			for i, p := range block {
+				if want := tc.sp.Surrogate(q, p); dst[i] != want {
+					t.Fatalf("DistancesTo[%d] = %v, want %v", i, dst[i], want)
+				}
+			}
+
+			minDist := make([]float64, len(block))
+			minIdx := make([]int, len(block))
+			for i := range minDist {
+				minDist[i] = math.Inf(1)
+				minIdx[i] = -1
+			}
+			m := tc.sp.UpdateNearest(minDist, minIdx, q, 0, block)
+			wantMax := math.Inf(-1)
+			for i, p := range block {
+				want := tc.sp.Surrogate(q, p)
+				if minDist[i] != want || minIdx[i] != 0 {
+					t.Fatalf("UpdateNearest[%d] = (%v,%d), want (%v,0)", i, minDist[i], minIdx[i], want)
+				}
+				if want > wantMax {
+					wantMax = want
+				}
+			}
+			if m != wantMax {
+				t.Fatalf("UpdateNearest max = %v, want %v", m, wantMax)
+			}
+
+			// A second center must only improve entries and never regress.
+			q2 := randPoint(rng, dim)
+			before := append([]float64(nil), minDist...)
+			tc.sp.UpdateNearest(minDist, minIdx, q2, 1, block)
+			for i := range minDist {
+				if minDist[i] > before[i] {
+					t.Fatalf("UpdateNearest regressed entry %d", i)
+				}
+				if minDist[i] < before[i] && minIdx[i] != 1 {
+					t.Fatalf("improved entry %d not attributed to the new center", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossPathEquivalence is the adapter-vs-native equivalence test of the
+// determinism contract: for the spaces whose surrogate is an exact monotone
+// prefix of the true distance (Euclidean, Manhattan, Chebyshev), every engine
+// kernel returns bit-identical results on the native path and on the
+// SpaceFromDistance adapter path, for every worker count.
+func TestCrossPathEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	n := 9000
+	// dim 5 takes the pure-Go kernels; dim 16 takes the AVX fast path where
+	// the hardware has it.
+	for _, dim := range []int{5, 16} {
+		ds := make(Dataset, n)
+		for i := range ds {
+			ds[i] = randPoint(rng, dim)
+		}
+		centers := ds[:7]
+		for _, tc := range []struct {
+			sp   Space
+			dist Distance
+		}{
+			{EuclideanSpace, Euclidean},
+			{ManhattanSpace, Manhattan},
+			{ChebyshevSpace, Chebyshev},
+		} {
+			t.Run(tc.sp.Name(), func(t *testing.T) {
+				adapter := SpaceFromDistance(tc.sp.Name()+"-adapter", tc.dist)
+				for _, w := range []int{1, 4} {
+					e := NewEngine(w)
+					nd, ni := e.DistanceToSet(tc.sp, ds[n/2], ds)
+					ad, ai := e.DistanceToSet(adapter, ds[n/2], ds)
+					if nd != ad || ni != ai {
+						t.Fatalf("w=%d DistanceToSet native (%v,%d) != adapter (%v,%d)", w, nd, ni, ad, ai)
+					}
+					na := e.Assign(tc.sp, ds, centers)
+					aa := e.Assign(adapter, ds, centers)
+					for i := range na {
+						if na[i] != aa[i] {
+							t.Fatalf("w=%d Assign[%d] native %d != adapter %d", w, i, na[i], aa[i])
+						}
+					}
+					if nr, ar := e.Radius(tc.sp, ds, centers), e.Radius(adapter, ds, centers); nr != ar {
+						t.Fatalf("w=%d Radius native %v != adapter %v", w, nr, ar)
+					}
+					nre := e.RadiusExcluding(tc.sp, ds, centers, n/10)
+					are := e.RadiusExcluding(adapter, ds, centers, n/10)
+					if nre != are {
+						t.Fatalf("w=%d RadiusExcluding native %v != adapter %v", w, nre, are)
+					}
+					nb, nbi := e.NearestBatch(tc.sp, ds, centers)
+					ab, abi := e.NearestBatch(adapter, ds, centers)
+					for i := range nb {
+						if nb[i] != ab[i] || nbi[i] != abi[i] {
+							t.Fatalf("w=%d NearestBatch[%d] native (%v,%d) != adapter (%v,%d)",
+								w, i, nb[i], nbi[i], ab[i], abi[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSpaceForUpgrades pins the Distance -> Space resolution rules.
+func TestSpaceForUpgrades(t *testing.T) {
+	if sp := SpaceFor(nil); sp != EuclideanSpace {
+		t.Errorf("SpaceFor(nil) = %v, want EuclideanSpace", sp.Name())
+	}
+	for _, tc := range spaceCases {
+		if sp := SpaceFor(tc.dist); sp != tc.sp {
+			t.Errorf("SpaceFor(%s) did not upgrade to the native space", tc.sp.Name())
+		}
+	}
+	custom := func(a, b Point) float64 { return Euclidean(a, b) }
+	sp := SpaceFor(custom)
+	if sp.Name() != "custom" {
+		t.Errorf("SpaceFor(custom closure) = %q, want the adapter", sp.Name())
+	}
+	if got, want := sp.Distance(Point{0, 0}, Point{3, 4}), 5.0; got != want {
+		t.Errorf("adapter distance = %v, want %v", got, want)
+	}
+	if s := sp.Surrogate(Point{0, 0}, Point{3, 4}); s != 5.0 {
+		t.Errorf("adapter surrogate = %v, want the identity 5", s)
+	}
+}
+
+// TestSpaceByName pins the name registry.
+func TestSpaceByName(t *testing.T) {
+	for _, tc := range spaceCases {
+		if sp := SpaceByName(tc.sp.Name()); sp != tc.sp {
+			t.Errorf("SpaceByName(%q) = %v", tc.sp.Name(), sp)
+		}
+	}
+	if sp := SpaceByName("no-such-space"); sp != nil {
+		t.Errorf("SpaceByName(unknown) = %v, want nil", sp)
+	}
+	if got := len(SpaceNames()); got != len(spaceCases) {
+		t.Errorf("SpaceNames lists %d spaces, want %d", got, len(spaceCases))
+	}
+}
+
+// TestCountingSpace checks the evaluation accounting of every kernel.
+func TestCountingSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	block := make(Dataset, 17)
+	for i := range block {
+		block[i] = randPoint(rng, 3)
+	}
+	q := randPoint(rng, 3)
+	c := NewCountingSpace(EuclideanSpace)
+	c.Surrogate(q, block[0])
+	c.Distance(q, block[0])
+	c.DistancesTo(make([]float64, len(block)), q, block)
+	c.ArgNearest(q, block)
+	minDist := make([]float64, len(block))
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	c.UpdateNearest(minDist, make([]int, len(block)), q, 0, block)
+	if got, want := c.Evaluations(), int64(2+3*len(block)); got != want {
+		t.Fatalf("Evaluations = %d, want %d", got, want)
+	}
+	c.Reset()
+	if c.Evaluations() != 0 {
+		t.Fatal("Reset did not zero the counter")
+	}
+}
+
+// TestAVXKernelsMatchPureGo pins the assembly fast paths against the pure-Go
+// kernels bit for bit, across the dimensionalities the gate accepts. On
+// builds without AVX the test is skipped (the pure-Go path is the only one).
+func TestAVXKernelsMatchPureGo(t *testing.T) {
+	if !haveAVXKernels {
+		t.Skip("no AVX kernels on this machine")
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, dim := range []int{4, 8, 16, 32} {
+		set := make(Dataset, 301)
+		for i := range set {
+			set[i] = randPoint(rng, dim)
+		}
+		q := randPoint(rng, dim)
+
+		s, idx := argNearestEucAVX(q, set)
+		wantS, wantIdx := math.Inf(1), -1
+		for i, p := range set {
+			if v := SquaredEuclidean(q, p); v < wantS {
+				wantS = v
+				wantIdx = i
+			}
+		}
+		if s != wantS || idx != wantIdx {
+			t.Fatalf("dim=%d: argNearestEucAVX = (%v,%d), want (%v,%d)", dim, s, idx, wantS, wantIdx)
+		}
+
+		dst := make([]float64, len(set))
+		distancesToEucAVX(q, set, dst)
+		for i, p := range set {
+			if want := SquaredEuclidean(q, p); dst[i] != want {
+				t.Fatalf("dim=%d: distancesToEucAVX[%d] = %v, want %v", dim, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestEmptySetSentinelSurvivesFromSurrogate pins the (+Inf, -1) empty-set
+// convention: every space's FromSurrogate must map the +Inf sentinel to +Inf
+// (the angular clamp once collapsed it to distance 1, making empty center
+// sets look one unit away).
+func TestEmptySetSentinelSurvivesFromSurrogate(t *testing.T) {
+	p := Point{1, 0, 0}
+	for _, tc := range spaceCases {
+		s, idx := tc.sp.ArgNearest(p, nil)
+		if !math.IsInf(s, 1) || idx != -1 {
+			t.Errorf("%s: ArgNearest on empty set = (%v,%d), want (+Inf,-1)", tc.sp.Name(), s, idx)
+		}
+		if d := tc.sp.FromSurrogate(math.Inf(1)); !math.IsInf(d, 1) {
+			t.Errorf("%s: FromSurrogate(+Inf) = %v, want +Inf", tc.sp.Name(), d)
+		}
+	}
+	adapter := SpaceFromDistance("custom", Euclidean)
+	if d := adapter.FromSurrogate(math.Inf(1)); !math.IsInf(d, 1) {
+		t.Errorf("adapter: FromSurrogate(+Inf) = %v, want +Inf", d)
+	}
+}

@@ -52,7 +52,7 @@ func Cluster(dist metric.Distance, set metric.WeightedSet, k int, r, epsHat floa
 	if err := validateClusterParams(set, k, r, epsHat); err != nil {
 		return nil, err
 	}
-	return clusterPairwise(metric.NewEngine(1), pairwiseFromDistance(dist, set), set, k, r, epsHat), nil
+	return clusterPairwise(metric.NewEngine(1), pairwiseFromSpace(metric.SpaceFor(dist), set), set, k, r, epsHat), nil
 }
 
 // validateClusterParams checks the shared preconditions of Cluster and Solve.
@@ -75,12 +75,16 @@ func validateClusterParams(set metric.WeightedSet, k int, r, epsHat float64) err
 // pairwise abstracts how pairwise distances between set elements are obtained:
 // either recomputed on demand or read from a precomputed matrix. The radius
 // search evaluates OutliersCluster many times over the same set, so caching
-// the matrix removes the dominant cost for moderate coreset sizes.
+// the matrix removes the dominant cost for moderate coreset sizes. Values
+// are always in the TRUE distance domain: the covering thresholds of
+// Algorithm 1 are true radii, and keeping the matrix in the true domain
+// means the conversion out of the space's surrogate is paid once per pair at
+// build time, never during the search.
 type pairwise func(i, j int) float64
 
-// pairwiseFromDistance evaluates the distance function on demand.
-func pairwiseFromDistance(dist metric.Distance, set metric.WeightedSet) pairwise {
-	return func(i, j int) float64 { return dist(set[i].P, set[j].P) }
+// pairwiseFromSpace evaluates the space's true distance on demand.
+func pairwiseFromSpace(sp metric.Space, set metric.WeightedSet) pairwise {
+	return func(i, j int) float64 { return sp.Distance(set[i].P, set[j].P) }
 }
 
 // maxCachedMatrixSize bounds the number of points for which Solve materialises
@@ -89,19 +93,23 @@ func pairwiseFromDistance(dist metric.Distance, set metric.WeightedSet) pairwise
 const maxCachedMatrixSize = 4096
 
 // pairwiseMatrix precomputes the full distance matrix of the set. The worker
-// owning row i evaluates only the pairs (i, j) with j > i and writes both
-// mirror cells, so every cell has exactly one writer (no race) and the
-// number of distance evaluations, n*(n-1)/2, is the same for any worker
-// count. To balance the triangular workload, the chunked index v covers the
-// row pair (v, n-1-v): the two rows together always hold n-1 pairs.
-func pairwiseMatrix(eng metric.Engine, dist metric.Distance, set metric.WeightedSet) pairwise {
+// owning row i runs one batched DistancesTo over the points after i, converts
+// the row out of the surrogate domain in place, and writes both mirror
+// cells, so every cell has exactly one writer (no race) and the number of
+// distance evaluations, n*(n-1)/2, is the same for any worker count. To
+// balance the triangular workload, the chunked index v covers the row pair
+// (v, n-1-v): the two rows together always hold n-1 pairs.
+func pairwiseMatrix(eng metric.Engine, sp metric.Space, set metric.WeightedSet) pairwise {
 	n := len(set)
+	pts := set.Points()
 	m := make([]float64, n*n)
 	fillRow := func(i int) {
-		for j := i + 1; j < n; j++ {
-			d := dist(set[i].P, set[j].P)
-			m[i*n+j] = d
-			m[j*n+i] = d
+		row := m[i*n+i+1 : (i+1)*n]
+		sp.DistancesTo(row, pts[i], pts[i+1:])
+		for j, s := range row {
+			d := sp.FromSurrogate(s)
+			row[j] = d
+			m[(i+1+j)*n+i] = d
 		}
 	}
 	if eng.Sequential(n * (n - 1) / 2) {
@@ -258,24 +266,35 @@ func Solve(dist metric.Distance, set metric.WeightedSet, k int, z int64, epsHat 
 }
 
 // SolveWithWorkers is Solve with the distance engine's parallelism degree
-// made explicit: the pairwise-matrix build and the per-center heaviest-ball
-// scans of every OutliersCluster evaluation are chunked across workers
-// goroutines (<= 0 selects one per CPU, 1 — the Solve default — keeps the
-// fully sequential path). The result is bit-identical for any worker count.
+// made explicit. The scalar distance function is upgraded to its native
+// Space when it is a built-in (batched matrix build, surrogate-domain row
+// kernels), or wrapped in the identity-surrogate adapter otherwise.
 func SolveWithWorkers(dist metric.Distance, set metric.WeightedSet, k int, z int64, epsHat float64, strategy SearchStrategy, workers int) (*SolveResult, error) {
+	return SolveIn(metric.SpaceFor(dist), set, k, z, epsHat, strategy, workers)
+}
+
+// SolveIn is the Space form of Solve: the pairwise-matrix build and the
+// per-center heaviest-ball scans of every OutliersCluster evaluation are
+// chunked across workers goroutines (<= 0 selects one per CPU, 1 — the Solve
+// default — keeps the fully sequential path). The result is bit-identical
+// for any worker count.
+func SolveIn(sp metric.Space, set metric.WeightedSet, k int, z int64, epsHat float64, strategy SearchStrategy, workers int) (*SolveResult, error) {
 	if err := validateClusterParams(set, k, 0, epsHat); err != nil {
 		return nil, err
 	}
 	if z < 0 {
 		return nil, fmt.Errorf("%w: z = %d", ErrInvalidParam, z)
 	}
+	if sp == nil {
+		sp = metric.EuclideanSpace
+	}
 	eng := metric.NewEngine(workers)
 
 	// The search evaluates OutliersCluster many times on the same set, so for
 	// moderate sizes precompute the pairwise distance matrix once.
-	pd := pairwiseFromDistance(dist, set)
+	pd := pairwiseFromSpace(sp, set)
 	if len(set) <= maxCachedMatrixSize {
-		pd = pairwiseMatrix(eng, dist, set)
+		pd = pairwiseMatrix(eng, sp, set)
 	}
 
 	evals := 0
@@ -298,11 +317,11 @@ func SolveWithWorkers(dist metric.Distance, set metric.WeightedSet, k int, z int
 		}, nil
 	}
 
-	candidates := candidateRadii(dist, set.Points())
+	candidates := candidateRadii(sp, set.Points())
 	if len(candidates) == 0 {
 		// All points coincide: radius 0 was already feasible above unless the
 		// weight budget is impossible, in which case we just report radius 0.
-		res, _ := Cluster(dist, set, k, 0, epsHat)
+		res := clusterPairwise(eng, pd, set, k, 0, epsHat)
 		return &SolveResult{
 			Centers:         res.Centers,
 			CenterIndices:   res.CenterIndices,
@@ -377,8 +396,7 @@ func SolveWithWorkers(dist metric.Distance, set metric.WeightedSet, k int, z int
 		// which cannot occur: at the maximum pairwise distance a single
 		// center covers everything). Guard anyway.
 		chosen = candidates[len(candidates)-1]
-		res, _ := Cluster(dist, set, k, chosen, epsHat)
-		chosenRes = res
+		chosenRes = clusterPairwise(eng, pd, set, k, chosen, epsHat)
 	}
 
 	return &SolveResult{
@@ -395,9 +413,10 @@ func SolveWithWorkers(dist metric.Distance, set metric.WeightedSet, k int, z int
 // OutliersCluster changes only when r crosses a value at which some pairwise
 // distance enters or leaves one of the two balls, and searching the pairwise
 // distances themselves is the protocol of the original Charikar et al.
-// algorithm that the paper builds on.
-func candidateRadii(dist metric.Distance, points metric.Dataset) []float64 {
-	ds := metric.PairwiseDistances(dist, points)
+// algorithm that the paper builds on. Rows are computed with the space's
+// batched kernel; the values are true distances.
+func candidateRadii(sp metric.Space, points metric.Dataset) []float64 {
+	ds := metric.PairwiseDistancesIn(sp, points)
 	if len(ds) == 0 {
 		return nil
 	}

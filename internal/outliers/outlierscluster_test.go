@@ -347,7 +347,7 @@ func TestDelta(t *testing.T) {
 
 func TestCandidateRadii(t *testing.T) {
 	ds := metric.Dataset{{0}, {1}, {1}, {3}}
-	got := candidateRadii(metric.Euclidean, ds)
+	got := candidateRadii(metric.EuclideanSpace, ds)
 	want := []float64{1, 2, 3}
 	if len(got) != len(want) {
 		t.Fatalf("candidateRadii = %v, want %v", got, want)
@@ -357,7 +357,7 @@ func TestCandidateRadii(t *testing.T) {
 			t.Fatalf("candidateRadii = %v, want %v", got, want)
 		}
 	}
-	if got := candidateRadii(metric.Euclidean, metric.Dataset{{5}}); got != nil {
+	if got := candidateRadii(metric.EuclideanSpace, metric.Dataset{{5}}); got != nil {
 		t.Errorf("singleton candidates = %v, want nil", got)
 	}
 }

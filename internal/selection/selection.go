@@ -61,7 +61,21 @@ func Select(values []float64, k int) (float64, error) {
 	if k < 0 || k >= len(values) {
 		return 0, fmt.Errorf("%w: k=%d, n=%d", ErrRankOutOfRange, k, len(values))
 	}
-	buf := append([]float64(nil), values...)
+	return SelectInPlace(append([]float64(nil), values...), k)
+}
+
+// SelectInPlace is Select without the defensive copy: the slice is reordered.
+// It is the form the metric engine's outlier-aware radius kernel uses on its
+// own scratch distance vector, where the copy would be pure overhead. The
+// returned value is the exact order statistic, independent of the pivot
+// sequence.
+func SelectInPlace(buf []float64, k int) (float64, error) {
+	if len(buf) == 0 {
+		return 0, ErrEmptyStream
+	}
+	if k < 0 || k >= len(buf) {
+		return 0, fmt.Errorf("%w: k=%d, n=%d", ErrRankOutOfRange, k, len(buf))
+	}
 	lo, hi := 0, len(buf)-1
 	rng := rand.New(rand.NewSource(int64(len(buf))*2654435761 + int64(k)))
 	for lo < hi {

@@ -136,23 +136,32 @@ func FromState(kind Kind, distID uint8, k, z int, epsHat float64, st streaming.D
 // Distance returns the sketch's distance function.
 func (s *Sketch) Distance() (metric.Distance, error) { return DistanceByID(s.DistID) }
 
-// builtinDistance is one entry of the distance registry. Only the built-in
-// distances are serializable: a sketch must be reconstructible on a machine
-// that never saw the originating process, so closures cannot be carried.
+// Space resolves the sketch's metric space: decoding a sketch yields the
+// full batched-kernel substrate, not just a scalar distance function, so
+// restored streams run on the native hot paths.
+func (s *Sketch) Space() (metric.Space, error) { return SpaceByID(s.DistID) }
+
+// builtinDistance is one entry of the distance registry: a wire identifier,
+// the space's name, the scalar distance function, and the metric space built
+// on it. Only the built-in spaces are serializable: a sketch must be
+// reconstructible on a machine that never saw the originating process, so
+// closures cannot be carried.
 type builtinDistance struct {
-	id   uint8
-	name string
-	fn   metric.Distance
+	id    uint8
+	name  string
+	fn    metric.Distance
+	space metric.Space
 }
 
 // The registry. Identifiers are part of the wire format: never renumber,
-// only append.
+// only append. Every entry's space satisfies space.Dist() == fn, so the two
+// resolution paths (by function identity, by space name) always agree.
 var builtins = []builtinDistance{
-	{1, "euclidean", metric.Euclidean},
-	{2, "manhattan", metric.Manhattan},
-	{3, "chebyshev", metric.Chebyshev},
-	{4, "angular", metric.Angular},
-	{5, "cosine", metric.Cosine},
+	{1, "euclidean", metric.Euclidean, metric.EuclideanSpace},
+	{2, "manhattan", metric.Manhattan, metric.ManhattanSpace},
+	{3, "chebyshev", metric.Chebyshev, metric.ChebyshevSpace},
+	{4, "angular", metric.Angular, metric.AngularSpace},
+	{5, "cosine", metric.Cosine, metric.CosineSpace},
 }
 
 // DistanceID maps a distance function to its wire identifier. A nil function
@@ -211,4 +220,38 @@ func DistanceNames() []string {
 		out[i] = b.name
 	}
 	return out
+}
+
+// SpaceID maps a metric space to its wire identifier. A nil space is treated
+// as Euclidean (the library default). Identification goes through the
+// space's scalar distance function — the same identity check DistanceID
+// applies — so an adapter that merely NAMES itself after a built-in but
+// wraps a different function still returns ErrUnknownDistance instead of
+// serializing under the wrong metric.
+func SpaceID(sp metric.Space) (uint8, error) {
+	if sp == nil {
+		return 1, nil
+	}
+	return DistanceID(sp.Dist())
+}
+
+// SpaceByID maps a wire identifier to the registered metric space.
+func SpaceByID(id uint8) (metric.Space, error) {
+	for _, b := range builtins {
+		if b.id == id {
+			return b.space, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: id %d", ErrUnknownDistance, id)
+}
+
+// SpaceByName maps a registered name (e.g. "euclidean") to its metric space
+// and wire identifier; CLIs and the daemon use it to parse -space flags.
+func SpaceByName(name string) (metric.Space, uint8, error) {
+	for _, b := range builtins {
+		if b.name == name {
+			return b.space, b.id, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: name %q", ErrUnknownDistance, name)
 }

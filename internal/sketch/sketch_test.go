@@ -406,3 +406,37 @@ func TestMergeQualityProperty(t *testing.T) {
 		t.Errorf("merged radius %v exceeds (2+eps) bound %v (Gonzalez %v)", mergedRadius, bound, base.Radius)
 	}
 }
+
+// TestSpaceRegistry pins the space half of the registry: every id resolves
+// to a space whose Dist is the registered function, SpaceID round-trips the
+// built-ins, and an adapter that merely names itself after a built-in (but
+// wraps a different function) is rejected instead of serializing under the
+// wrong metric.
+func TestSpaceRegistry(t *testing.T) {
+	for _, name := range DistanceNames() {
+		sp, id, err := SpaceByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := SpaceByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Name() != name {
+			t.Errorf("SpaceByID(%d).Name() = %q, want %q", id, back.Name(), name)
+		}
+		gotID, err := SpaceID(sp)
+		if err != nil || gotID != id {
+			t.Errorf("SpaceID(%s) = (%d,%v), want (%d,nil)", name, gotID, err, id)
+		}
+	}
+	if _, err := SpaceByID(200); !errors.Is(err, ErrUnknownDistance) {
+		t.Errorf("unknown id error = %v, want ErrUnknownDistance", err)
+	}
+	impostor := metric.SpaceFromDistance("euclidean", func(a, b metric.Point) float64 {
+		return metric.Manhattan(a, b)
+	})
+	if _, err := SpaceID(impostor); !errors.Is(err, ErrUnknownDistance) {
+		t.Errorf("impostor space error = %v, want ErrUnknownDistance", err)
+	}
+}

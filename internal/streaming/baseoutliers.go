@@ -21,7 +21,7 @@ import (
 type BaseOutliers struct {
 	k, z int
 	m    int
-	dist metric.Distance
+	sp   metric.Space
 
 	initBuf   metric.Dataset
 	instances []*outlierInstance
@@ -48,10 +48,14 @@ func NewBaseOutliers(dist metric.Distance, k, z, m int) (*BaseOutliers, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("streaming: m must be positive, got %d", m)
 	}
-	if dist == nil {
-		dist = metric.Euclidean
-	}
-	return &BaseOutliers{k: k, z: z, m: m, dist: dist}, nil
+	return &BaseOutliers{k: k, z: z, m: m, sp: metric.SpaceFor(dist)}, nil
+}
+
+// distToSet is the true distance from p to the closest point of set (+Inf
+// for an empty set), computed with the space's batched row kernel.
+func (b *BaseOutliers) distToSet(p metric.Point, set metric.Dataset) float64 {
+	s, _ := b.sp.ArgNearest(p, set)
+	return b.sp.FromSurrogate(s)
 }
 
 // freeCap is the maximum size of the free pool of one guess instance.
@@ -80,7 +84,7 @@ func (b *BaseOutliers) Process(p metric.Point) error {
 // initialize derives a lower bound from the buffered prefix and spawns the m
 // guesses on a geometric grid covering one octave above it.
 func (b *BaseOutliers) initialize() {
-	lower := metric.MinPairwiseDistance(b.dist, b.initBuf) / 2
+	lower := metric.NewEngine(1).MinPairwiseDistance(b.sp, b.initBuf) / 2
 	if lower <= 0 || math.IsInf(lower, 1) {
 		lower = math.SmallestNonzeroFloat64
 	}
@@ -101,7 +105,7 @@ func (b *BaseOutliers) initialize() {
 // insert adds a point to a guess instance, restarting the instance at a
 // doubled radius when it overflows.
 func (b *BaseOutliers) insert(inst *outlierInstance, p metric.Point) {
-	if d, _ := metric.DistanceToSet(b.dist, p, inst.centers); d <= 4*inst.r {
+	if b.distToSet(p, inst.centers) <= 4*inst.r {
 		return // covered by an existing center
 	}
 	inst.free = append(inst.free, p)
@@ -126,7 +130,7 @@ func (b *BaseOutliers) promote(inst *outlierInstance) {
 			}
 			support := 0
 			for _, q := range inst.free {
-				if b.dist(cand, q) <= 2*inst.r {
+				if b.sp.Distance(cand, q) <= 2*inst.r {
 					support++
 				}
 			}
@@ -134,7 +138,7 @@ func (b *BaseOutliers) promote(inst *outlierInstance) {
 				inst.centers = append(inst.centers, cand)
 				kept := inst.free[:0]
 				for _, q := range inst.free {
-					if b.dist(cand, q) > 4*inst.r {
+					if b.sp.Distance(cand, q) > 4*inst.r {
 						kept = append(kept, q)
 					}
 				}
@@ -161,12 +165,12 @@ func (b *BaseOutliers) restart(inst *outlierInstance) {
 	for _, c := range oldCenters {
 		// Previous centers certified at least z+1 points each, so they stay
 		// centers unless another retained center already covers them.
-		if d, _ := metric.DistanceToSet(b.dist, c, inst.centers); d > 4*inst.r && len(inst.centers) < b.k+1 {
+		if b.distToSet(c, inst.centers) > 4*inst.r && len(inst.centers) < b.k+1 {
 			inst.centers = append(inst.centers, c)
 		}
 	}
 	for _, q := range oldFree {
-		if d, _ := metric.DistanceToSet(b.dist, q, inst.centers); d > 4*inst.r {
+		if b.distToSet(q, inst.centers) > 4*inst.r {
 			inst.free = append(inst.free, q)
 		}
 	}
@@ -222,7 +226,7 @@ func (b *BaseOutliers) Result() (metric.Dataset, error) {
 		if len(centers) >= b.k {
 			break
 		}
-		if d, _ := metric.DistanceToSet(b.dist, q, centers); d > 2*best.r {
+		if b.distToSet(q, centers) > 2*best.r {
 			centers = append(centers, q)
 		}
 	}

@@ -17,13 +17,20 @@ import (
 // across restarts). Space is Theta(m*k); the approximation factor approaches
 // 2+eps as m grows (the grid gets finer).
 type BaseStream struct {
-	k    int
-	m    int
-	dist metric.Distance
+	k  int
+	m  int
+	sp metric.Space
 
 	initBuf   metric.Dataset
 	instances []*guessInstance
 	processed int64
+}
+
+// distToSet is the true distance from p to the closest point of set (+Inf
+// for an empty set), computed with the space's batched row kernel.
+func (b *BaseStream) distToSet(p metric.Point, set metric.Dataset) float64 {
+	s, _ := b.sp.ArgNearest(p, set)
+	return b.sp.FromSurrogate(s)
 }
 
 // guessInstance is one radius guess of BaseStream.
@@ -41,10 +48,7 @@ func NewBaseStream(dist metric.Distance, k, m int) (*BaseStream, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("streaming: m must be positive, got %d", m)
 	}
-	if dist == nil {
-		dist = metric.Euclidean
-	}
-	return &BaseStream{k: k, m: m, dist: dist}, nil
+	return &BaseStream{k: k, m: m, sp: metric.SpaceFor(dist)}, nil
 }
 
 // Process implements Processor.
@@ -71,7 +75,7 @@ func (b *BaseStream) Process(p metric.Point) error {
 // prefix and spawns the m guesses on a geometric grid covering one octave
 // above it.
 func (b *BaseStream) initialize() {
-	lower := metric.MinPairwiseDistance(b.dist, b.initBuf) / 2
+	lower := metric.NewEngine(1).MinPairwiseDistance(b.sp, b.initBuf) / 2
 	if lower <= 0 || math.IsInf(lower, 1) {
 		lower = math.SmallestNonzeroFloat64
 	}
@@ -93,7 +97,7 @@ func (b *BaseStream) initialize() {
 // doubled radius whenever it would need more than k centers.
 func (b *BaseStream) insert(inst *guessInstance, p metric.Point) {
 	for {
-		d, _ := metric.DistanceToSet(b.dist, p, inst.centers)
+		d := b.distToSet(p, inst.centers)
 		if d <= 2*inst.r {
 			return
 		}
@@ -108,7 +112,7 @@ func (b *BaseStream) insert(inst *guessInstance, p metric.Point) {
 		inst.r *= 2
 		inst.restarts++
 		for _, c := range old {
-			if dc, _ := metric.DistanceToSet(b.dist, c, inst.centers); dc > 2*inst.r {
+			if b.distToSet(c, inst.centers) > 2*inst.r {
 				inst.centers = append(inst.centers, c)
 			}
 		}

@@ -17,30 +17,39 @@ import (
 type CoresetStream struct {
 	k        int
 	workers  int
-	dist     metric.Distance
+	space    metric.Space
 	doubling *Doubling
 }
 
 // NewCoresetStream returns a CoresetStream with coreset budget tau >= k.
+// Built-in distances are upgraded to their native metric spaces; nil defaults
+// to Euclidean.
 func NewCoresetStream(dist metric.Distance, k, tau int) (*CoresetStream, error) {
+	return NewCoresetStreamIn(metric.SpaceFor(dist), k, tau)
+}
+
+// NewCoresetStreamIn is NewCoresetStream on an explicit metric space.
+func NewCoresetStreamIn(sp metric.Space, k, tau int) (*CoresetStream, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("streaming: k must be positive, got %d", k)
 	}
 	if tau < k {
 		return nil, fmt.Errorf("streaming: tau (%d) must be at least k (%d)", tau, k)
 	}
-	if dist == nil {
-		dist = metric.Euclidean
+	if sp == nil {
+		sp = metric.EuclideanSpace
 	}
-	d, err := NewDoubling(dist, tau)
+	d, err := NewDoublingIn(sp, tau)
 	if err != nil {
 		return nil, err
 	}
-	return &CoresetStream{k: k, dist: dist, doubling: d}, nil
+	return &CoresetStream{k: k, space: sp, doubling: d}, nil
 }
 
 // RestoreCoresetStream reconstructs a CoresetStream around a restored (or
-// merged) doubling processor, e.g. one decoded from a serialized sketch.
+// merged) doubling processor, e.g. one decoded from a serialized sketch. The
+// stream adopts the processor's metric space; dist is retained only as a
+// compatibility override (nil keeps the processor's space).
 func RestoreCoresetStream(dist metric.Distance, k int, d *Doubling) (*CoresetStream, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("streaming: k must be positive, got %d", k)
@@ -51,10 +60,11 @@ func RestoreCoresetStream(dist metric.Distance, k int, d *Doubling) (*CoresetStr
 	if d.Tau() < k {
 		return nil, fmt.Errorf("streaming: tau (%d) must be at least k (%d)", d.Tau(), k)
 	}
-	if dist == nil {
-		dist = metric.Euclidean
+	sp := d.Space()
+	if dist != nil {
+		sp = metric.SpaceFor(dist)
 	}
-	return &CoresetStream{k: k, dist: dist, doubling: d}, nil
+	return &CoresetStream{k: k, space: sp, doubling: d}, nil
 }
 
 // SetWorkers sets the parallelism degree of the distance engine used by the
@@ -67,7 +77,10 @@ func (c *CoresetStream) SetWorkers(workers int) { c.workers = workers }
 func (c *CoresetStream) K() int { return c.k }
 
 // Distance returns the distance function the stream was built with.
-func (c *CoresetStream) Distance() metric.Distance { return c.dist }
+func (c *CoresetStream) Distance() metric.Distance { return c.space.Dist() }
+
+// Space returns the metric space the stream runs on.
+func (c *CoresetStream) Space() metric.Space { return c.space }
 
 // Doubling exposes the underlying doubling processor (shared, not a copy);
 // use its State method to capture a serializable snapshot.
@@ -90,7 +103,7 @@ func (c *CoresetStream) Result() (metric.Dataset, error) {
 	if len(cs) == 0 {
 		return nil, errors.New("streaming: no points processed")
 	}
-	res, err := gmm.Runner{Dist: c.dist, Workers: c.workers}.Run(cs.Points(), c.k, 0)
+	res, err := gmm.Runner{Space: c.space, Workers: c.workers}.Run(cs.Points(), c.k, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -110,15 +123,20 @@ type CoresetOutliers struct {
 	k, z     int
 	workers  int
 	epsHat   float64
-	dist     metric.Distance
+	space    metric.Space
 	strategy outliers.SearchStrategy
 	doubling *Doubling
 }
 
 // NewCoresetOutliers returns a CoresetOutliers with coreset budget tau >= k+z+1.
 // epsHat is the slack parameter of the OutliersCluster phase (0 for the exact
-// search).
+// search). Built-in distances are upgraded to their native metric spaces.
 func NewCoresetOutliers(dist metric.Distance, k, z, tau int, epsHat float64) (*CoresetOutliers, error) {
+	return NewCoresetOutliersIn(metric.SpaceFor(dist), k, z, tau, epsHat)
+}
+
+// NewCoresetOutliersIn is NewCoresetOutliers on an explicit metric space.
+func NewCoresetOutliersIn(sp metric.Space, k, z, tau int, epsHat float64) (*CoresetOutliers, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("streaming: k must be positive, got %d", k)
 	}
@@ -131,18 +149,20 @@ func NewCoresetOutliers(dist metric.Distance, k, z, tau int, epsHat float64) (*C
 	if epsHat < 0 {
 		return nil, fmt.Errorf("streaming: epsHat must be non-negative, got %v", epsHat)
 	}
-	if dist == nil {
-		dist = metric.Euclidean
+	if sp == nil {
+		sp = metric.EuclideanSpace
 	}
-	d, err := NewDoubling(dist, tau)
+	d, err := NewDoublingIn(sp, tau)
 	if err != nil {
 		return nil, err
 	}
-	return &CoresetOutliers{k: k, z: z, epsHat: epsHat, dist: dist, doubling: d}, nil
+	return &CoresetOutliers{k: k, z: z, epsHat: epsHat, space: sp, doubling: d}, nil
 }
 
 // RestoreCoresetOutliers reconstructs a CoresetOutliers around a restored (or
-// merged) doubling processor, e.g. one decoded from a serialized sketch.
+// merged) doubling processor, e.g. one decoded from a serialized sketch. The
+// stream adopts the processor's metric space; dist is retained only as a
+// compatibility override (nil keeps the processor's space).
 func RestoreCoresetOutliers(dist metric.Distance, k, z int, epsHat float64, d *Doubling) (*CoresetOutliers, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("streaming: k must be positive, got %d", k)
@@ -159,10 +179,11 @@ func RestoreCoresetOutliers(dist metric.Distance, k, z int, epsHat float64, d *D
 	if d.Tau() < k+z {
 		return nil, fmt.Errorf("streaming: tau (%d) must be at least k+z (%d)", d.Tau(), k+z)
 	}
-	if dist == nil {
-		dist = metric.Euclidean
+	sp := d.Space()
+	if dist != nil {
+		sp = metric.SpaceFor(dist)
 	}
-	return &CoresetOutliers{k: k, z: z, epsHat: epsHat, dist: dist, doubling: d}, nil
+	return &CoresetOutliers{k: k, z: z, epsHat: epsHat, space: sp, doubling: d}, nil
 }
 
 // K returns the number of centers extracted at query time.
@@ -175,7 +196,10 @@ func (c *CoresetOutliers) Z() int { return c.z }
 func (c *CoresetOutliers) EpsHat() float64 { return c.epsHat }
 
 // Distance returns the distance function the stream was built with.
-func (c *CoresetOutliers) Distance() metric.Distance { return c.dist }
+func (c *CoresetOutliers) Distance() metric.Distance { return c.space.Dist() }
+
+// Space returns the metric space the stream runs on.
+func (c *CoresetOutliers) Space() metric.Space { return c.space }
 
 // Doubling exposes the underlying doubling processor (shared, not a copy);
 // use its State method to capture a serializable snapshot.
@@ -220,7 +244,7 @@ func (c *CoresetOutliers) Result() (*OutliersResult, error) {
 	if len(cs) == 0 {
 		return nil, errors.New("streaming: no points processed")
 	}
-	solved, err := outliers.SolveWithWorkers(c.dist, cs, c.k, int64(c.z), c.epsHat, c.strategy, c.workers)
+	solved, err := outliers.SolveIn(c.space, cs, c.k, int64(c.z), c.epsHat, c.strategy, c.workers)
 	if err != nil {
 		return nil, err
 	}

@@ -23,11 +23,17 @@ import (
 //	    proxy it is;
 //	(e) phi <= r*_tau(S), the optimal tau-center radius of the points
 //	    processed so far.
+//
+// The per-point update rule runs on the metric space's batched ArgNearest
+// kernel over a maintained point view of the centers (no per-point
+// allocations); the one conversion out of the surrogate domain per processed
+// point is the only square root (Euclidean) the hot path pays.
 type Doubling struct {
-	dist metric.Distance
-	tau  int
+	space metric.Space
+	tau   int
 
 	centers metric.WeightedSet
+	pts     metric.Dataset // pts[i] == centers[i].P, maintained alongside
 	phi     float64
 
 	initBuf   metric.Dataset // first tau+1 points, buffered until initialisation
@@ -35,15 +41,39 @@ type Doubling struct {
 }
 
 // NewDoubling returns a Doubling processor with the given coreset budget tau
-// (at least 1). A nil distance defaults to Euclidean.
+// (at least 1). A nil distance defaults to Euclidean; built-in distances are
+// upgraded to their native metric spaces.
 func NewDoubling(dist metric.Distance, tau int) (*Doubling, error) {
+	return NewDoublingIn(metric.SpaceFor(dist), tau)
+}
+
+// NewDoublingIn is NewDoubling on an explicit metric space.
+func NewDoublingIn(sp metric.Space, tau int) (*Doubling, error) {
 	if tau < 1 {
 		return nil, fmt.Errorf("streaming: tau must be at least 1, got %d", tau)
 	}
-	if dist == nil {
-		dist = metric.Euclidean
+	if sp == nil {
+		sp = metric.EuclideanSpace
 	}
-	return &Doubling{dist: dist, tau: tau}, nil
+	return &Doubling{space: sp, tau: tau}, nil
+}
+
+// Space returns the metric space the processor runs on.
+func (d *Doubling) Space() metric.Space { return d.space }
+
+// syncPts rebuilds the point view of the centers.
+func (d *Doubling) syncPts() {
+	d.pts = d.pts[:0]
+	for _, c := range d.centers {
+		d.pts = append(d.pts, c.P)
+	}
+}
+
+// minPairwise is the minimum true pairwise distance of the current centers
+// (+Inf with fewer than two). The center count is bounded by tau+1, so the
+// sequential engine path is always the right one.
+func (d *Doubling) minPairwise() float64 {
+	return metric.NewEngine(1).MinPairwiseDistance(d.space, d.pts)
 }
 
 // Process implements Processor.
@@ -66,12 +96,13 @@ func (d *Doubling) Process(p metric.Point) error {
 	}
 
 	// Update rule.
-	dmin, closest := metric.DistanceToSet(d.dist, p, d.centers.Points())
-	if dmin <= 8*d.phi {
+	s, closest := d.space.ArgNearest(p, d.pts)
+	if d.space.FromSurrogate(s) <= 8*d.phi {
 		d.centers[closest].W++
 		return nil
 	}
 	d.centers = append(d.centers, metric.WeightedPoint{P: p, W: 1})
+	d.pts = append(d.pts, p)
 	// Merge rule, applied repeatedly until invariant (a) is re-established.
 	for len(d.centers) > d.tau {
 		d.merge()
@@ -87,10 +118,11 @@ func (d *Doubling) initialize() {
 		d.centers = append(d.centers, metric.WeightedPoint{P: p, W: 1})
 	}
 	d.initBuf = nil
+	d.syncPts()
 	// Collapse exact duplicates first so that coincident initial points do
 	// not force phi to zero forever.
 	d.mergeCloserThan(0)
-	minDist := metric.MinPairwiseDistance(d.dist, d.centers.Points())
+	minDist := d.minPairwise()
 	if math.IsInf(minDist, 1) {
 		// All initial points coincide: a single center remains and phi stays
 		// zero until genuinely distinct points arrive (invariant (e) holds
@@ -114,7 +146,7 @@ func (d *Doubling) initialize() {
 // now number tau+1.
 func (d *Doubling) merge() {
 	if d.phi == 0 {
-		minDist := metric.MinPairwiseDistance(d.dist, d.centers.Points())
+		minDist := d.minPairwise()
 		if math.IsInf(minDist, 1) {
 			return
 		}
@@ -127,13 +159,15 @@ func (d *Doubling) merge() {
 
 // mergeCloserThan greedily merges centers at distance <= threshold, folding
 // the weight of the discarded center into the survivor (which corresponds to
-// re-targeting the proxy function).
+// re-targeting the proxy function). Comparisons run in the true distance
+// domain; the survivor sets are tiny (at most tau+1), so this is never a hot
+// path.
 func (d *Doubling) mergeCloserThan(threshold float64) {
 	kept := make(metric.WeightedSet, 0, len(d.centers))
 	for _, c := range d.centers {
 		merged := false
 		for i := range kept {
-			if d.dist(kept[i].P, c.P) <= threshold {
+			if d.space.Distance(kept[i].P, c.P) <= threshold {
 				kept[i].W += c.W
 				merged = true
 				break
@@ -144,6 +178,7 @@ func (d *Doubling) mergeCloserThan(threshold float64) {
 		}
 	}
 	d.centers = kept
+	d.syncPts()
 }
 
 // DoublingState is the complete, self-contained state of a Doubling
@@ -185,6 +220,11 @@ func (d *Doubling) State() DoublingState {
 // Euclidean. The state's points are deep-copied, so the caller may keep
 // mutating its copy.
 func RestoreDoubling(dist metric.Distance, st DoublingState) (*Doubling, error) {
+	return RestoreDoublingIn(metric.SpaceFor(dist), st)
+}
+
+// RestoreDoublingIn is RestoreDoubling on an explicit metric space.
+func RestoreDoublingIn(sp metric.Space, st DoublingState) (*Doubling, error) {
 	if st.Tau < 1 {
 		return nil, fmt.Errorf("streaming: restore: tau must be at least 1, got %d", st.Tau)
 	}
@@ -210,10 +250,10 @@ func RestoreDoubling(dist metric.Distance, st DoublingState) (*Doubling, error) 
 		}
 		total += wp.W
 	}
-	if dist == nil {
-		dist = metric.Euclidean
+	if sp == nil {
+		sp = metric.EuclideanSpace
 	}
-	d := &Doubling{dist: dist, tau: st.Tau}
+	d := &Doubling{space: sp, tau: st.Tau}
 	if !st.Initialized {
 		if len(st.Points) > st.Tau {
 			return nil, fmt.Errorf("streaming: restore: %d buffered points exceed tau=%d", len(st.Points), st.Tau)
@@ -240,6 +280,7 @@ func RestoreDoubling(dist metric.Distance, st DoublingState) (*Doubling, error) 
 		return nil, fmt.Errorf("streaming: restore: weights sum to %d, processed %d", total, st.Processed)
 	}
 	d.centers = st.Points.Clone()
+	d.syncPts()
 	d.phi = st.Phi
 	d.processed = st.Processed
 	return d, nil
@@ -249,8 +290,7 @@ func RestoreDoubling(dist metric.Distance, st DoublingState) (*Doubling, error) 
 // independent shards of a stream and re-establishes the coreset budget with
 // the merge rule — the streaming counterpart of the paper's composable
 // coreset union. All processors must share the same budget tau and (by
-// contract) the same distance function; the first processor's distance is
-// used.
+// contract) the same metric space; the first processor's space is used.
 //
 // The merged phi starts at the maximum of the inputs' phis, which preserves
 // invariant (c) (every original point is within 8*phi of a surviving proxy).
@@ -270,7 +310,7 @@ func MergeDoublings(ds ...*Doubling) (*Doubling, error) {
 		}
 	}
 	tau := ds[0].tau
-	dist := ds[0].dist
+	sp := ds[0].space
 	anyInitialized := false
 	for i, d := range ds {
 		if d.tau != tau {
@@ -283,7 +323,7 @@ func MergeDoublings(ds ...*Doubling) (*Doubling, error) {
 	if !anyInitialized {
 		// Every shard is still buffering: replaying the raw points through a
 		// fresh processor reproduces the exact single-stream semantics.
-		out, err := NewDoubling(dist, tau)
+		out, err := NewDoublingIn(sp, tau)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +350,8 @@ func MergeDoublings(ds ...*Doubling) (*Doubling, error) {
 			union = append(union, metric.Unweighted(d.initBuf).Clone()...)
 		}
 	}
-	out := &Doubling{dist: dist, tau: tau, centers: union, phi: phi, processed: processed}
+	out := &Doubling{space: sp, tau: tau, centers: union, phi: phi, processed: processed}
+	out.syncPts()
 	// Collapse exact duplicates across shards (free: zero-distance merges
 	// never hurt coverage).
 	out.mergeCloserThan(0)
@@ -321,7 +362,7 @@ func MergeDoublings(ds ...*Doubling) (*Doubling, error) {
 	// proxy by at most another 4*phi_new — so (c) still holds at 8*phi_new,
 	// and the survivors are pairwise more than 4*phi_new apart by
 	// construction.
-	if min := metric.MinPairwiseDistance(out.dist, out.centers.Points()); min <= 4*out.phi {
+	if min := out.minPairwise(); min <= 4*out.phi {
 		out.merge()
 	}
 	// Then apply the merge rule until the budget holds.
@@ -368,10 +409,10 @@ func (d *Doubling) CheckInvariants() error {
 	if len(d.centers) > d.tau {
 		return fmt.Errorf("streaming: invariant (a) violated: %d centers > tau=%d", len(d.centers), d.tau)
 	}
-	pts := d.centers.Points()
+	pts := d.pts
 	for i := 0; i < len(pts); i++ {
 		for j := i + 1; j < len(pts); j++ {
-			if d.dist(pts[i], pts[j]) <= 4*d.phi {
+			if d.space.Distance(pts[i], pts[j]) <= 4*d.phi {
 				return fmt.Errorf("streaming: invariant (b) violated: centers %d and %d are within 4*phi", i, j)
 			}
 		}

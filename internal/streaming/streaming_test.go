@@ -284,7 +284,7 @@ func TestCoresetStreamQuality(t *testing.T) {
 	if cs.Processed() != int64(len(ds)) {
 		t.Errorf("processed = %d, want %d", cs.Processed(), len(ds))
 	}
-	if _, err := (&CoresetStream{k: 1, dist: metric.Euclidean, doubling: mustDoubling(t, 2)}).Result(); err == nil {
+	if _, err := (&CoresetStream{k: 1, space: metric.EuclideanSpace, doubling: mustDoubling(t, 2)}).Result(); err == nil {
 		t.Error("Result on empty stream should fail")
 	}
 }

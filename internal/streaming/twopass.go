@@ -61,13 +61,10 @@ func (t *TwoPassOutliers) Run(makeSource func() Source) (*TwoPassResult, error) 
 	if t.Eps <= 0 {
 		return nil, fmt.Errorf("streaming: eps must be positive, got %v", t.Eps)
 	}
-	dist := t.Distance
-	if dist == nil {
-		dist = metric.Euclidean
-	}
+	sp := metric.SpaceFor(t.Distance)
 
 	// Pass 1: doubling algorithm for the (k+z)-center problem.
-	pass1, err := NewDoubling(dist, t.K+t.Z)
+	pass1, err := NewDoublingIn(sp, t.K+t.Z)
 	if err != nil {
 		return nil, err
 	}
@@ -92,8 +89,11 @@ func (t *TwoPassOutliers) Run(makeSource func() Source) (*TwoPassResult, error) 
 	}
 
 	// Pass 2: maximal separated weighted coreset at separation (eps/48)*rHat.
+	// The point view of the coreset is maintained alongside it so the
+	// per-point nearest scan is one batched kernel with no allocations.
 	sep := (t.Eps / 48) * rHat
 	var coreset metric.WeightedSet
+	var pts metric.Dataset
 	peak := pass1.WorkingMemory()
 	src := makeSource()
 	for {
@@ -101,7 +101,8 @@ func (t *TwoPassOutliers) Run(makeSource func() Source) (*TwoPassResult, error) 
 		if !ok {
 			break
 		}
-		d, closest := metric.DistanceToSet(dist, p, coreset.Points())
+		surr, closest := sp.ArgNearest(p, pts)
+		d := sp.FromSurrogate(surr)
 		if d <= sep && closest >= 0 {
 			coreset[closest].W++
 			continue
@@ -115,6 +116,7 @@ func (t *TwoPassOutliers) Run(makeSource func() Source) (*TwoPassResult, error) 
 			}
 		}
 		coreset = append(coreset, metric.WeightedPoint{P: p, W: 1})
+		pts = append(pts, p)
 		if len(coreset) > peak {
 			peak = len(coreset)
 		}
@@ -123,7 +125,7 @@ func (t *TwoPassOutliers) Run(makeSource func() Source) (*TwoPassResult, error) 
 		return nil, errors.New("streaming: empty stream on second pass")
 	}
 
-	solved, err := outliers.Solve(dist, coreset, t.K, int64(t.Z), t.Eps/6, t.SearchStrategy)
+	solved, err := outliers.SolveIn(sp, coreset, t.K, int64(t.Z), t.Eps/6, t.SearchStrategy, 1)
 	if err != nil {
 		return nil, fmt.Errorf("streaming: final clustering failed: %w", err)
 	}

@@ -38,9 +38,51 @@ var (
 	Angular Distance = metric.Angular
 )
 
+// Space is a first-class metric space: a named distance function plus the
+// batched block kernels and the comparison-domain surrogate every hot path
+// of the library runs on. Every Distance passed through WithDistance is
+// upgraded to its native Space automatically (built-ins) or wrapped in the
+// identity-surrogate adapter (custom functions); WithSpace selects a space
+// explicitly.
+type Space = metric.Space
+
+// Built-in metric spaces, the native (surrogate-accelerated) counterparts of
+// the distance functions above.
+var (
+	// EuclideanSpace compares in the squared-L2 surrogate domain: no square
+	// root per evaluation, one per reported radius.
+	EuclideanSpace Space = metric.EuclideanSpace
+	// ManhattanSpace and ChebyshevSpace batch the coordinate loops; their
+	// surrogate is the distance itself.
+	ManhattanSpace Space = metric.ManhattanSpace
+	ChebyshevSpace Space = metric.ChebyshevSpace
+	// AngularSpace and CosineSpace compare by negated cosine similarity: no
+	// arccos per evaluation, and the query point's norm is computed once per
+	// block.
+	AngularSpace Space = metric.AngularSpace
+	CosineSpace  Space = metric.CosineSpace
+)
+
+// SpaceByName returns the built-in space registered under name ("euclidean",
+// "manhattan", "chebyshev", "angular", "cosine"), or nil for an unknown
+// name. Named spaces are what the sketch codec serializes.
+func SpaceByName(name string) Space { return metric.SpaceByName(name) }
+
+// SpaceFromDistance wraps a custom scalar distance function into a Space
+// with the identity surrogate: every kernel evaluation calls dist exactly
+// once and no comparison-domain shortcut is taken. The wrapped function must
+// satisfy the metric axioms and be safe for concurrent calls. This is the
+// adapter WithDistance applies implicitly to custom functions; it is
+// exported for callers that want to name their metric or pin the adapter
+// path explicitly (e.g. for benchmarking against a native space).
+func SpaceFromDistance(name string, dist Distance) Space {
+	return metric.SpaceFromDistance(name, dist)
+}
+
 // options collects the tunables shared by Cluster and ClusterWithOutliers.
 type options struct {
 	distance          Distance
+	space             Space
 	ell               int
 	coresetMultiplier int
 	eps               float64
@@ -54,9 +96,31 @@ type options struct {
 // Option customises Cluster and ClusterWithOutliers.
 type Option func(*options)
 
-// WithDistance selects the distance function (default Euclidean).
+// WithDistance selects the distance function (default Euclidean). Built-in
+// functions are upgraded to their native metric spaces; custom functions run
+// through the SpaceFromDistance adapter, which calls them once per
+// evaluation exactly as in previous releases.
 func WithDistance(d Distance) Option {
-	return func(o *options) { o.distance = d }
+	return func(o *options) {
+		o.distance = d
+		o.space = nil
+	}
+}
+
+// WithSpace selects the metric space explicitly, overriding WithDistance.
+// Use a built-in space (EuclideanSpace, ...) for the surrogate-accelerated
+// native kernels, or SpaceFromDistance for a custom metric. The determinism
+// contract is unchanged: for the built-in spaces whose surrogate is an exact
+// monotone prefix of the true distance (Euclidean, Manhattan, Chebyshev),
+// results are bit-identical between the native and adapter paths, and for
+// every space they are bit-identical across worker counts.
+func WithSpace(s Space) Option {
+	return func(o *options) {
+		if s != nil {
+			o.space = s
+			o.distance = s.Dist()
+		}
+	}
 }
 
 // WithPartitions fixes the number of partitions (the parallelism ell of the
@@ -126,6 +190,9 @@ func buildOptions(opts []Option) (options, error) {
 	o := options{distance: Euclidean, coresetMultiplier: 4}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.space == nil {
+		o.space = metric.SpaceFor(o.distance)
 	}
 	if o.eps > 0 {
 		o.coresetMultiplier = 0 // precision rule replaces the fixed size
@@ -218,6 +285,7 @@ func Cluster(points Dataset, k int, opts ...Option) (*Clustering, error) {
 		K:           k,
 		Ell:         ell,
 		Distance:    o.distance,
+		Space:       o.space,
 		Parallelism: o.parallelism,
 		Workers:     o.workers,
 	}
@@ -233,7 +301,7 @@ func Cluster(points Dataset, k int, opts ...Option) (*Clustering, error) {
 	return &Clustering{
 		Centers:    res.Centers,
 		Radius:     res.Radius,
-		Assignment: metric.ParallelAssign(o.distance, points, res.Centers, o.workers),
+		Assignment: metric.NewEngine(o.workers).Assign(o.space, points, res.Centers),
 		Stats: RunStats{
 			Partitions:       ell,
 			CoresetUnionSize: res.CoresetUnionSize,
@@ -292,7 +360,7 @@ func ClusterWithOutliers(points Dataset, k, z int, opts ...Option) (*OutliersClu
 			Centers:    centers,
 			Radius:     0,
 			Outliers:   nil,
-			Assignment: metric.ParallelAssign(o.distance, points, centers, o.workers),
+			Assignment: metric.NewEngine(o.workers).Assign(o.space, points, centers),
 			Stats:      RunStats{Partitions: 1, CoresetUnionSize: len(points), LocalMemoryPeak: len(points)},
 		}, nil
 	}
@@ -305,6 +373,7 @@ func ClusterWithOutliers(points Dataset, k, z int, opts ...Option) (*OutliersClu
 		Z:           z,
 		Ell:         ell,
 		Distance:    o.distance,
+		Space:       o.space,
 		Parallelism: o.parallelism,
 		Workers:     o.workers,
 		Randomized:  o.randomized,
@@ -331,7 +400,7 @@ func ClusterWithOutliers(points Dataset, k, z int, opts ...Option) (*OutliersClu
 	}
 	// One nearest-center pass feeds both the outlier selection and the
 	// assignment.
-	dists, assignment := metric.NearestBatch(o.distance, points, res.Centers, o.workers)
+	dists, assignment := metric.NewEngine(o.workers).NearestBatch(o.space, points, res.Centers)
 	return &OutliersClustering{
 		Centers:    res.Centers,
 		Radius:     res.Radius,
@@ -365,7 +434,7 @@ func Gonzalez(points Dataset, k int, opts ...Option) (*Clustering, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := gmm.Runner{Dist: o.distance, Workers: o.workers}.Run(points, k, 0)
+	res, err := gmm.Runner{Space: o.space, Workers: o.workers}.Run(points, k, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -386,7 +455,7 @@ func Radius(points, centers Dataset, opts ...Option) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return metric.ParallelRadius(o.distance, points, centers, o.workers), nil
+	return metric.NewEngine(o.workers).Radius(o.space, points, centers), nil
 }
 
 // RadiusExcluding reports the outlier-aware k-center objective: the maximum
@@ -400,7 +469,7 @@ func RadiusExcluding(points, centers Dataset, z int, opts ...Option) (float64, e
 	if err != nil {
 		return 0, err
 	}
-	return metric.ParallelRadiusExcluding(o.distance, points, centers, z, o.workers), nil
+	return metric.NewEngine(o.workers).RadiusExcluding(o.space, points, centers, z), nil
 }
 
 // EstimateDoublingDimension reports an empirical estimate of the doubling
@@ -415,7 +484,7 @@ func EstimateDoublingDimension(points Dataset, opts ...Option) (float64, error) 
 	if err != nil {
 		return 0, err
 	}
-	return metric.EstimateDoublingDimension(o.distance, points, 8, 4, nil), nil
+	return metric.NewEngine(o.workers).EstimateDoublingDimension(o.space, points, 8, 4, nil), nil
 }
 
 // farthestIndices returns the indices of the z points farthest from their

@@ -43,7 +43,7 @@ var (
 // ErrSketchUnknownDistance because the receiving machine could not
 // reconstruct it.
 func (s *StreamingKCenter) Snapshot() ([]byte, error) {
-	id, err := sketch.DistanceID(s.inner.Distance())
+	id, err := sketch.SpaceID(s.inner.Space())
 	if err != nil {
 		return nil, fmt.Errorf("kcenter: %w", err)
 	}
@@ -52,8 +52,10 @@ func (s *StreamingKCenter) Snapshot() ([]byte, error) {
 }
 
 // RestoreStreamingKCenter reconstructs a streaming clusterer from a sketch
-// produced by Snapshot (or MergeSketches). The distance function and all
-// parameters come from the sketch itself; options may tune the runtime
+// produced by Snapshot (or MergeSketches). The metric space and all
+// parameters come from the sketch itself (sketches are named after their
+// space, so decoding resolves the full batched-kernel substrate, not just a
+// scalar distance); options may tune the runtime
 // behaviour of the restored stream (WithWorkers), while WithDistance is
 // ignored. The restored stream is fully live: it can keep observing points,
 // answer Centers, and be snapshotted again.
@@ -69,15 +71,15 @@ func RestoreStreamingKCenter(data []byte, opts ...Option) (*StreamingKCenter, er
 	if sk.Kind != sketch.KindKCenter {
 		return nil, fmt.Errorf("kcenter: %w: sketch is %s, want k-center", ErrSketchIncompatible, sk.Kind)
 	}
-	dist, err := sk.Distance()
+	sp, err := sk.Space()
 	if err != nil {
 		return nil, err
 	}
-	d, err := streaming.RestoreDoubling(dist, sk.State())
+	d, err := streaming.RestoreDoublingIn(sp, sk.State())
 	if err != nil {
 		return nil, fmt.Errorf("kcenter: %w", err)
 	}
-	inner, err := streaming.RestoreCoresetStream(dist, sk.K, d)
+	inner, err := streaming.RestoreCoresetStream(nil, sk.K, d)
 	if err != nil {
 		return nil, fmt.Errorf("kcenter: %w", err)
 	}
@@ -89,7 +91,7 @@ func RestoreStreamingKCenter(data []byte, opts ...Option) (*StreamingKCenter, er
 // including z and the radius-search slack epsHat, with the same semantics as
 // (*StreamingKCenter).Snapshot.
 func (s *StreamingOutliers) Snapshot() ([]byte, error) {
-	id, err := sketch.DistanceID(s.inner.Distance())
+	id, err := sketch.SpaceID(s.inner.Space())
 	if err != nil {
 		return nil, fmt.Errorf("kcenter: %w", err)
 	}
@@ -112,15 +114,15 @@ func RestoreStreamingOutliers(data []byte, opts ...Option) (*StreamingOutliers, 
 	if sk.Kind != sketch.KindOutliers {
 		return nil, fmt.Errorf("kcenter: %w: sketch is %s, want k-center-with-outliers", ErrSketchIncompatible, sk.Kind)
 	}
-	dist, err := sk.Distance()
+	sp, err := sk.Space()
 	if err != nil {
 		return nil, err
 	}
-	d, err := streaming.RestoreDoubling(dist, sk.State())
+	d, err := streaming.RestoreDoublingIn(sp, sk.State())
 	if err != nil {
 		return nil, fmt.Errorf("kcenter: %w", err)
 	}
-	inner, err := streaming.RestoreCoresetOutliers(dist, sk.K, sk.Z, sk.EpsHat, d)
+	inner, err := streaming.RestoreCoresetOutliers(nil, sk.K, sk.Z, sk.EpsHat, d)
 	if err != nil {
 		return nil, fmt.Errorf("kcenter: %w", err)
 	}

@@ -24,7 +24,7 @@ func NewStreamingKCenter(k, budget int, opts ...Option) (*StreamingKCenter, erro
 	if err != nil {
 		return nil, err
 	}
-	inner, err := streaming.NewCoresetStream(o.distance, k, budget)
+	inner, err := streaming.NewCoresetStreamIn(o.space, k, budget)
 	if err != nil {
 		return nil, fmt.Errorf("kcenter: %w", err)
 	}
@@ -76,7 +76,7 @@ func NewStreamingOutliers(k, z, budget int, opts ...Option) (*StreamingOutliers,
 	if err != nil {
 		return nil, err
 	}
-	inner, err := streaming.NewCoresetOutliers(o.distance, k, z, budget, 0.25)
+	inner, err := streaming.NewCoresetOutliersIn(o.space, k, z, budget, 0.25)
 	if err != nil {
 		return nil, fmt.Errorf("kcenter: %w", err)
 	}
