@@ -8,7 +8,8 @@
 //
 //	GET    /healthz                      liveness probe
 //	GET    /streams                      list streams and their stats
-//	POST   /streams/{name}/points        batch ingest {"points": [[...], ...]}
+//	GET    /streams/{name}/stats         introspect one stream (counts, memory, window state)
+//	POST   /streams/{name}/points        batch ingest {"points": [[...], ...], "timestamps": [...]}
 //	GET    /streams/{name}/centers       extract the current k centers
 //	POST   /streams/{name}/snapshot      serialize the stream (octet-stream)
 //	POST   /streams/{name}/restore       recreate the stream from a sketch body
@@ -17,6 +18,21 @@
 //
 // Streams are created on first ingest with the daemon's default parameters;
 // ?k= &z= &budget= query parameters on that first request override them.
+// ?window=N and/or ?windowDur=D make the stream a sliding-window one: it
+// summarises only the last N points and/or the last D timestamp ticks, with
+// whole buckets evicted automatically as they age out. Window streams accept
+// an optional "timestamps" array alongside "points" (one non-negative,
+// non-decreasing int64 per point, in the same caller-defined units as
+// ?windowDur=); batches without timestamps reuse the newest observed one.
+// Snapshots of window streams carry the full window state (magic KCWN) and
+// restore to live window streams; window sketches cannot be merged.
+//
+// Error responses are typed: {"error": ..., "code": ...} where code is a
+// stable machine-readable identifier (invalid_point, dimension_mismatch,
+// invalid_timestamps, unknown_stream, ...). Batches are validated before any
+// point is applied, so a rejected batch (NaN/Inf coordinates, ragged or
+// mismatched dimensions, bad timestamps) never perturbs stream state.
+//
 // Every handler takes the owning stream's mutex, so concurrent ingest into
 // one stream is safe (and serialised), while distinct streams ingest in
 // parallel. SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
@@ -37,6 +53,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -48,7 +65,24 @@ import (
 	"time"
 
 	kcenter "coresetclustering"
+	"coresetclustering/internal/metric"
 	"coresetclustering/internal/sketch"
+)
+
+// Stable machine-readable error codes carried by every error response.
+const (
+	codeInvalidJSON       = "invalid_json"
+	codeEmptyBatch        = "empty_batch"
+	codeInvalidPoint      = "invalid_point"
+	codeDimensionMismatch = "dimension_mismatch"
+	codeInvalidParam      = "invalid_param"
+	codeInvalidTimestamps = "invalid_timestamps"
+	codeNotWindowed       = "not_windowed"
+	codeUnknownStream     = "unknown_stream"
+	codeStreamGone        = "stream_gone"
+	codeBadSketch         = "bad_sketch"
+	codeEmptyStream       = "empty_stream"
+	codeInternal          = "internal"
 )
 
 // maxBodyBytes bounds every request body (batches and sketches alike).
@@ -116,13 +150,23 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 }
 
 // streamCore is the surface shared by the plain and the outlier-aware
-// streaming clusterers.
+// streaming clusterers, windowed or not.
 type streamCore interface {
 	Observe(p kcenter.Point) error
 	Centers() (kcenter.Dataset, error)
 	Snapshot() ([]byte, error)
 	Observed() int64
 	WorkingMemory() int
+}
+
+// windowCore is the additional surface of sliding-window streams: timestamped
+// ingest and live-window introspection.
+type windowCore interface {
+	streamCore
+	ObserveAt(p kcenter.Point, ts int64) error
+	LastTimestamp() int64
+	LiveBuckets() int
+	LivePoints() int64
 }
 
 // namedStream is one hosted stream. Its mutex serialises every access to the
@@ -132,12 +176,15 @@ type streamCore interface {
 // a handler that looked the stream up just before the swap fails loudly
 // instead of acknowledging a write into an orphaned object.
 type namedStream struct {
-	mu     sync.Mutex
-	core   streamCore
-	k, z   int
-	budget int
-	dim    int // fixed by the first batch (0 = not yet known)
-	gone   bool
+	mu      sync.Mutex
+	core    streamCore
+	k, z    int
+	budget  int
+	space   string
+	winSize int64 // count window (0 = none)
+	winDur  int64 // duration window (0 = none)
+	dim     int   // fixed by the first batch (0 = not yet known)
+	gone    bool
 }
 
 // errGone is returned to clients whose request lost a race with a delete or
@@ -167,6 +214,7 @@ func (s *server) routes() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /streams", s.handleList)
+	mux.HandleFunc("GET /streams/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /streams/{name}/points", s.handleIngest)
 	mux.HandleFunc("GET /streams/{name}/centers", s.handleCenters)
 	mux.HandleFunc("POST /streams/{name}/snapshot", s.handleSnapshot)
@@ -178,17 +226,45 @@ func (s *server) routes() http.Handler {
 
 // newCore builds a streaming clusterer for the given parameters. The
 // configured name resolves to a full metric Space (batched kernels +
-// surrogate), so ingest runs on the native hot path.
-func (s *server) newCore(k, z, budget int) (streamCore, error) {
+// surrogate), so ingest runs on the native hot path. Positive winSize/winDur
+// select the sliding-window flavour.
+func (s *server) newCore(k, z, budget int, winSize, winDur int64) (streamCore, error) {
 	space, _, err := sketch.SpaceByName(s.cfg.dist)
 	if err != nil {
 		return nil, err
 	}
 	opts := []kcenter.Option{kcenter.WithSpace(space), kcenter.WithWorkers(s.cfg.workers)}
+	if winSize > 0 || winDur > 0 {
+		opts = append(opts, kcenter.WithWindowSize(int(winSize)), kcenter.WithWindowDuration(winDur))
+		if z > 0 {
+			return kcenter.NewWindowedOutliers(k, z, budget, opts...)
+		}
+		return kcenter.NewWindowedKCenter(k, budget, opts...)
+	}
 	if z > 0 {
 		return kcenter.NewStreamingOutliers(k, z, budget, opts...)
 	}
 	return kcenter.NewStreamingKCenter(k, budget, opts...)
+}
+
+// flavourMismatch rejects window query parameters aimed at an existing
+// insertion-only stream: silently dropping them would acknowledge ingest into
+// a stream that never evicts, permanently locking the name to the wrong
+// flavour. (winSize/winDur are set once at creation and never mutated, so
+// reading them without the stream mutex is safe.)
+func flavourMismatch(st *namedStream, r *http.Request) error {
+	winSize, err := queryInt64(r, "window", 0)
+	if err != nil {
+		return err
+	}
+	winDur, err := queryInt64(r, "windowDur", 0)
+	if err != nil {
+		return err
+	}
+	if (winSize > 0 || winDur > 0) && st.winSize == 0 && st.winDur == 0 {
+		return errors.New("stream already exists as insertion-only; ?window=/?windowDur= cannot convert it (delete and recreate)")
+	}
+	return nil
 }
 
 // getOrCreate returns the named stream, creating it with the request's (or
@@ -198,6 +274,9 @@ func (s *server) getOrCreate(name string, r *http.Request) (*namedStream, error)
 	st, ok := s.streams[name]
 	s.mu.RUnlock()
 	if ok {
+		if err := flavourMismatch(st, r); err != nil {
+			return nil, err
+		}
 		return st, nil
 	}
 	k, err := queryInt(r, "k", s.cfg.k)
@@ -212,6 +291,17 @@ func (s *server) getOrCreate(name string, r *http.Request) (*namedStream, error)
 	if err != nil {
 		return nil, err
 	}
+	winSize, err := queryInt64(r, "window", 0)
+	if err != nil {
+		return nil, err
+	}
+	winDur, err := queryInt64(r, "windowDur", 0)
+	if err != nil {
+		return nil, err
+	}
+	if winSize < 0 || winDur < 0 {
+		return nil, fmt.Errorf("window bounds must be non-negative (window=%d windowDur=%d)", winSize, winDur)
+	}
 	if budget <= 0 {
 		if k == s.cfg.k && z == s.cfg.z {
 			budget = s.cfg.budget
@@ -222,13 +312,18 @@ func (s *server) getOrCreate(name string, r *http.Request) (*namedStream, error)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if st, ok := s.streams[name]; ok {
-		return st, nil // lost the creation race; use the winner's stream
+		// Lost the creation race; use the winner's stream (unless the window
+		// parameters conflict with its flavour).
+		if err := flavourMismatch(st, r); err != nil {
+			return nil, err
+		}
+		return st, nil
 	}
-	core, err := s.newCore(k, z, budget)
+	core, err := s.newCore(k, z, budget, winSize, winDur)
 	if err != nil {
 		return nil, err
 	}
-	st = &namedStream{core: core, k: k, z: z, budget: budget}
+	st = &namedStream{core: core, k: k, z: z, budget: budget, space: s.cfg.dist, winSize: winSize, winDur: winDur}
 	s.streams[name] = st
 	return st, nil
 }
@@ -242,74 +337,191 @@ func (s *server) lookup(name string) (*namedStream, bool) {
 
 type ingestRequest struct {
 	Points kcenter.Dataset `json:"points"`
+	// Timestamps optionally carries one non-negative, non-decreasing int64
+	// per point (window streams only), in the same caller-defined units as
+	// the stream's ?windowDur= bound.
+	Timestamps []int64 `json:"timestamps,omitempty"`
+}
+
+type windowStats struct {
+	Size        int64 `json:"size,omitempty"`
+	Duration    int64 `json:"duration,omitempty"`
+	LiveBuckets int   `json:"liveBuckets"`
+	LivePoints  int64 `json:"livePoints"`
 }
 
 type streamStats struct {
-	Name          string `json:"name"`
-	K             int    `json:"k"`
-	Z             int    `json:"z"`
-	Budget        int    `json:"budget"`
-	Observed      int64  `json:"observed"`
-	WorkingMemory int    `json:"workingMemory"`
+	Name          string       `json:"name"`
+	K             int          `json:"k"`
+	Z             int          `json:"z"`
+	Budget        int          `json:"budget"`
+	Space         string       `json:"space"`
+	Observed      int64        `json:"observed"`
+	WorkingMemory int          `json:"workingMemory"`
+	Window        *windowStats `json:"window,omitempty"`
 }
 
 func (st *namedStream) statsLocked(name string) streamStats {
-	return streamStats{
+	stats := streamStats{
 		Name:          name,
 		K:             st.k,
 		Z:             st.z,
 		Budget:        st.budget,
+		Space:         st.space,
 		Observed:      st.core.Observed(),
 		WorkingMemory: st.core.WorkingMemory(),
 	}
+	if wc, ok := st.core.(windowCore); ok {
+		stats.Window = &windowStats{
+			Size:        st.winSize,
+			Duration:    st.winDur,
+			LiveBuckets: wc.LiveBuckets(),
+			LivePoints:  wc.LivePoints(),
+		}
+	}
+	return stats
+}
+
+// validateBatch enforces every precondition of an ingest batch BEFORE any
+// point is applied, so a rejected batch never partially mutates the stream:
+// non-empty, finite coordinates, rectangular dimensions, and (when present)
+// one sorted non-negative timestamp per point.
+func validateBatch(req *ingestRequest) (status int, code string, err error) {
+	if len(req.Points) == 0 {
+		return http.StatusBadRequest, codeEmptyBatch, errors.New("empty batch")
+	}
+	if err := req.Points.Validate(); err != nil {
+		code := codeInvalidPoint
+		if errors.Is(err, metric.ErrDimensionMismatch) {
+			code = codeDimensionMismatch
+		}
+		return http.StatusBadRequest, code, err
+	}
+	if req.Points.Dim() == 0 {
+		// Zero-dimension points would collide with the "dimension not yet
+		// known" sentinel and poison later real batches.
+		return http.StatusBadRequest, codeInvalidPoint, errors.New("points must have at least one coordinate")
+	}
+	if req.Timestamps != nil {
+		if len(req.Timestamps) != len(req.Points) {
+			return http.StatusBadRequest, codeInvalidTimestamps,
+				fmt.Errorf("%d timestamps for %d points", len(req.Timestamps), len(req.Points))
+		}
+		for i, ts := range req.Timestamps {
+			if ts < 0 {
+				return http.StatusBadRequest, codeInvalidTimestamps, fmt.Errorf("timestamp %d is negative (%d)", i, ts)
+			}
+			if i > 0 && ts < req.Timestamps[i-1] {
+				return http.StatusBadRequest, codeInvalidTimestamps,
+					fmt.Errorf("timestamp %d (%d) precedes timestamp %d (%d)", i, ts, i-1, req.Timestamps[i-1])
+			}
+		}
+	}
+	return 0, "", nil
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		httpError(w, http.StatusBadRequest, codeInvalidJSON, fmt.Errorf("invalid JSON body: %w", err))
 		return
 	}
-	if len(req.Points) == 0 {
-		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
+	if status, code, err := validateBatch(&req); err != nil {
+		httpError(w, status, code, err)
 		return
 	}
 	batch := req.Points
-	if err := batch.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+	name := r.PathValue("name")
+	if req.Timestamps != nil {
+		// Reject timestamps aimed at a non-window stream BEFORE getOrCreate
+		// runs: otherwise a first ingest that forgot ?window= would create a
+		// plain stream as a side effect of its own rejection, permanently
+		// locking the name to the wrong flavour. (The locked re-check below
+		// stays authoritative against creation races.)
+		if st, ok := s.lookup(name); ok {
+			if _, isWin := st.core.(windowCore); !isWin {
+				httpError(w, http.StatusBadRequest, codeNotWindowed,
+					errors.New("timestamps are only accepted by window streams (create with ?window= or ?windowDur=)"))
+				return
+			}
+		} else {
+			// == 0, not <= 0: explicitly negative bounds fall through to
+			// getOrCreate's own validation and report invalid_param instead
+			// of a misleading "add ?window=" hint.
+			winSize, err1 := queryInt64(r, "window", 0)
+			winDur, err2 := queryInt64(r, "windowDur", 0)
+			if err1 == nil && err2 == nil && winSize == 0 && winDur == 0 {
+				httpError(w, http.StatusBadRequest, codeNotWindowed,
+					errors.New("timestamped batches need a window stream: create it with ?window= or ?windowDur="))
+				return
+			}
+		}
 	}
-	if batch.Dim() == 0 {
-		// Zero-dimension points would collide with the "dimension not yet
-		// known" sentinel and poison later real batches.
-		httpError(w, http.StatusBadRequest, errors.New("points must have at least one coordinate"))
-		return
-	}
-	st, err := s.getOrCreate(r.PathValue("name"), r)
+	st, err := s.getOrCreate(name, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, codeInvalidParam, err)
 		return
 	}
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.gone {
-		httpError(w, http.StatusConflict, errGone)
+		httpError(w, http.StatusConflict, codeStreamGone, errGone)
 		return
 	}
 	if st.dim != 0 && batch.Dim() != st.dim {
-		httpError(w, http.StatusBadRequest,
+		httpError(w, http.StatusBadRequest, codeDimensionMismatch,
 			fmt.Errorf("batch dimension %d does not match stream dimension %d", batch.Dim(), st.dim))
 		return
 	}
-	for _, p := range batch {
-		if err := st.core.Observe(p); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+	if req.Timestamps != nil {
+		wc, ok := st.core.(windowCore)
+		if !ok {
+			httpError(w, http.StatusBadRequest, codeNotWindowed,
+				errors.New("timestamps are only accepted by window streams (create with ?window= or ?windowDur=)"))
 			return
+		}
+		// The stream's clock only moves forward; checked up front so the
+		// whole batch is rejected before any point lands.
+		if last := wc.LastTimestamp(); req.Timestamps[0] < last {
+			httpError(w, http.StatusBadRequest, codeInvalidTimestamps,
+				fmt.Errorf("batch starts at timestamp %d, stream is already at %d", req.Timestamps[0], last))
+			return
+		}
+		for i, p := range batch {
+			if err := wc.ObserveAt(p, req.Timestamps[i]); err != nil {
+				httpError(w, http.StatusInternalServerError, codeInternal, err)
+				return
+			}
+		}
+	} else {
+		for _, p := range batch {
+			if err := st.core.Observe(p); err != nil {
+				httpError(w, http.StatusInternalServerError, codeInternal, err)
+				return
+			}
 		}
 	}
 	st.dim = batch.Dim()
 	writeJSON(w, http.StatusOK, st.statsLocked(r.PathValue("name")))
+}
+
+// handleStats is the introspection endpoint: per-stream counters, working
+// memory, space name and (for window streams) the live window state.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, ok := s.lookup(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.gone {
+		httpError(w, http.StatusConflict, codeStreamGone, errGone)
+		return
+	}
+	writeJSON(w, http.StatusOK, st.statsLocked(name))
 }
 
 type centersResponse struct {
@@ -321,18 +533,20 @@ func (s *server) handleCenters(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	st, ok := s.lookup(name)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown stream %q", name))
+		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
 		return
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.gone {
-		httpError(w, http.StatusConflict, errGone)
+		httpError(w, http.StatusConflict, codeStreamGone, errGone)
 		return
 	}
 	centers, err := st.core.Centers()
 	if err != nil {
-		httpError(w, http.StatusConflict, err)
+		// A window stream whose every bucket has been evicted has nothing to
+		// answer with; other extraction failures are equally state conflicts.
+		httpError(w, http.StatusConflict, codeEmptyStream, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, centersResponse{
@@ -345,19 +559,19 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	st, ok := s.lookup(name)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown stream %q", name))
+		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
 		return
 	}
 	st.mu.Lock()
 	if st.gone {
 		st.mu.Unlock()
-		httpError(w, http.StatusConflict, errGone)
+		httpError(w, http.StatusConflict, codeStreamGone, errGone)
 		return
 	}
 	snap, err := st.core.Snapshot()
 	st.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -368,16 +582,19 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(r.Body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, codeInvalidParam, err)
 		return
 	}
 	core, info, err := s.restoreCore(data)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, codeBadSketch, err)
 		return
 	}
 	name := r.PathValue("name")
-	st := &namedStream{core: core, k: info.K, z: info.Z, budget: info.Budget, dim: info.Dimensions}
+	st := &namedStream{
+		core: core, k: info.K, z: info.Z, budget: info.Budget, dim: info.Dimensions,
+		space: info.Distance, winSize: info.WindowSize, winDur: info.WindowDuration,
+	}
 	s.mu.Lock()
 	if old, ok := s.streams[name]; ok {
 		// Mark the replaced stream dead under its own mutex so a handler
@@ -395,16 +612,22 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st.statsLocked(name))
 }
 
-// restoreCore revives a sketch of either kind as a live stream.
+// restoreCore revives a sketch of any kind — insertion-only or windowed,
+// plain or outlier-aware — as a live stream.
 func (s *server) restoreCore(data []byte) (streamCore, *kcenter.SketchInfo, error) {
 	info, err := kcenter.InspectSketch(data)
 	if err != nil {
 		return nil, nil, err
 	}
 	var core streamCore
-	if info.Outliers {
+	switch {
+	case info.Window && info.Outliers:
+		core, err = kcenter.RestoreWindowedOutliers(data, kcenter.WithWorkers(s.cfg.workers))
+	case info.Window:
+		core, err = kcenter.RestoreWindowedKCenter(data, kcenter.WithWorkers(s.cfg.workers))
+	case info.Outliers:
 		core, err = kcenter.RestoreStreamingOutliers(data, kcenter.WithWorkers(s.cfg.workers))
-	} else {
+	default:
 		core, err = kcenter.RestoreStreamingKCenter(data, kcenter.WithWorkers(s.cfg.workers))
 	}
 	if err != nil {
@@ -425,7 +648,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		st.mu.Unlock()
 	}
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown stream %q", name))
+		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
@@ -463,30 +686,30 @@ type mergeResponse struct {
 func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	var req mergeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		httpError(w, http.StatusBadRequest, codeInvalidJSON, fmt.Errorf("invalid JSON body: %w", err))
 		return
 	}
 	if len(req.Sketches) == 0 {
-		httpError(w, http.StatusBadRequest, errors.New("no sketches to merge"))
+		httpError(w, http.StatusBadRequest, codeEmptyBatch, errors.New("no sketches to merge"))
 		return
 	}
 	blobs := make([][]byte, len(req.Sketches))
 	for i, b64 := range req.Sketches {
 		blob, err := base64.StdEncoding.DecodeString(b64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("sketch %d: invalid base64: %w", i, err))
+			httpError(w, http.StatusBadRequest, codeBadSketch, fmt.Errorf("sketch %d: invalid base64: %w", i, err))
 			return
 		}
 		blobs[i] = blob
 	}
 	merged, err := kcenter.MergeSketches(blobs...)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, codeBadSketch, err)
 		return
 	}
 	core, info, err := s.restoreCore(merged)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	resp := mergeResponse{
@@ -496,7 +719,7 @@ func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	if info.Observed > 0 {
 		centers, err := core.Centers()
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
 		resp.Centers = centers
@@ -505,11 +728,22 @@ func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
 }
 
 func queryInt(r *http.Request, key string, fallback int) (int, error) {
+	n, err := queryInt64(r, key, int64(fallback))
+	if err != nil {
+		return 0, err
+	}
+	if n < math.MinInt32 || n > math.MaxInt32 {
+		return 0, fmt.Errorf("%s=%d out of range", key, n)
+	}
+	return int(n), nil
+}
+
+func queryInt64(r *http.Request, key string, fallback int64) (int64, error) {
 	v := r.URL.Query().Get(key)
 	if v == "" {
 		return fallback, nil
 	}
-	n, err := strconv.Atoi(v)
+	n, err := strconv.ParseInt(v, 10, 64)
 	if err != nil {
 		return 0, fmt.Errorf("invalid %s=%q", key, v)
 	}
@@ -522,6 +756,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// errorResponse is the uniform error body: a human-readable message plus a
+// stable machine-readable code clients can branch on.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func httpError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
 }

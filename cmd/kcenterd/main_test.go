@@ -348,3 +348,353 @@ func TestRunRejectsUnknownDistance(t *testing.T) {
 		t.Error("empty error")
 	}
 }
+
+// --- sliding-window streams ---
+
+func TestWindowStreamLifecycle(t *testing.T) {
+	ts := newTestServer(t, config{k: 3, budget: 36, dist: "euclidean"})
+	// Create a count-window stream and overfill it.
+	var stats streamStats
+	resp := doJSON(t, "POST", ts.URL+"/streams/win/points?window=200", batch(blobs(1000, 2, 30)), &stats)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if stats.Window == nil {
+		t.Fatal("ingest response carries no window stats")
+	}
+	if stats.Window.Size != 200 || stats.Observed != 1000 {
+		t.Errorf("unexpected stats: %+v", stats)
+	}
+	if stats.Window.LivePoints >= 1000 || stats.Window.LivePoints < 200 {
+		t.Errorf("live points %d, want within [200, 1000)", stats.Window.LivePoints)
+	}
+	if stats.Window.LiveBuckets < 1 {
+		t.Errorf("live buckets %d", stats.Window.LiveBuckets)
+	}
+	if stats.Space != "euclidean" {
+		t.Errorf("space %q, want euclidean", stats.Space)
+	}
+
+	// The introspection endpoint reports the same state.
+	var got streamStats
+	resp = doJSON(t, "GET", ts.URL+"/streams/win/stats", nil, &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if got.Observed != stats.Observed || got.Window == nil || got.Window.LivePoints != stats.Window.LivePoints {
+		t.Errorf("stats endpoint disagrees with ingest response: %+v vs %+v", got, stats)
+	}
+
+	// Centers answer over the live window.
+	var centers centersResponse
+	if resp := doJSON(t, "GET", ts.URL+"/streams/win/centers", nil, &centers); resp.StatusCode != http.StatusOK {
+		t.Fatalf("centers status %d", resp.StatusCode)
+	}
+	if len(centers.Centers) != 3 {
+		t.Errorf("got %d centers, want 3", len(centers.Centers))
+	}
+}
+
+func TestWindowStreamStatsForPlainStream(t *testing.T) {
+	ts := newTestServer(t, config{k: 2, budget: 16, dist: "manhattan"})
+	doJSON(t, "POST", ts.URL+"/streams/plain/points", batch(blobs(50, 2, 31)), nil)
+	var got streamStats
+	doJSON(t, "GET", ts.URL+"/streams/plain/stats", nil, &got)
+	if got.Window != nil {
+		t.Errorf("plain stream reports window stats: %+v", got.Window)
+	}
+	if got.Space != "manhattan" {
+		t.Errorf("space %q, want manhattan", got.Space)
+	}
+	if resp := doJSON(t, "GET", ts.URL+"/streams/nope/stats", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("stats of unknown stream: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestWindowTimestampedIngestAndEviction(t *testing.T) {
+	ts := newTestServer(t, config{k: 2, budget: 24, dist: "euclidean"})
+	ingest := func(pts kcenter.Dataset, stamps []int64) (*http.Response, streamStats, errorResponse) {
+		body, _ := json.Marshal(ingestRequest{Points: pts, Timestamps: stamps})
+		resp, err := http.Post(ts.URL+"/streams/tw/points?windowDur=100", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var st streamStats
+		var er errorResponse
+		json.Unmarshal(raw, &st)
+		json.Unmarshal(raw, &er)
+		return resp, st, er
+	}
+	pts := blobs(100, 2, 32)
+	stamps := make([]int64, 100)
+	for i := range stamps {
+		stamps[i] = int64(i)
+	}
+	if resp, st, _ := ingest(pts, stamps); resp.StatusCode != http.StatusOK || st.Window == nil || st.Window.Duration != 100 {
+		t.Fatalf("timestamped ingest: status %d stats %+v", resp.StatusCode, st)
+	}
+	// A second batch far in the future evicts the first, except for the few
+	// stale points sharing the still-open bucket with the new arrivals
+	// (whole-bucket eviction keeps an open bucket live until it seals).
+	future := []int64{5_000, 5_001}
+	if resp, st, _ := ingest(pts[:2], future); resp.StatusCode != http.StatusOK ||
+		st.Window.LivePoints < 2 || st.Window.LivePoints > 24 {
+		t.Fatalf("eviction after time jump: status %d live %d, want a handful", resp.StatusCode, st.Window.LivePoints)
+	}
+	// Stale timestamps are rejected atomically with a typed code.
+	resp, _, er := ingest(pts[:2], []int64{10, 11})
+	if resp.StatusCode != http.StatusBadRequest || er.Code != codeInvalidTimestamps {
+		t.Fatalf("stale batch: status %d code %q", resp.StatusCode, er.Code)
+	}
+	// Unsorted and miscounted timestamp arrays too.
+	if resp, _, er := ingest(pts[:2], []int64{6_000, 5_999}); resp.StatusCode != http.StatusBadRequest || er.Code != codeInvalidTimestamps {
+		t.Fatalf("unsorted stamps: status %d code %q", resp.StatusCode, er.Code)
+	}
+	if resp, _, er := ingest(pts[:2], []int64{6_000}); resp.StatusCode != http.StatusBadRequest || er.Code != codeInvalidTimestamps {
+		t.Fatalf("miscounted stamps: status %d code %q", resp.StatusCode, er.Code)
+	}
+	// The rejected batches must not have moved the stream.
+	var st streamStats
+	doJSON(t, "GET", ts.URL+"/streams/tw/stats", nil, &st)
+	if st.Observed != 102 {
+		t.Errorf("observed %d after rejected batches, want 102", st.Observed)
+	}
+	// Timestamps on a non-window stream are a typed 400.
+	body, _ := json.Marshal(ingestRequest{Points: pts[:1], Timestamps: []int64{1}})
+	resp2, err := http.Post(ts.URL+"/streams/plainstream/points", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er2 errorResponse
+	json.NewDecoder(resp2.Body).Decode(&er2)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest || er2.Code != codeNotWindowed {
+		t.Errorf("timestamps on plain stream: status %d code %q", resp2.StatusCode, er2.Code)
+	}
+}
+
+func TestWindowSnapshotRestoreHTTP(t *testing.T) {
+	ts := newTestServer(t, config{k: 3, budget: 36, dist: "euclidean"})
+	doJSON(t, "POST", ts.URL+"/streams/w/points?window=150", batch(blobs(600, 2, 33)), nil)
+
+	resp, err := http.Post(ts.URL+"/streams/w/snapshot", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: status %d err %v", resp.StatusCode, err)
+	}
+
+	req, _ := http.NewRequest("POST", ts.URL+"/streams/w2/restore", bytes.NewReader(blob))
+	restoreResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored streamStats
+	json.NewDecoder(restoreResp.Body).Decode(&restored)
+	restoreResp.Body.Close()
+	if restoreResp.StatusCode != http.StatusOK {
+		t.Fatalf("restore status %d", restoreResp.StatusCode)
+	}
+	if restored.Window == nil || restored.Window.Size != 150 || restored.Observed != 600 {
+		t.Errorf("restored window stats: %+v", restored)
+	}
+
+	// Both streams answer with identical centers.
+	var c1, c2 centersResponse
+	doJSON(t, "GET", ts.URL+"/streams/w/centers", nil, &c1)
+	doJSON(t, "GET", ts.URL+"/streams/w2/centers", nil, &c2)
+	if len(c1.Centers) != len(c2.Centers) {
+		t.Fatalf("center counts differ: %d vs %d", len(c1.Centers), len(c2.Centers))
+	}
+	for i := range c1.Centers {
+		if !c1.Centers[i].Equal(c2.Centers[i]) {
+			t.Errorf("center %d differs after restore", i)
+		}
+	}
+	// The restored stream keeps ingesting.
+	var after streamStats
+	doJSON(t, "POST", ts.URL+"/streams/w2/points", batch(blobs(10, 2, 34)), &after)
+	if after.Observed != 610 {
+		t.Errorf("restored stream observed %d, want 610", after.Observed)
+	}
+	// Window sketches cannot be merged.
+	var er errorResponse
+	mresp := doJSON(t, "POST", ts.URL+"/merge", mergeRequest{Sketches: []string{
+		base64.StdEncoding.EncodeToString(blob),
+		base64.StdEncoding.EncodeToString(blob),
+	}}, &er)
+	if mresp.StatusCode != http.StatusBadRequest || er.Code != codeBadSketch {
+		t.Errorf("merging window sketches: status %d code %q", mresp.StatusCode, er.Code)
+	}
+}
+
+// TestWindowConcurrentIngest hammers one window stream from many goroutines
+// (exercised under -race in CI): every point must be observed exactly once,
+// eviction and coalescing must stay consistent under interleaved snapshots,
+// stats and centers calls.
+func TestWindowConcurrentIngest(t *testing.T) {
+	ts := newTestServer(t, config{k: 4, budget: 40, dist: "euclidean"})
+	const (
+		goroutines = 8
+		batches    = 10
+		perBatch   = 50
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				body, _ := json.Marshal(batch(blobs(perBatch, 3, int64(g*1000+b))))
+				resp, err := http.Post(ts.URL+"/streams/wshared/points?window=500", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("ingest status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			for _, path := range []string{"/streams/wshared/stats", "/streams/wshared/centers"} {
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			resp, err := http.Post(ts.URL+"/streams/wshared/snapshot", "application/octet-stream", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+
+	var stats streamStats
+	doJSON(t, "GET", ts.URL+"/streams/wshared/stats", nil, &stats)
+	if want := int64(goroutines * batches * perBatch); stats.Observed != want {
+		t.Errorf("observed %d points, want %d", stats.Observed, want)
+	}
+	if stats.Window == nil || stats.Window.LivePoints < 500 {
+		t.Errorf("window stats after concurrent ingest: %+v", stats.Window)
+	}
+}
+
+// TestTypedIngestErrors pins the machine-readable error codes of the ingest
+// validation path.
+func TestTypedIngestErrors(t *testing.T) {
+	ts := newTestServer(t, config{k: 2, budget: 16, dist: "euclidean"})
+	doJSON(t, "POST", ts.URL+"/streams/t/points", batch(kcenter.Dataset{{1, 2}}), nil)
+
+	post := func(body string) (int, string) {
+		resp, err := http.Post(ts.URL+"/streams/t/points", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var er errorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		return resp.StatusCode, er.Code
+	}
+	cases := []struct {
+		name, body string
+		code       string
+	}{
+		{"malformed-json", `{`, codeInvalidJSON},
+		{"nan-via-out-of-range", `{"points": [[1, 1e999]]}`, codeInvalidJSON},
+		{"empty-batch", `{"points": []}`, codeEmptyBatch},
+		{"ragged-batch", `{"points": [[1,2],[3]]}`, codeDimensionMismatch},
+		{"zero-dim", `{"points": [[]]}`, codeInvalidPoint},
+		{"wrong-dim-for-stream", `{"points": [[1,2,3]]}`, codeDimensionMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, code := post(tc.body)
+			if status != http.StatusBadRequest || code != tc.code {
+				t.Errorf("status %d code %q, want 400 %q", status, code, tc.code)
+			}
+		})
+	}
+	// The stream was never perturbed.
+	var st streamStats
+	doJSON(t, "GET", ts.URL+"/streams/t/stats", nil, &st)
+	if st.Observed != 1 {
+		t.Errorf("observed %d after rejected batches, want 1", st.Observed)
+	}
+}
+
+// TestTimestampsWithoutWindowDoNotCreateStream guards against a rejected
+// first ingest creating the stream as a side effect: forgetting ?window= on
+// a timestamped batch must leave the name unclaimed, so the corrected retry
+// can still create a window stream.
+func TestTimestampsWithoutWindowDoNotCreateStream(t *testing.T) {
+	ts := newTestServer(t, config{k: 2, budget: 16, dist: "euclidean"})
+	body, _ := json.Marshal(ingestRequest{Points: kcenter.Dataset{{1, 2}}, Timestamps: []int64{1}})
+	resp, err := http.Post(ts.URL+"/streams/fresh/points", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er errorResponse
+	json.NewDecoder(resp.Body).Decode(&er)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || er.Code != codeNotWindowed {
+		t.Fatalf("first timestamped ingest without window: status %d code %q", resp.StatusCode, er.Code)
+	}
+	// The name was not claimed by the rejection...
+	if resp := doJSON(t, "GET", ts.URL+"/streams/fresh/stats", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("rejected ingest created the stream: stats status %d", resp.StatusCode)
+	}
+	// ...so the corrected retry creates a real window stream.
+	var stats streamStats
+	resp2, err := http.Post(ts.URL+"/streams/fresh/points?window=100", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp2.Body).Decode(&stats)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || stats.Window == nil || stats.Window.Size != 100 {
+		t.Fatalf("corrected retry: status %d stats %+v", resp2.StatusCode, stats)
+	}
+}
+
+// TestWindowParamsOnExistingPlainStreamRejected: passing ?window= at an
+// already-created insertion-only stream must fail loudly instead of silently
+// ingesting into a stream that never evicts.
+func TestWindowParamsOnExistingPlainStreamRejected(t *testing.T) {
+	ts := newTestServer(t, config{k: 2, budget: 16, dist: "euclidean"})
+	doJSON(t, "POST", ts.URL+"/streams/p/points", batch(kcenter.Dataset{{1, 2}}), nil)
+	var er errorResponse
+	resp := doJSON(t, "POST", ts.URL+"/streams/p/points?window=100", batch(kcenter.Dataset{{3, 4}}), &er)
+	if resp.StatusCode != http.StatusBadRequest || er.Code != codeInvalidParam {
+		t.Fatalf("window param on plain stream: status %d code %q", resp.StatusCode, er.Code)
+	}
+	var st streamStats
+	doJSON(t, "GET", ts.URL+"/streams/p/stats", nil, &st)
+	if st.Observed != 1 {
+		t.Errorf("rejected batch was ingested: observed %d, want 1", st.Observed)
+	}
+	// Repeating the original window params at a window stream keeps working.
+	doJSON(t, "POST", ts.URL+"/streams/w/points?window=100", batch(kcenter.Dataset{{1, 2}}), nil)
+	if resp := doJSON(t, "POST", ts.URL+"/streams/w/points?window=100", batch(kcenter.Dataset{{3, 4}}), nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("re-passing window params at a window stream: status %d", resp.StatusCode)
+	}
+}

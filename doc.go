@@ -31,6 +31,9 @@
 //     baseline and building block.
 //   - NewStreamingKCenter / NewStreamingOutliers: one-pass streaming
 //     algorithms with a fixed working-memory budget.
+//   - NewWindowedKCenter / NewWindowedOutliers: sliding-window streaming —
+//     summarise only the last W points and/or the last D time units instead
+//     of the whole stream (see below).
 //   - Snapshot / RestoreStreamingKCenter / RestoreStreamingOutliers /
 //     MergeSketches: durable, mergeable sketches of streaming state for
 //     sharded deployments (see below).
@@ -127,11 +130,55 @@
 //     and trailing bytes are rejected with the typed ErrSketch* errors, and
 //     the codec never panics on arbitrary input.
 //
+// # Sliding windows
+//
+// The insertion-only streams never forget: once observed, a point influences
+// the coreset forever, which is wrong for monitoring-style workloads where
+// only recent data matters. NewWindowedKCenter and NewWindowedOutliers
+// summarise a sliding window instead — the last WithWindowSize points, the
+// points of the last WithWindowDuration time units, or the intersection when
+// both are set.
+//
+// Internally (internal/window) the stream is decomposed into a ring of
+// timestamped buckets, each an independent doubling coreset of at most
+// budget points over a contiguous stream slice. Buckets coalesce in the
+// exponential-histogram discipline — sizes grow geometrically towards the
+// past, at most a constant number per size class — so the ring holds O(log
+// W) buckets and working memory is O(budget * log W) (WorkingMemory reports
+// it; the bound is asserted in tests). Coalescing unions the two buckets'
+// weighted coresets and, only when over budget, reduces them with the
+// paper's composable-coreset move (a weighted farthest-point selection,
+// folding dropped weights into the nearest survivor) at an ADDITIVE coverage
+// cost per level. Whole buckets are evicted as their newest point ages out
+// of the window, so the live summary covers at least the requested window
+// and overshoots it by at most the span of the oldest live bucket (a 1/chi
+// fraction of the window). Centers runs extraction directly on the weighted
+// union of the live bucket coresets — the paper's round-2 pattern — and its
+// radius over exactly the live window stays within (2+eps) of a from-scratch
+// Gonzalez recompute (enforced by a randomized-schedule property test).
+//
+// Time is always explicit: ObserveAt and Advance take non-negative,
+// non-decreasing int64 ticks in caller-defined units, and the library never
+// reads a clock, so eviction, coalescing and queries are pure functions of
+// the observed stream. The determinism contract extends unchanged — results
+// are bit-identical across worker counts and across a Snapshot -> Restore
+// round-trip. Windowed snapshots use their own codec (magic KCWN): the
+// window geometry, every bucket's boundaries, and a nested KCSK payload per
+// bucket, with the same strict validation, typed errors and fuzz guarantees
+// as the insertion-only format. Window sketches restore only as windowed
+// streams and cannot be merged (each one summarises a different time range).
+//
 // cmd/kcenterd serves this subsystem over HTTP: named streams with batch
 // ingest (POST /streams/{name}/points), extraction (GET
-// /streams/{name}/centers), durable snapshots (POST
-// /streams/{name}/snapshot), revival (POST /streams/{name}/restore) and
-// coordinator-side merging (POST /merge). The streaming clusterers are not
+// /streams/{name}/centers), introspection (GET /streams/{name}/stats),
+// durable snapshots (POST /streams/{name}/snapshot), revival (POST
+// /streams/{name}/restore) and coordinator-side merging (POST /merge).
+// Window streams are created with ?window=N and/or ?windowDur=D on first
+// ingest, accept an optional per-point "timestamps" array, and evict
+// automatically as batches arrive. Error responses carry stable
+// machine-readable codes, and batches are validated in full (finite
+// coordinates, rectangular dimensions, sorted timestamps) before any point
+// is applied. The streaming clusterers are not
 // safe for concurrent use, so every handler serialises access through the
 // owning stream's mutex: concurrent ingest into one stream is safe (batches
 // interleave at batch granularity), distinct streams ingest in parallel, and

@@ -1,0 +1,119 @@
+// Sliding trends: track the topics of the LAST HOUR of a drifting stream,
+// the workload insertion-only streaming summaries provably get wrong.
+//
+// An insertion-only coreset never forgets: once the morning's topics have
+// been observed they hold on to centers forever, so by the afternoon the
+// summary spends most of its k centers on conversations nobody is having any
+// more. The sliding-window clusterer keeps per-bucket coresets, evicts whole
+// buckets as they age out of the window, and answers queries over (a tight
+// superset of) just the recent points — so its centers follow the drift.
+//
+// The program streams three "shifts" of topics through both summaries and
+// compares, after each shift, how well the two center sets cover the most
+// recent window of posts.
+//
+// Run with:
+//
+//	go run ./examples/slidingtrends
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	kcenter "coresetclustering"
+)
+
+const (
+	dim    = 9
+	k      = 3      // trend centers to report
+	window = 4_000  // "the last hour": posts the summary should reflect
+	shift  = 12_000 // posts per topic shift
+)
+
+// post returns a synthetic embedding near one of the topic anchors; each
+// topic lives along its own axis.
+func post(rng *rand.Rand, topic int) kcenter.Point {
+	p := make(kcenter.Point, dim)
+	for d := range p {
+		p[d] = rng.NormFloat64() * 0.3
+	}
+	p[topic%dim] += 10
+	return p
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	budget := 16 * k
+
+	windowed, err := kcenter.NewWindowedKCenter(k, budget, kcenter.WithWindowSize(window))
+	if err != nil {
+		log.Fatal(err)
+	}
+	insertion, err := kcenter.NewStreamingKCenter(k, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three shifts: topics {0,1,2}, then {3,4,5}, then {6,7,8}. Each shift
+	// the conversation moves on completely.
+	for phase := 0; phase < 3; phase++ {
+		recent := make(kcenter.Dataset, 0, window)
+		for i := 0; i < shift; i++ {
+			p := post(rng, 3*phase+rng.Intn(3))
+			if err := windowed.Observe(p); err != nil {
+				log.Fatal(err)
+			}
+			if err := insertion.Observe(p); err != nil {
+				log.Fatal(err)
+			}
+			if len(recent) == window {
+				recent = recent[1:]
+			}
+			recent = append(recent, p)
+		}
+
+		wCenters, err := windowed.Centers()
+		if err != nil {
+			log.Fatal(err)
+		}
+		iCenters, err := insertion.Centers()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// How well does each summary cover what people are posting NOW?
+		wRadius, err := kcenter.Radius(recent, wCenters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iRadius, err := kcenter.Radius(recent, iCenters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("shift %d (topics %d-%d), %d posts seen:\n",
+			phase+1, 3*phase, 3*phase+2, windowed.Observed())
+		fmt.Printf("  radius over the last %d posts: windowed %.2f | insertion-only %.2f\n",
+			window, wRadius, iRadius)
+		fmt.Printf("  windowed working memory: %d points in %d buckets (lifetime %d posts)\n",
+			windowed.WorkingMemory(), windowed.LiveBuckets(), windowed.Observed())
+	}
+
+	// The windowed summary survives process restarts, too: snapshot, restore,
+	// and the restored stream answers bit-identically.
+	blob, err := windowed.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := kcenter.RestoreWindowedKCenter(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := windowed.Centers()
+	b, _ := restored.Centers()
+	same := len(a) == len(b)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i].Equal(b[i])
+	}
+	fmt.Printf("\nsnapshot: %d bytes; restored stream answers bit-identically: %v\n", len(blob), same)
+}

@@ -1,0 +1,293 @@
+package window
+
+import (
+	"errors"
+	"fmt"
+
+	"coresetclustering/internal/gmm"
+	"coresetclustering/internal/metric"
+	"coresetclustering/internal/outliers"
+	"coresetclustering/internal/sketch"
+	"coresetclustering/internal/streaming"
+)
+
+// KCenterStream is the sliding-window counterpart of
+// streaming.CoresetStream: maintain per-bucket doubling coresets over the
+// window, answer k-center queries by merging the live buckets and running GMM
+// on the merged coreset.
+type KCenterStream struct {
+	k       int
+	workers int
+	space   metric.Space
+	win     *Window
+}
+
+// NewKCenterStream returns a windowed k-center stream with per-bucket coreset
+// budget tau >= k. The window geometry comes from cfg; cfg.Space and cfg.Tau
+// are overridden by sp and tau.
+func NewKCenterStream(sp metric.Space, k, tau int, cfg Config) (*KCenterStream, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("window: k must be positive, got %d", k)
+	}
+	if tau < k {
+		return nil, fmt.Errorf("window: tau (%d) must be at least k (%d)", tau, k)
+	}
+	if sp == nil {
+		sp = metric.EuclideanSpace
+	}
+	cfg.Space = sp
+	cfg.Tau = tau
+	w, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &KCenterStream{k: k, space: sp, win: w}, nil
+}
+
+// SetWorkers sets the parallelism degree of the query-time extraction; the
+// extracted centers are bit-identical for any value. Not safe to call
+// concurrently with Result.
+func (s *KCenterStream) SetWorkers(workers int) { s.workers = workers }
+
+// K returns the number of centers extracted at query time.
+func (s *KCenterStream) K() int { return s.k }
+
+// Space returns the metric space the stream runs on.
+func (s *KCenterStream) Space() metric.Space { return s.space }
+
+// Window exposes the underlying bucket ring (shared, not a copy).
+func (s *KCenterStream) Window() *Window { return s.win }
+
+// Observe consumes the next point at the given timestamp.
+func (s *KCenterStream) Observe(p metric.Point, ts int64) error { return s.win.Observe(p, ts) }
+
+// Advance moves the window's clock forward without observing a point.
+func (s *KCenterStream) Advance(ts int64) error { return s.win.Advance(ts) }
+
+// Result extracts the k centers summarising the live window by running GMM on
+// the merged live-bucket coreset.
+func (s *KCenterStream) Result() (metric.Dataset, error) {
+	cs, err := s.win.Coreset()
+	if err != nil {
+		return nil, err
+	}
+	res, err := gmm.Runner{Space: s.space, Workers: s.workers}.Run(cs.Points(), s.k, 0)
+	if err != nil {
+		return nil, err
+	}
+	return res.Centers, nil
+}
+
+// Sketch captures the stream's complete state as a window sketch.
+func (s *KCenterStream) Sketch() (*sketch.WindowSketch, error) {
+	id, err := sketch.SpaceID(s.space)
+	if err != nil {
+		return nil, err
+	}
+	return s.win.toSketch(sketch.KindKCenter, id, s.k, 0, 0)
+}
+
+// RestoreKCenterStream reconstructs a windowed k-center stream from a window
+// sketch (which must be of the plain k-center kind).
+func RestoreKCenterStream(ws *sketch.WindowSketch) (*KCenterStream, error) {
+	if ws == nil {
+		return nil, errors.New("window: nil window sketch")
+	}
+	if ws.Kind != sketch.KindKCenter {
+		return nil, fmt.Errorf("window: %w: sketch is %s, want k-center", sketch.ErrIncompatible, ws.Kind)
+	}
+	sp, w, err := fromSketch(ws)
+	if err != nil {
+		return nil, err
+	}
+	return &KCenterStream{k: ws.K, space: sp, win: w}, nil
+}
+
+// OutliersStream is the sliding-window counterpart of
+// streaming.CoresetOutliers: per-bucket doubling coresets over the window,
+// with the weighted outlier-aware radius search run on the merged live
+// coreset at query time.
+type OutliersStream struct {
+	k, z    int
+	epsHat  float64
+	workers int
+	space   metric.Space
+	win     *Window
+}
+
+// NewOutliersStream returns a windowed k-center-with-outliers stream with
+// per-bucket coreset budget tau >= k+z.
+func NewOutliersStream(sp metric.Space, k, z, tau int, epsHat float64, cfg Config) (*OutliersStream, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("window: k must be positive, got %d", k)
+	}
+	if z < 0 {
+		return nil, fmt.Errorf("window: z must be non-negative, got %d", z)
+	}
+	if tau < k+z {
+		return nil, fmt.Errorf("window: tau (%d) must be at least k+z (%d)", tau, k+z)
+	}
+	if epsHat < 0 {
+		return nil, fmt.Errorf("window: epsHat must be non-negative, got %v", epsHat)
+	}
+	if sp == nil {
+		sp = metric.EuclideanSpace
+	}
+	cfg.Space = sp
+	cfg.Tau = tau
+	w, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &OutliersStream{k: k, z: z, epsHat: epsHat, space: sp, win: w}, nil
+}
+
+// SetWorkers sets the parallelism degree of the query-time radius search; the
+// result is bit-identical for any value. Not safe to call concurrently with
+// Result.
+func (s *OutliersStream) SetWorkers(workers int) { s.workers = workers }
+
+// K returns the number of centers extracted at query time.
+func (s *OutliersStream) K() int { return s.k }
+
+// Z returns the number of outliers tolerated at query time.
+func (s *OutliersStream) Z() int { return s.z }
+
+// EpsHat returns the slack parameter of the query-time radius search.
+func (s *OutliersStream) EpsHat() float64 { return s.epsHat }
+
+// Space returns the metric space the stream runs on.
+func (s *OutliersStream) Space() metric.Space { return s.space }
+
+// Window exposes the underlying bucket ring (shared, not a copy).
+func (s *OutliersStream) Window() *Window { return s.win }
+
+// Observe consumes the next point at the given timestamp.
+func (s *OutliersStream) Observe(p metric.Point, ts int64) error { return s.win.Observe(p, ts) }
+
+// Advance moves the window's clock forward without observing a point.
+func (s *OutliersStream) Advance(ts int64) error { return s.win.Advance(ts) }
+
+// Result runs the weighted outlier-aware radius search on the merged
+// live-bucket coreset.
+func (s *OutliersStream) Result() (*streaming.OutliersResult, error) {
+	cs, err := s.win.Coreset()
+	if err != nil {
+		return nil, err
+	}
+	solved, err := outliers.SolveIn(s.space, cs, s.k, int64(s.z), s.epsHat, outliers.SearchBinaryGeometric, s.workers)
+	if err != nil {
+		return nil, err
+	}
+	return &streaming.OutliersResult{
+		Centers:         solved.Centers,
+		SearchRadius:    solved.Radius,
+		UncoveredWeight: solved.UncoveredWeight,
+	}, nil
+}
+
+// Sketch captures the stream's complete state as a window sketch.
+func (s *OutliersStream) Sketch() (*sketch.WindowSketch, error) {
+	id, err := sketch.SpaceID(s.space)
+	if err != nil {
+		return nil, err
+	}
+	return s.win.toSketch(sketch.KindOutliers, id, s.k, s.z, s.epsHat)
+}
+
+// RestoreOutliersStream reconstructs a windowed outlier stream from a window
+// sketch (which must be of the outlier kind).
+func RestoreOutliersStream(ws *sketch.WindowSketch) (*OutliersStream, error) {
+	if ws == nil {
+		return nil, errors.New("window: nil window sketch")
+	}
+	if ws.Kind != sketch.KindOutliers {
+		return nil, fmt.Errorf("window: %w: sketch is %s, want k-center-with-outliers", sketch.ErrIncompatible, ws.Kind)
+	}
+	sp, w, err := fromSketch(ws)
+	if err != nil {
+		return nil, err
+	}
+	return &OutliersStream{k: ws.K, z: ws.Z, epsHat: ws.EpsHat, space: sp, win: w}, nil
+}
+
+// toSketch converts the window's state into a sketch.WindowSketch: the window
+// geometry, the live buckets' boundaries, and each bucket's doubling state as
+// a nested KCSK payload sharing the stream parameters.
+func (w *Window) toSketch(kind sketch.Kind, distID uint8, k, z int, epsHat float64) (*sketch.WindowSketch, error) {
+	ws := &sketch.WindowSketch{
+		Kind:     kind,
+		DistID:   distID,
+		K:        k,
+		Z:        z,
+		EpsHat:   epsHat,
+		Tau:      w.tau,
+		MaxCount: w.maxCount,
+		MaxAge:   w.maxAge,
+		Chi:      w.chi,
+		Base:     w.base,
+		Seq:      w.seq,
+		LastTS:   w.lastTS,
+	}
+	for _, b := range w.live() {
+		ws.Buckets = append(ws.Buckets, sketch.WindowBucket{
+			Level:    b.level,
+			StartSeq: b.startSeq,
+			EndSeq:   b.endSeq,
+			StartTS:  b.startTS,
+			EndTS:    b.endTS,
+			Payload:  sketch.FromState(kind, distID, k, z, epsHat, b.proc.State()),
+		})
+	}
+	return ws, nil
+}
+
+// fromSketch rebuilds a Window from a (validated) window sketch: the metric
+// space is resolved from the sketch's distance id, every bucket's doubling
+// state is restored, and a trailing partial level-0 bucket becomes the open
+// bucket again. The codec has already enforced the structural invariants;
+// restoring revalidates the doubling states themselves.
+func fromSketch(ws *sketch.WindowSketch) (metric.Space, *Window, error) {
+	sp, err := sketch.SpaceByID(ws.DistID)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := New(Config{
+		Space:    sp,
+		Tau:      ws.Tau,
+		MaxCount: ws.MaxCount,
+		MaxAge:   ws.MaxAge,
+		Chi:      ws.Chi,
+		Base:     ws.Base,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("window: %w: %v", sketch.ErrCorrupt, err)
+	}
+	w.seq = ws.Seq
+	w.lastTS = ws.LastTS
+	for i, wb := range ws.Buckets {
+		proc, err := streaming.RestoreDoublingIn(sp, wb.Payload.State())
+		if err != nil {
+			return nil, nil, fmt.Errorf("window: bucket %d: %w: %v", i, sketch.ErrCorrupt, err)
+		}
+		b := &bucket{
+			proc:     proc,
+			level:    wb.Level,
+			count:    wb.EndSeq - wb.StartSeq,
+			startSeq: wb.StartSeq,
+			endSeq:   wb.EndSeq,
+			startTS:  wb.StartTS,
+			endTS:    wb.EndTS,
+		}
+		if d := wb.Payload.Dim(); d != 0 {
+			w.dim = d
+		}
+		// A trailing level-0 bucket below the seal size is still accumulating.
+		if i == len(ws.Buckets)-1 && wb.Level == 0 && b.count < int64(w.base) {
+			w.open = b
+		} else {
+			w.sealed = append(w.sealed, b)
+		}
+	}
+	return sp, w, nil
+}

@@ -1,0 +1,438 @@
+package window
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"coresetclustering/internal/metric"
+	"coresetclustering/internal/sketch"
+)
+
+// clusteredData scatters n points around `blobs` well-separated anchors.
+func clusteredData(rng *rand.Rand, n, dim, blobs int, spread float64) metric.Dataset {
+	out := make(metric.Dataset, n)
+	for i := range out {
+		p := make(metric.Point, dim)
+		anchor := float64(rng.Intn(blobs)) * 100
+		for j := range p {
+			p[j] = anchor + rng.NormFloat64()*spread
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func mustWindow(t *testing.T, cfg Config) *Window {
+	t.Helper()
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func feedCount(t *testing.T, w *Window, pts metric.Dataset) {
+	t.Helper()
+	for _, p := range pts {
+		if err := w.Observe(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Tau: 0, MaxCount: 10},           // tau < 1
+		{Tau: 4},                         // no bound at all
+		{Tau: 4, MaxCount: -1},           // negative count
+		{Tau: 4, MaxAge: -1},             // negative age
+		{Tau: 4, MaxCount: 10, Chi: -1},  // negative chi
+		{Tau: 4, MaxCount: 10, Base: -2}, // negative base
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+	w := mustWindow(t, Config{Tau: 8, MaxCount: 100})
+	if w.Chi() != DefaultChi {
+		t.Errorf("default chi = %d, want %d", w.Chi(), DefaultChi)
+	}
+	if w.Base() != 2 { // tau/4
+		t.Errorf("default base = %d, want 2", w.Base())
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	w := mustWindow(t, Config{Tau: 8, MaxCount: 100})
+	if err := w.Observe(nil, 0); err == nil {
+		t.Error("nil point accepted")
+	}
+	if err := w.Observe(metric.Point{math.NaN()}, 0); err == nil {
+		t.Error("NaN point accepted")
+	}
+	if err := w.Observe(metric.Point{}, 0); err == nil {
+		t.Error("zero-dimensional point accepted")
+	}
+	if err := w.Observe(metric.Point{1, 2}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Observe(metric.Point{1, 2, 3}, 5); !errors.Is(err, metric.ErrDimensionMismatch) {
+		t.Errorf("dimension mismatch error = %v", err)
+	}
+	if err := w.Observe(metric.Point{3, 4}, 4); !errors.Is(err, ErrTimestampOrder) {
+		t.Errorf("decreasing timestamp error = %v", err)
+	}
+	if err := w.Observe(metric.Point{3, 4}, -1); !errors.Is(err, ErrNegativeTimestamp) {
+		t.Errorf("negative timestamp error = %v", err)
+	}
+	// Rejected points must not have perturbed the state.
+	if w.Observed() != 1 {
+		t.Errorf("observed = %d after one valid point, want 1", w.Observed())
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountWindowEviction(t *testing.T) {
+	const (
+		W   = 200
+		tau = 16
+		n   = 2000
+	)
+	rng := rand.New(rand.NewSource(1))
+	w := mustWindow(t, Config{Tau: tau, MaxCount: W})
+	data := clusteredData(rng, n, 3, 4, 1)
+	for i, p := range data {
+		if err := w.Observe(p, 0); err != nil {
+			t.Fatal(err)
+		}
+		if i%97 == 0 {
+			if err := w.CheckInvariants(); err != nil {
+				t.Fatalf("after %d points: %v", i+1, err)
+			}
+		}
+	}
+	if w.Observed() != n {
+		t.Errorf("observed = %d, want %d", w.Observed(), n)
+	}
+	start, end := w.LiveRange()
+	if end != n {
+		t.Errorf("live range ends at %d, want %d", end, n)
+	}
+	// The live set must cover the window...
+	if covered := end - start; covered < W {
+		t.Errorf("live range covers %d points, window is %d", covered, W)
+	}
+	// ...and overshoot it by at most the span of the oldest live bucket.
+	buckets := w.Buckets()
+	if got, bound := end-start, int64(W)+buckets[0].Count; got > bound {
+		t.Errorf("live range covers %d points, want <= window + oldest bucket = %d", got, bound)
+	}
+	if w.LivePoints() != end-start {
+		t.Errorf("LivePoints = %d, want %d", w.LivePoints(), end-start)
+	}
+}
+
+func TestDurationWindowEvictionAndAdvance(t *testing.T) {
+	w := mustWindow(t, Config{Tau: 8, MaxAge: 100, Base: 2})
+	// Ten points per tick-century, then a jump.
+	for ts := int64(0); ts < 300; ts += 10 {
+		if err := w.Observe(metric.Point{float64(ts), 1}, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Window is (190, 290]: points at ts <= 190 are evictable; whole-bucket
+	// eviction means the live range covers at least the last 10 points.
+	if start, end := w.LiveRange(); end-start < 10 {
+		t.Errorf("live range [%d,%d) too small for the last 100 ticks", start, end)
+	}
+	// Advancing far beyond the newest point evicts everything, including the
+	// open bucket.
+	if err := w.Advance(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if w.LiveBuckets() != 0 || w.LivePoints() != 0 {
+		t.Errorf("after advancing past everything: %d buckets, %d points live", w.LiveBuckets(), w.LivePoints())
+	}
+	if _, err := w.Coreset(); !errors.Is(err, ErrEmptyWindow) {
+		t.Errorf("Coreset on empty window = %v, want ErrEmptyWindow", err)
+	}
+	if err := w.Advance(9_999); !errors.Is(err, ErrTimestampOrder) {
+		t.Errorf("backwards Advance error = %v", err)
+	}
+	// The stream keeps working after total eviction.
+	if err := w.Observe(metric.Point{1, 1}, 10_001); err != nil {
+		t.Fatal(err)
+	}
+	if w.LivePoints() != 1 {
+		t.Errorf("live points = %d after re-observing, want 1", w.LivePoints())
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemoryBound asserts the O(tau * log W) working-memory contract: the
+// bucket count stays within chi per level over ~log2(W/base) levels, and
+// every bucket retains at most tau+1 points.
+func TestMemoryBound(t *testing.T) {
+	const (
+		W   = 4096
+		tau = 24
+		n   = 40_000
+	)
+	rng := rand.New(rand.NewSource(2))
+	w := mustWindow(t, Config{Tau: tau, MaxCount: W})
+	data := clusteredData(rng, n, 4, 6, 1)
+	levels := int(math.Log2(float64(W)/float64(w.Base()))) + 2
+	maxBuckets := w.Chi()*levels + 1 // +1 for the open bucket
+	for i, p := range data {
+		if err := w.Observe(p, 0); err != nil {
+			t.Fatal(err)
+		}
+		if i%512 == 0 || i == len(data)-1 {
+			if got := w.LiveBuckets(); got > maxBuckets {
+				t.Fatalf("after %d points: %d live buckets, bound chi*(log2(W/base)+2)+1 = %d", i+1, got, maxBuckets)
+			}
+			// +1 inside the factor: a doubling state briefly holds tau+1
+			// points; the extra term covers the memoised query merge.
+			if got, bound := w.WorkingMemory(), (tau+1)*(maxBuckets+1); got > bound {
+				t.Fatalf("after %d points: working memory %d exceeds bound %d", i+1, got, bound)
+			}
+		}
+	}
+}
+
+// TestCoalesceStructure pins the exponential-histogram shape for the
+// smallest granularity: base=1, chi=2.
+func TestCoalesceStructure(t *testing.T) {
+	w := mustWindow(t, Config{Tau: 4, MaxCount: 1 << 20, Chi: 2, Base: 1})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		if err := w.Observe(metric.Point{rng.Float64(), rng.Float64()}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.CheckInvariants(); err != nil {
+			t.Fatalf("after %d points: %v", i+1, err)
+		}
+	}
+	// 100 points in buckets of sizes 2^l with at most 2 per level needs at
+	// least log2(100) levels and at most 2*ceil(log2(100))+... buckets.
+	if got := w.LiveBuckets(); got > 2*8 {
+		t.Errorf("%d buckets for 100 points at chi=2, base=1", got)
+	}
+}
+
+// TestCoresetCovers checks the window coverage invariant: every live point
+// lies within CoverageBound of the query-time coreset union, and the union's
+// weights account for every live point exactly once.
+func TestCoresetCovers(t *testing.T) {
+	const W = 300
+	rng := rand.New(rand.NewSource(4))
+	w := mustWindow(t, Config{Tau: 32, MaxCount: W})
+	data := clusteredData(rng, 1200, 3, 5, 1)
+	feedCount(t, w, data)
+	cs, err := w.Coreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end := w.LiveRange()
+	pts := cs.Points()
+	bound := w.CoverageBound()
+	for i := start; i < end; i++ {
+		if d, _ := metric.DistanceToSet(metric.Euclidean, data[i], pts); d > bound+1e-9 {
+			t.Fatalf("live point %d at distance %v from the coreset union, bound %v", i, d, bound)
+		}
+	}
+	if got := cs.TotalWeight(); got != end-start {
+		t.Errorf("coreset union accounts for %d points, live range covers %d", got, end-start)
+	}
+}
+
+// TestQueryCache checks that the query-time union is memoised between
+// mutations and invalidated by them.
+func TestQueryCache(t *testing.T) {
+	w := mustWindow(t, Config{Tau: 8, MaxCount: 50})
+	feedCount(t, w, clusteredData(rand.New(rand.NewSource(5)), 60, 2, 3, 1))
+	m1, err := w.Coreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := w.Coreset()
+	if &m1[0] != &m2[0] {
+		t.Error("repeated Coreset without mutation rebuilt the union")
+	}
+	if err := w.Observe(metric.Point{1, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	m3, _ := w.Coreset()
+	if &m3[0] == &m1[0] {
+		t.Error("Observe did not invalidate the memoised union")
+	}
+	if m3.TotalWeight() != w.LivePoints() {
+		t.Errorf("union weight %d != live points %d", m3.TotalWeight(), w.LivePoints())
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	const W = 256
+	rng := rand.New(rand.NewSource(6))
+	data := clusteredData(rng, 1500, 3, 4, 1)
+	orig, err := NewKCenterStream(nil, 5, 40, Config{MaxCount: W})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range data[:1000] {
+		if err := orig.Observe(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws, err := orig.Sketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sketch.EncodeWindow(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := sketch.DecodeWindow(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreKCenterStream(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-identical across the round-trip: same centers now...
+	c1, err := orig.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := restored.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDataset(t, c1, c2, "restored centers")
+
+	// ...and identical evolution: feeding both the same suffix keeps the
+	// snapshots byte-identical.
+	for i, p := range data[1000:] {
+		ts := int64(1000 + i)
+		if err := orig.Observe(p, ts); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Observe(p, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b1 := mustEncode(t, orig)
+	b2 := mustEncode(t, restored)
+	if !bytes.Equal(b1, b2) {
+		t.Error("snapshots diverged after identical suffixes")
+	}
+	if err := restored.Window().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustEncode(t *testing.T, s *KCenterStream) []byte {
+	t.Helper()
+	ws, err := s.Sketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sketch.EncodeWindow(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func assertSameDataset(t *testing.T, a, b metric.Dataset, what string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d points", what, len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("%s: point %d differs: %v vs %v", what, i, a[i], b[i])
+		}
+	}
+}
+
+// TestWorkerInvariance: windowed extraction is bit-identical for every worker
+// count, for both stream flavours.
+func TestWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := clusteredData(rng, 1200, 4, 5, 1)
+
+	build := func(workers int) (metric.Dataset, metric.Dataset) {
+		plain, err := NewKCenterStream(nil, 6, 48, Config{MaxCount: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain.SetWorkers(workers)
+		outl, err := NewOutliersStream(nil, 4, 6, 80, 0.25, Config{MaxCount: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outl.SetWorkers(workers)
+		for i, p := range data {
+			if err := plain.Observe(p, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+			if err := outl.Observe(p, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pc, err := plain.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		or, err := outl.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pc, or.Centers
+	}
+
+	p1, o1 := build(1)
+	for _, workers := range []int{2, 8} {
+		p, o := build(workers)
+		assertSameDataset(t, p1, p, "plain centers across workers")
+		assertSameDataset(t, o1, o, "outlier centers across workers")
+	}
+}
+
+func TestStreamConstructorValidation(t *testing.T) {
+	if _, err := NewKCenterStream(nil, 0, 8, Config{MaxCount: 10}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewKCenterStream(nil, 4, 3, Config{MaxCount: 10}); err == nil {
+		t.Error("tau<k accepted")
+	}
+	if _, err := NewKCenterStream(nil, 4, 8, Config{}); err == nil {
+		t.Error("missing window bound accepted")
+	}
+	if _, err := NewOutliersStream(nil, 2, 3, 4, 0.25, Config{MaxCount: 10}); err == nil {
+		t.Error("tau<k+z accepted")
+	}
+	if _, err := NewOutliersStream(nil, 2, -1, 8, 0.25, Config{MaxCount: 10}); err == nil {
+		t.Error("z<0 accepted")
+	}
+	if _, err := NewOutliersStream(nil, 2, 1, 8, -1, Config{MaxCount: 10}); err == nil {
+		t.Error("negative epsHat accepted")
+	}
+	if _, err := RestoreKCenterStream(nil); err == nil {
+		t.Error("nil sketch restored")
+	}
+}

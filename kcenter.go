@@ -91,6 +91,8 @@ type options struct {
 	randomized        bool
 	seed              int64
 	seedSet           bool
+	windowSize        int64
+	windowDuration    int64
 }
 
 // Option customises Cluster and ClusterWithOutliers.
@@ -172,6 +174,26 @@ func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
+// WithWindowSize makes NewWindowedKCenter / NewWindowedOutliers summarise
+// only the last n points of the stream (a count-based sliding window). It
+// composes with WithWindowDuration: with both set, a point stays live only
+// while it satisfies both bounds. It has no effect on the non-windowed entry
+// points.
+func WithWindowSize(n int) Option {
+	return func(o *options) { o.windowSize = int64(n) }
+}
+
+// WithWindowDuration makes NewWindowedKCenter / NewWindowedOutliers summarise
+// only the points whose timestamp ts satisfies ts > now-d, where now is the
+// newest observed (or advanced-to) timestamp — the half-open window (now-d,
+// now], mirroring the count window's "last n points". Timestamps are the
+// non-negative int64 ticks supplied to ObserveAt — the library never reads a
+// clock — and d is expressed in the same caller-defined units. It composes
+// with WithWindowSize and has no effect on the non-windowed entry points.
+func WithWindowDuration(d int64) Option {
+	return func(o *options) { o.windowDuration = d }
+}
+
 // WithRandomizedPartitioning switches ClusterWithOutliers to the randomized
 // variant of the paper: points are spread over the partitions uniformly at
 // random, which shrinks the per-partition coreset size from k+z to
@@ -205,6 +227,12 @@ func buildOptions(opts []Option) (options, error) {
 	}
 	if o.ell < 0 {
 		return o, fmt.Errorf("kcenter: negative partition count %d", o.ell)
+	}
+	if o.windowSize < 0 {
+		return o, fmt.Errorf("kcenter: negative window size %d", o.windowSize)
+	}
+	if o.windowDuration < 0 {
+		return o, fmt.Errorf("kcenter: negative window duration %d", o.windowDuration)
 	}
 	return o, nil
 }

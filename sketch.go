@@ -145,6 +145,12 @@ func RestoreStreamingOutliers(data []byte, opts ...Option) (*StreamingOutliers, 
 func MergeSketches(sketches ...[]byte) ([]byte, error) {
 	decoded := make([]*sketch.Sketch, len(sketches))
 	for i, data := range sketches {
+		if sketch.IsWindowSketch(data) {
+			// Window sketches summarise different time ranges of different
+			// streams; unioning their buckets has no coherent window
+			// semantics, so the merge is refused rather than silently wrong.
+			return nil, fmt.Errorf("sketch %d: %w: window sketches cannot be merged", i, ErrSketchIncompatible)
+		}
 		s, err := sketch.Decode(data)
 		if err != nil {
 			return nil, fmt.Errorf("sketch %d: %w", i, err)
@@ -177,12 +183,50 @@ type SketchInfo struct {
 	// Dimensions is the dimensionality of the points (0 if the sketch is
 	// empty).
 	Dimensions int
+	// Window reports whether this is a sliding-window sketch (magic KCWN);
+	// the remaining fields apply only when it is.
+	Window bool
+	// WindowSize is the count bound of a window sketch (0 = none).
+	WindowSize int64
+	// WindowDuration is the duration bound of a window sketch (0 = none).
+	WindowDuration int64
+	// LiveBuckets is the number of live buckets of a window sketch.
+	LiveBuckets int
+	// LivePoints is the number of stream points the live buckets summarise
+	// (Observed counts the stream's whole lifetime, evicted points included).
+	LivePoints int64
 }
 
-// InspectSketch decodes and validates a sketch and reports its metadata. It
-// is the cheap way to answer "what is this blob?" before deciding to restore
-// or merge it.
+// InspectSketch decodes and validates a sketch — insertion-only (KCSK) or
+// sliding-window (KCWN) — and reports its metadata. It is the cheap way to
+// answer "what is this blob?" before deciding to restore or merge it.
 func InspectSketch(data []byte) (*SketchInfo, error) {
+	if sketch.IsWindowSketch(data) {
+		ws, err := sketch.DecodeWindow(data)
+		if err != nil {
+			return nil, err
+		}
+		info := &SketchInfo{
+			Outliers:       ws.Kind == sketch.KindOutliers,
+			K:              ws.K,
+			Z:              ws.Z,
+			Budget:         ws.Tau,
+			Distance:       sketch.DistanceName(ws.DistID),
+			Observed:       ws.Seq,
+			Window:         true,
+			WindowSize:     ws.MaxCount,
+			WindowDuration: ws.MaxAge,
+			LiveBuckets:    len(ws.Buckets),
+		}
+		for _, b := range ws.Buckets {
+			info.CoresetSize += len(b.Payload.Points)
+			info.LivePoints += b.EndSeq - b.StartSeq
+			if info.Dimensions == 0 {
+				info.Dimensions = b.Payload.Dim()
+			}
+		}
+		return info, nil
+	}
 	sk, err := sketch.Decode(data)
 	if err != nil {
 		return nil, err

@@ -24,6 +24,9 @@ func NewStreamingKCenter(k, budget int, opts ...Option) (*StreamingKCenter, erro
 	if err != nil {
 		return nil, err
 	}
+	if o.windowSize != 0 || o.windowDuration != 0 {
+		return nil, errors.New("kcenter: this stream is insertion-only; use NewWindowedKCenter for sliding windows")
+	}
 	inner, err := streaming.NewCoresetStreamIn(o.space, k, budget)
 	if err != nil {
 		return nil, fmt.Errorf("kcenter: %w", err)
@@ -75,6 +78,9 @@ func NewStreamingOutliers(k, z, budget int, opts ...Option) (*StreamingOutliers,
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
+	}
+	if o.windowSize != 0 || o.windowDuration != 0 {
+		return nil, errors.New("kcenter: this stream is insertion-only; use NewWindowedOutliers for sliding windows")
 	}
 	inner, err := streaming.NewCoresetOutliersIn(o.space, k, z, budget, 0.25)
 	if err != nil {

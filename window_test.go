@@ -1,0 +1,247 @@
+package kcenter_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	kcenter "coresetclustering"
+)
+
+// driftStream emits points near anchor `phase` topics: phase 0 uses anchors
+// 0..2, phase 1 uses anchors 3..5, so the stream's recent distribution drifts
+// completely between phases.
+func driftStream(rng *rand.Rand, n, phase int) kcenter.Dataset {
+	out := make(kcenter.Dataset, n)
+	for i := range out {
+		p := make(kcenter.Point, 6)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 0.2
+		}
+		p[3*phase+rng.Intn(3)] += 50
+		out[i] = p
+	}
+	return out
+}
+
+func TestWindowedKCenterTracksDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const (
+		k      = 3
+		budget = 16 * k
+		W      = 2000
+	)
+	windowed, err := kcenter.NewWindowedKCenter(k, budget, kcenter.WithWindowSize(W))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertion, err := kcenter.NewStreamingKCenter(k, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase0 := driftStream(rng, 6000, 0)
+	phase1 := driftStream(rng, 6000, 1)
+	for _, p := range phase0 {
+		if err := windowed.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := insertion.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range phase1 {
+		if err := windowed.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := insertion.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wCenters, err := windowed.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iCenters, err := insertion.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over the recent phase-1 points the windowed summary must be far better:
+	// the insertion-only stream's 3 centers still cover the 6 anchors of both
+	// phases, the windowed one summarises only the live (phase-1) window.
+	recent := phase1[len(phase1)-W:]
+	wRadius, err := kcenter.Radius(recent, wCenters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iRadius, err := kcenter.Radius(recent, iCenters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wRadius*5 > iRadius {
+		t.Errorf("windowed radius %v over the recent window is not clearly better than insertion-only %v", wRadius, iRadius)
+	}
+	if windowed.Observed() != 12000 {
+		t.Errorf("observed = %d, want 12000", windowed.Observed())
+	}
+	if lp := windowed.LivePoints(); lp < W {
+		t.Errorf("live points %d below window %d", lp, W)
+	}
+}
+
+func TestWindowedConstructorsValidate(t *testing.T) {
+	if _, err := kcenter.NewWindowedKCenter(3, 30); err == nil {
+		t.Error("windowed stream without a window bound accepted")
+	}
+	if _, err := kcenter.NewWindowedKCenter(3, 30, kcenter.WithWindowSize(-1)); err == nil {
+		t.Error("negative window size accepted")
+	}
+	if _, err := kcenter.NewWindowedKCenter(3, 2, kcenter.WithWindowSize(10)); err == nil {
+		t.Error("budget < k accepted")
+	}
+	if _, err := kcenter.NewWindowedOutliers(3, 4, 5, kcenter.WithWindowSize(10)); err == nil {
+		t.Error("budget < k+z accepted")
+	}
+	// Insertion-only constructors reject window options instead of silently
+	// ignoring them.
+	if _, err := kcenter.NewStreamingKCenter(3, 30, kcenter.WithWindowSize(10)); err == nil {
+		t.Error("NewStreamingKCenter accepted WithWindowSize")
+	}
+	if _, err := kcenter.NewStreamingOutliers(3, 2, 40, kcenter.WithWindowDuration(10)); err == nil {
+		t.Error("NewStreamingOutliers accepted WithWindowDuration")
+	}
+}
+
+func TestWindowedDurationAdvance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, err := kcenter.NewWindowedOutliers(2, 3, 40, kcenter.WithWindowDuration(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p := kcenter.Point{rng.NormFloat64(), rng.NormFloat64()}
+		if err := s.ObserveAt(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Centers(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveAt(kcenter.Point{0, 0}, 400); !errors.Is(err, kcenter.ErrTimestampOrder) {
+		t.Errorf("out-of-order ObserveAt error = %v", err)
+	}
+	// A long lull expires the whole window.
+	if err := s.Advance(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Centers(); !errors.Is(err, kcenter.ErrWindowEmpty) {
+		t.Errorf("Centers on empty window = %v, want ErrWindowEmpty", err)
+	}
+	if s.LivePoints() != 0 || s.LiveBuckets() != 0 {
+		t.Errorf("live points/buckets = %d/%d after expiry", s.LivePoints(), s.LiveBuckets())
+	}
+}
+
+func TestWindowedSnapshotRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, err := kcenter.NewWindowedKCenter(4, 48, kcenter.WithWindowSize(400), kcenter.WithWindowDuration(1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		p := kcenter.Point{float64(rng.Intn(4)) * 10, rng.NormFloat64()}
+		if err := s.ObserveAt(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := kcenter.InspectSketch(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Window || info.WindowSize != 400 || info.WindowDuration != 1_000_000 {
+		t.Errorf("inspect: %+v", info)
+	}
+	if info.Observed != 1500 || info.LivePoints < 400 || info.LiveBuckets < 1 {
+		t.Errorf("inspect counters: %+v", info)
+	}
+
+	restored, err := kcenter.RestoreWindowedKCenter(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := s.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := restored.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("center counts differ: %d vs %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if !c1[i].Equal(c2[i]) {
+			t.Fatalf("center %d differs after restore: %v vs %v", i, c1[i], c2[i])
+		}
+	}
+	// Re-snapshot is byte-identical.
+	blob2, err := restored.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Error("snapshot of the restored stream differs from the original")
+	}
+	// Restoring as the wrong flavour fails with the typed error.
+	if _, err := kcenter.RestoreWindowedOutliers(blob); !errors.Is(err, kcenter.ErrSketchIncompatible) {
+		t.Errorf("restoring a k-center window sketch as outliers = %v", err)
+	}
+	// The two sketch families do not cross-decode.
+	if _, err := kcenter.RestoreStreamingKCenter(blob); !errors.Is(err, kcenter.ErrSketchBadMagic) {
+		t.Errorf("restoring a window sketch as an insertion-only stream = %v", err)
+	}
+	if _, err := kcenter.MergeSketches(blob, blob); !errors.Is(err, kcenter.ErrSketchIncompatible) {
+		t.Errorf("merging window sketches = %v", err)
+	}
+}
+
+// TestWindowedWorkerInvariance pins the public-API determinism contract:
+// windowed centers are bit-identical for every worker count.
+func TestWindowedWorkerInvariance(t *testing.T) {
+	build := func(workers int) kcenter.Dataset {
+		rng := rand.New(rand.NewSource(4))
+		s, err := kcenter.NewWindowedKCenter(5, 60, kcenter.WithWindowSize(500), kcenter.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			p := kcenter.Point{float64(rng.Intn(5)) * 20, rng.NormFloat64(), rng.NormFloat64()}
+			if err := s.Observe(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := s.Centers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	base := build(1)
+	for _, workers := range []int{2, 8} {
+		got := build(workers)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d centers, want %d", workers, len(got), len(base))
+		}
+		for i := range got {
+			if !got[i].Equal(base[i]) {
+				t.Fatalf("workers=%d: center %d differs", workers, i)
+			}
+		}
+	}
+}
