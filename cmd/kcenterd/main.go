@@ -8,8 +8,9 @@
 //
 //	GET    /healthz                      liveness probe
 //	GET    /streams                      list streams and their stats
-//	GET    /streams/{name}/stats         introspect one stream (counts, memory, window state)
+//	GET    /streams/{name}/stats         introspect one stream (counts, memory, window, durability)
 //	POST   /streams/{name}/points        batch ingest {"points": [[...], ...], "timestamps": [...]}
+//	POST   /streams/{name}/advance       move a window stream's clock: {"to": ts}
 //	GET    /streams/{name}/centers       extract the current k centers
 //	POST   /streams/{name}/snapshot      serialize the stream (octet-stream)
 //	POST   /streams/{name}/restore       recreate the stream from a sketch body
@@ -27,21 +28,35 @@
 // Snapshots of window streams carry the full window state (magic KCWN) and
 // restore to live window streams; window sketches cannot be merged.
 //
+// With -persist-dir set, every stream is durable: stream creation, ingest
+// batches and clock advances are journaled to a per-stream write-ahead log
+// (fsynced per -fsync) before they are acknowledged, the stream state is
+// periodically compacted into a snapshot via the sketch codecs (-compact-every
+// journaled records), and on boot the daemon recovers every stream by loading
+// its newest valid snapshot and replaying the log tail — a recovered stream's
+// re-snapshot is byte-identical to an uninterrupted run's. DELETE tombstones
+// the stream's directory; restore replaces it atomically. Per-stream recovery
+// and journal statistics are surfaced on GET /streams/{name}/stats.
+//
 // Error responses are typed: {"error": ..., "code": ...} where code is a
 // stable machine-readable identifier (invalid_point, dimension_mismatch,
-// invalid_timestamps, unknown_stream, ...). Batches are validated before any
-// point is applied, so a rejected batch (NaN/Inf coordinates, ragged or
-// mismatched dimensions, bad timestamps) never perturbs stream state.
+// invalid_timestamps, unknown_stream, body_too_large, ...). Batches are
+// validated before any point is applied, so a rejected batch (NaN/Inf
+// coordinates, ragged or mismatched dimensions, bad timestamps) never
+// perturbs stream state. JSON bodies are decoded strictly: unknown fields
+// and trailing data are invalid_json, and a body over -max-body bytes is a
+// 413 body_too_large.
 //
 // Every handler takes the owning stream's mutex, so concurrent ingest into
 // one stream is safe (and serialised), while distinct streams ingest in
 // parallel. SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
-// requests.
+// requests and flushes the journals.
 //
 // Usage:
 //
 //	kcenterd -addr :8080 -k 20 -budget 320
 //	kcenterd -addr :8080 -k 20 -z 100 -distance manhattan
+//	kcenterd -addr :8080 -persist-dir /var/lib/kcenterd -fsync always
 package main
 
 import (
@@ -66,6 +81,7 @@ import (
 
 	kcenter "coresetclustering"
 	"coresetclustering/internal/metric"
+	"coresetclustering/internal/persist"
 	"coresetclustering/internal/sketch"
 )
 
@@ -82,10 +98,12 @@ const (
 	codeStreamGone        = "stream_gone"
 	codeBadSketch         = "bad_sketch"
 	codeEmptyStream       = "empty_stream"
+	codeBodyTooLarge      = "body_too_large"
 	codeInternal          = "internal"
 )
 
-// maxBodyBytes bounds every request body (batches and sketches alike).
+// maxBodyBytes is the default bound on every request body (batches and
+// sketches alike); -max-body overrides it.
 const maxBodyBytes = 64 << 20
 
 func main() {
@@ -102,17 +120,24 @@ type config struct {
 	budget  int
 	workers int
 	dist    string
+	maxBody int64  // request-body cap in bytes (0 = maxBodyBytes)
+	fsync   string // fsync mode name, surfaced in durability stats
 }
 
 func run(ctx context.Context, args []string, logger *log.Logger) error {
 	fs := flag.NewFlagSet("kcenterd", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		k       = fs.Int("k", 10, "default number of centers for new streams")
-		z       = fs.Int("z", 0, "default number of outliers for new streams (0 = plain k-center)")
-		budget  = fs.Int("budget", 0, "default working-memory budget in points (0 = 8*(k+z))")
-		workers = fs.Int("workers", 0, "distance-engine parallelism for extraction (0 = one per CPU)")
-		dist    = fs.String("distance", "euclidean", fmt.Sprintf("metric space %v", sketch.DistanceNames()))
+		addr          = fs.String("addr", ":8080", "listen address")
+		k             = fs.Int("k", 10, "default number of centers for new streams")
+		z             = fs.Int("z", 0, "default number of outliers for new streams (0 = plain k-center)")
+		budget        = fs.Int("budget", 0, "default working-memory budget in points (0 = 8*(k+z))")
+		workers       = fs.Int("workers", 0, "distance-engine parallelism for extraction (0 = one per CPU)")
+		dist          = fs.String("distance", "euclidean", fmt.Sprintf("metric space %v", sketch.DistanceNames()))
+		maxBody       = fs.Int64("max-body", maxBodyBytes, "request body size cap in bytes")
+		persistDir    = fs.String("persist-dir", "", "root directory for per-stream durability (WAL + snapshots); empty = in-memory only")
+		fsyncMode     = fs.String("fsync", "always", "WAL flush policy: always, interval or never")
+		fsyncInterval = fs.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync=interval")
+		compactEvery  = fs.Int("compact-every", 1024, "journaled records per stream that trigger snapshot compaction (negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,7 +145,34 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	if _, _, err := sketch.DistanceByName(*dist); err != nil {
 		return err
 	}
-	srv := newServer(config{k: *k, z: *z, budget: *budget, workers: *workers, dist: *dist})
+	mode, err := persist.ParseFsyncMode(*fsyncMode)
+	if err != nil {
+		return err
+	}
+	if *maxBody <= 0 {
+		return fmt.Errorf("-max-body must be positive, got %d", *maxBody)
+	}
+	srv := newServer(config{k: *k, z: *z, budget: *budget, workers: *workers, dist: *dist, maxBody: *maxBody, fsync: mode.String()})
+	srv.logger = logger
+
+	if *persistDir != "" {
+		store, err := persist.Open(*persistDir, persist.Options{
+			Fsync:         mode,
+			FsyncInterval: *fsyncInterval,
+			CompactEvery:  *compactEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		srv.store = store
+		recovered, err := store.Recover()
+		if err != nil {
+			return err
+		}
+		srv.adoptRecovered(recovered)
+		logger.Printf("durability on: dir=%s fsync=%s compact-every=%d", store.Dir(), mode, *compactEvery)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -160,10 +212,11 @@ type streamCore interface {
 }
 
 // windowCore is the additional surface of sliding-window streams: timestamped
-// ingest and live-window introspection.
+// ingest, explicit clock advances and live-window introspection.
 type windowCore interface {
 	streamCore
 	ObserveAt(p kcenter.Point, ts int64) error
+	Advance(ts int64) error
 	LastTimestamp() int64
 	LiveBuckets() int
 	LivePoints() int64
@@ -185,6 +238,13 @@ type namedStream struct {
 	winDur  int64 // duration window (0 = none)
 	dim     int   // fixed by the first batch (0 = not yet known)
 	gone    bool
+
+	// log is the stream's durability handle (nil without -persist-dir);
+	// recovery carries the boot-time recovery stats of a recovered stream,
+	// and compacting guards the single in-flight background compaction.
+	log        *persist.Log
+	recovery   *persist.RecoveryStats
+	compacting bool
 }
 
 // errGone is returned to clients whose request lost a race with a delete or
@@ -192,7 +252,9 @@ type namedStream struct {
 var errGone = errors.New("stream was deleted or replaced concurrently; retry")
 
 type server struct {
-	cfg config
+	cfg    config
+	store  *persist.Store // nil = in-memory only
+	logger *log.Logger    // nil-safe via logf
 
 	mu      sync.RWMutex
 	streams map[string]*namedStream
@@ -205,7 +267,19 @@ func newServer(cfg config) *server {
 	if cfg.dist == "" {
 		cfg.dist = "euclidean"
 	}
+	if cfg.maxBody <= 0 {
+		cfg.maxBody = maxBodyBytes
+	}
+	if cfg.fsync == "" {
+		cfg.fsync = persist.FsyncAlways.String()
+	}
 	return &server{cfg: cfg, streams: make(map[string]*namedStream)}
+}
+
+func (s *server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
 }
 
 func (s *server) routes() http.Handler {
@@ -216,20 +290,21 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /streams", s.handleList)
 	mux.HandleFunc("GET /streams/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /streams/{name}/points", s.handleIngest)
+	mux.HandleFunc("POST /streams/{name}/advance", s.handleAdvance)
 	mux.HandleFunc("GET /streams/{name}/centers", s.handleCenters)
 	mux.HandleFunc("POST /streams/{name}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /streams/{name}/restore", s.handleRestore)
 	mux.HandleFunc("DELETE /streams/{name}", s.handleDelete)
 	mux.HandleFunc("POST /merge", s.handleMerge)
-	return http.MaxBytesHandler(mux, maxBodyBytes)
+	return http.MaxBytesHandler(mux, s.cfg.maxBody)
 }
 
-// newCore builds a streaming clusterer for the given parameters. The
-// configured name resolves to a full metric Space (batched kernels +
-// surrogate), so ingest runs on the native hot path. Positive winSize/winDur
-// select the sliding-window flavour.
-func (s *server) newCore(k, z, budget int, winSize, winDur int64) (streamCore, error) {
-	space, _, err := sketch.SpaceByName(s.cfg.dist)
+// newCore builds a streaming clusterer for the given parameters. The space
+// name resolves to a full metric Space (batched kernels + surrogate), so
+// ingest runs on the native hot path. Positive winSize/winDur select the
+// sliding-window flavour.
+func (s *server) newCore(spaceName string, k, z, budget int, winSize, winDur int64) (streamCore, error) {
+	space, _, err := sketch.SpaceByName(spaceName)
 	if err != nil {
 		return nil, err
 	}
@@ -319,13 +394,162 @@ func (s *server) getOrCreate(name string, r *http.Request) (*namedStream, error)
 		}
 		return st, nil
 	}
-	core, err := s.newCore(k, z, budget, winSize, winDur)
+	core, err := s.newCore(s.cfg.dist, k, z, budget, winSize, winDur)
 	if err != nil {
 		return nil, err
 	}
 	st = &namedStream{core: core, k: k, z: z, budget: budget, space: s.cfg.dist, winSize: winSize, winDur: winDur}
+	if s.store != nil {
+		// Journal the creation before the name becomes visible. Holding s.mu
+		// across the disk write serialises creation against a concurrent
+		// DELETE of the same name (which tombstones the directory under
+		// s.mu), so a re-create can never collide with a half-removed
+		// directory. The cost — a couple of fsyncs under the server lock —
+		// is paid once per stream NAME, never on the steady-state ingest
+		// path, which only takes the read lock.
+		lg, err := s.store.Create(name, streamMeta(st))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errPersistFailed, err)
+		}
+		st.log = lg
+	}
 	s.streams[name] = st
 	return st, nil
+}
+
+// errPersistFailed marks stream-creation failures of the durability layer,
+// so handlers report 500 internal instead of blaming the client's params.
+var errPersistFailed = errors.New("durability layer failure")
+
+// streamMeta derives the journaled metadata from a stream's parameters.
+func streamMeta(st *namedStream) persist.Meta {
+	return persist.Meta{
+		K:              st.k,
+		Z:              st.z,
+		Budget:         st.budget,
+		Space:          st.space,
+		WindowSize:     st.winSize,
+		WindowDuration: st.winDur,
+	}
+}
+
+// adoptRecovered installs the streams the durability layer recovered at
+// boot: restore the snapshot (or rebuild an empty core from the journaled
+// metadata), verify the snapshot against the metadata, replay the log tail,
+// and surface the recovery stats. Streams that fail above the persistence
+// layer are set aside (directory renamed *.failed) so the name stays usable.
+func (s *server) adoptRecovered(recovered []*persist.Recovered) {
+	for _, rec := range recovered {
+		if rec.Err != nil {
+			s.logf("recovery: stream %q: %v (set aside)", rec.Name, rec.Err)
+			continue
+		}
+		st, err := s.rebuildStream(rec)
+		if err != nil {
+			s.logf("recovery: stream %q: %v (set aside)", rec.Name, err)
+			if saErr := rec.Log.SetAside(); saErr != nil {
+				s.logf("recovery: stream %q: setting aside failed: %v", rec.Name, saErr)
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.streams[rec.Name] = st
+		s.mu.Unlock()
+		s.logf("recovered stream %q: snapshot=%v records=%d points=%d tornTail=%v",
+			rec.Name, rec.Stats.SnapshotLoaded, rec.Stats.RecordsReplayed, rec.Stats.PointsReplayed, rec.Stats.TornTail)
+	}
+}
+
+// rebuildStream revives one recovered stream: snapshot first, then the
+// journal tail on top, exactly the order the records were acknowledged in.
+func (s *server) rebuildStream(rec *persist.Recovered) (*namedStream, error) {
+	var (
+		core streamCore
+		meta persist.Meta
+		dim  int
+		err  error
+	)
+	if rec.Snapshot != nil {
+		var info *kcenter.SketchInfo
+		core, info, err = s.restoreCore(rec.Snapshot)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		meta = persist.Meta{
+			K:              info.K,
+			Z:              info.Z,
+			Budget:         info.Budget,
+			Space:          info.Distance,
+			WindowSize:     info.WindowSize,
+			WindowDuration: info.WindowDuration,
+		}
+		// The snapshot must describe the stream the journal was written for:
+		// a swapped or stale file silently changing k, the metric space or
+		// the window geometry would corrupt every later answer.
+		if rec.HaveMeta && meta != rec.Meta {
+			return nil, fmt.Errorf("snapshot metadata %+v does not match journaled metadata %+v", meta, rec.Meta)
+		}
+		if !rec.HaveMeta {
+			if err := rec.Log.AdoptMeta(meta); err != nil {
+				return nil, err
+			}
+		}
+		dim = info.Dimensions
+	} else {
+		meta = rec.Meta
+		core, err = s.newCore(meta.Space, meta.K, meta.Z, meta.Budget, meta.WindowSize, meta.WindowDuration)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, r := range rec.Tail {
+		switch r.Op {
+		case persist.OpBatch:
+			if r.Timestamps != nil {
+				wc, ok := core.(windowCore)
+				if !ok {
+					return nil, fmt.Errorf("record %d: timestamped batch journaled for a non-window stream", i)
+				}
+				for j, p := range r.Points {
+					if err := wc.ObserveAt(p, r.Timestamps[j]); err != nil {
+						return nil, fmt.Errorf("record %d: replay: %w", i, err)
+					}
+				}
+			} else {
+				for _, p := range r.Points {
+					if err := core.Observe(p); err != nil {
+						return nil, fmt.Errorf("record %d: replay: %w", i, err)
+					}
+				}
+			}
+			if dim == 0 {
+				dim = r.Points.Dim()
+			}
+		case persist.OpAdvance:
+			wc, ok := core.(windowCore)
+			if !ok {
+				return nil, fmt.Errorf("record %d: advance journaled for a non-window stream", i)
+			}
+			if err := wc.Advance(r.AdvanceTo); err != nil {
+				return nil, fmt.Errorf("record %d: replay: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("record %d: unexpected op %v in replay tail", i, r.Op)
+		}
+	}
+	stats := rec.Stats
+	return &namedStream{
+		core:     core,
+		k:        meta.K,
+		z:        meta.Z,
+		budget:   meta.Budget,
+		space:    meta.Space,
+		winSize:  meta.WindowSize,
+		winDur:   meta.WindowDuration,
+		dim:      dim,
+		log:      rec.Log,
+		recovery: &stats,
+	}, nil
 }
 
 func (s *server) lookup(name string) (*namedStream, bool) {
@@ -350,18 +574,27 @@ type windowStats struct {
 	LivePoints  int64 `json:"livePoints"`
 }
 
-type streamStats struct {
-	Name          string       `json:"name"`
-	K             int          `json:"k"`
-	Z             int          `json:"z"`
-	Budget        int          `json:"budget"`
-	Space         string       `json:"space"`
-	Observed      int64        `json:"observed"`
-	WorkingMemory int          `json:"workingMemory"`
-	Window        *windowStats `json:"window,omitempty"`
+// durabilityStats surfaces the stream's journal state and, for streams that
+// survived a restart, what boot-time recovery did.
+type durabilityStats struct {
+	persist.LogStats
+	Fsync    string                 `json:"fsync"`
+	Recovery *persist.RecoveryStats `json:"recovery,omitempty"`
 }
 
-func (st *namedStream) statsLocked(name string) streamStats {
+type streamStats struct {
+	Name          string           `json:"name"`
+	K             int              `json:"k"`
+	Z             int              `json:"z"`
+	Budget        int              `json:"budget"`
+	Space         string           `json:"space"`
+	Observed      int64            `json:"observed"`
+	WorkingMemory int              `json:"workingMemory"`
+	Window        *windowStats     `json:"window,omitempty"`
+	Durability    *durabilityStats `json:"durability,omitempty"`
+}
+
+func (st *namedStream) statsLocked(name string, fsync string) streamStats {
 	stats := streamStats{
 		Name:          name,
 		K:             st.k,
@@ -377,6 +610,13 @@ func (st *namedStream) statsLocked(name string) streamStats {
 			Duration:    st.winDur,
 			LiveBuckets: wc.LiveBuckets(),
 			LivePoints:  wc.LivePoints(),
+		}
+	}
+	if st.log != nil {
+		stats.Durability = &durabilityStats{
+			LogStats: st.log.Stats(),
+			Fsync:    fsync,
+			Recovery: st.recovery,
 		}
 	}
 	return stats
@@ -420,10 +660,39 @@ func validateBatch(req *ingestRequest) (status int, code string, err error) {
 	return 0, "", nil
 }
 
+// decodeJSON strictly decodes a JSON request body: unknown fields are
+// rejected, trailing data after the document is rejected, and a body over
+// the -max-body cap maps to 413 body_too_large. It writes the error response
+// itself and reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest, codeInvalidJSON, fmt.Errorf("invalid JSON body: %w", err))
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest, codeInvalidJSON, errors.New("trailing data after JSON body"))
+		return false
+	}
+	return true
+}
+
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, codeInvalidJSON, fmt.Errorf("invalid JSON body: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if status, code, err := validateBatch(&req); err != nil {
@@ -459,7 +728,11 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.getOrCreate(name, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, codeInvalidParam, err)
+		if errors.Is(err, errPersistFailed) {
+			httpError(w, http.StatusInternalServerError, codeInternal, err)
+		} else {
+			httpError(w, http.StatusBadRequest, codeInvalidParam, err)
+		}
 		return
 	}
 
@@ -482,12 +755,26 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// The stream's clock only moves forward; checked up front so the
-		// whole batch is rejected before any point lands.
+		// whole batch is rejected before any point lands — and before it is
+		// journaled, so a record that would fail replay is never written.
 		if last := wc.LastTimestamp(); req.Timestamps[0] < last {
 			httpError(w, http.StatusBadRequest, codeInvalidTimestamps,
 				fmt.Errorf("batch starts at timestamp %d, stream is already at %d", req.Timestamps[0], last))
 			return
 		}
+	}
+	// Journal, then apply: the batch has passed every validation that could
+	// reject it, so the WAL record and the in-memory mutation stand or fall
+	// together, and the acknowledgement below implies durability (per the
+	// fsync mode).
+	if st.log != nil {
+		if err := st.log.AppendBatch(batch, req.Timestamps); err != nil {
+			httpError(w, http.StatusInternalServerError, codeInternal, err)
+			return
+		}
+	}
+	if req.Timestamps != nil {
+		wc := st.core.(windowCore)
 		for i, p := range batch {
 			if err := wc.ObserveAt(p, req.Timestamps[i]); err != nil {
 				httpError(w, http.StatusInternalServerError, codeInternal, err)
@@ -503,7 +790,88 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	st.dim = batch.Dim()
-	writeJSON(w, http.StatusOK, st.statsLocked(r.PathValue("name")))
+	s.maybeCompactLocked(st)
+	writeJSON(w, http.StatusOK, st.statsLocked(r.PathValue("name"), s.cfg.fsync))
+}
+
+// maybeCompactLocked kicks off a background snapshot compaction when the
+// stream's journal has grown past the threshold. Caller holds st.mu; at most
+// one compaction per stream is in flight.
+func (s *server) maybeCompactLocked(st *namedStream) {
+	if st.log == nil || st.compacting || !st.log.ShouldCompact() {
+		return
+	}
+	st.compacting = true
+	go func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		st.compacting = false
+		if st.gone || st.log == nil {
+			return
+		}
+		snap, err := st.core.Snapshot()
+		if err != nil {
+			s.logf("compaction: snapshot failed: %v", err)
+			return
+		}
+		if err := st.log.Compact(snap); err != nil {
+			s.logf("compaction: %v", err)
+		}
+	}()
+}
+
+// advanceRequest moves a window stream's clock forward without observing a
+// point, evicting buckets that age out of a duration window.
+type advanceRequest struct {
+	To int64 `json:"to"`
+}
+
+func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req advanceRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	name := r.PathValue("name")
+	st, ok := s.lookup(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.gone {
+		httpError(w, http.StatusConflict, codeStreamGone, errGone)
+		return
+	}
+	wc, ok := st.core.(windowCore)
+	if !ok {
+		httpError(w, http.StatusBadRequest, codeNotWindowed,
+			errors.New("only window streams have a clock to advance"))
+		return
+	}
+	// Validated before journaling, so a record that would fail replay is
+	// never written.
+	if req.To < 0 {
+		httpError(w, http.StatusBadRequest, codeInvalidTimestamps, fmt.Errorf("advance target %d is negative", req.To))
+		return
+	}
+	if last := wc.LastTimestamp(); req.To < last {
+		httpError(w, http.StatusBadRequest, codeInvalidTimestamps,
+			fmt.Errorf("advance target %d precedes the stream clock %d", req.To, last))
+		return
+	}
+	if st.log != nil {
+		if err := st.log.AppendAdvance(req.To); err != nil {
+			httpError(w, http.StatusInternalServerError, codeInternal, err)
+			return
+		}
+	}
+	if err := wc.Advance(req.To); err != nil {
+		httpError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	s.maybeCompactLocked(st)
+	writeJSON(w, http.StatusOK, st.statsLocked(name, s.cfg.fsync))
 }
 
 // handleStats is the introspection endpoint: per-stream counters, working
@@ -521,7 +889,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, codeStreamGone, errGone)
 		return
 	}
-	writeJSON(w, http.StatusOK, st.statsLocked(name))
+	writeJSON(w, http.StatusOK, st.statsLocked(name, s.cfg.fsync))
 }
 
 type centersResponse struct {
@@ -550,7 +918,7 @@ func (s *server) handleCenters(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, centersResponse{
-		streamStats: st.statsLocked(name),
+		streamStats: st.statsLocked(name, s.cfg.fsync),
 		Centers:     centers,
 	})
 }
@@ -582,6 +950,12 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(r.Body)
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, codeInvalidParam, err)
 		return
 	}
@@ -595,6 +969,16 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		core: core, k: info.K, z: info.Z, budget: info.Budget, dim: info.Dimensions,
 		space: info.Distance, winSize: info.WindowSize, winDur: info.WindowDuration,
 	}
+	// Durable restore: the restored state becomes the stream's snapshot and
+	// its journal starts fresh. The canonical re-snapshot (not the client's
+	// bytes) is persisted so later compactions are byte-identical to it.
+	var snap []byte
+	if s.store != nil {
+		if snap, err = core.Snapshot(); err != nil {
+			httpError(w, http.StatusInternalServerError, codeInternal, err)
+			return
+		}
+	}
 	s.mu.Lock()
 	if old, ok := s.streams[name]; ok {
 		// Mark the replaced stream dead under its own mutex so a handler
@@ -603,13 +987,34 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		// handler acquires the server lock while holding a stream lock.)
 		old.mu.Lock()
 		old.gone = true
+		if old.log != nil {
+			// The old journal dies with the old state; Replace below writes
+			// the new directory contents.
+			if err := old.log.Remove(); err != nil {
+				s.logf("restore: removing old journal of %q: %v", name, err)
+			}
+			old.log = nil
+		}
 		old.mu.Unlock()
+	}
+	if s.store != nil {
+		lg, err := s.store.Replace(name, streamMeta(st), snap)
+		if err != nil {
+			// Neither the old nor the new state is trustworthy now; drop the
+			// name entirely rather than serving a stream that will not
+			// survive a restart.
+			delete(s.streams, name)
+			s.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, codeInternal, err)
+			return
+		}
+		st.log = lg
 	}
 	s.streams[name] = st
 	s.mu.Unlock()
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	writeJSON(w, http.StatusOK, st.statsLocked(name))
+	writeJSON(w, http.StatusOK, st.statsLocked(name, s.cfg.fsync))
 }
 
 // restoreCore revives a sketch of any kind — insertion-only or windowed,
@@ -641,14 +1046,33 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st, ok := s.streams[name]
 	delete(s.streams, name)
-	s.mu.Unlock()
+	var rmErr error
 	if ok {
+		// Tombstone the stream's directory while still holding the server
+		// lock: creation of the same name also runs under s.mu, so a racing
+		// re-create can never collide with the half-removed directory.
+		// Taking st.mu (server->stream order, same as restore) makes the
+		// delete wait for an in-flight append instead of yanking the journal
+		// out from under it; handlers that already hold a stale pointer see
+		// gone and answer 409. The map entry itself is removed above, so the
+		// per-stream mutex is garbage-collected with the stream — the stream
+		// table cannot accumulate mutexes for deleted names.
 		st.mu.Lock()
 		st.gone = true
+		if st.log != nil {
+			rmErr = st.log.Remove()
+			st.log = nil
+		}
 		st.mu.Unlock()
 	}
+	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
+		return
+	}
+	if rmErr != nil {
+		httpError(w, http.StatusInternalServerError, codeInternal,
+			fmt.Errorf("stream dropped but its durable state could not be fully removed: %w", rmErr))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
@@ -666,7 +1090,7 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 	for _, name := range names {
 		if st, ok := s.lookup(name); ok {
 			st.mu.Lock()
-			out = append(out, st.statsLocked(name))
+			out = append(out, st.statsLocked(name, s.cfg.fsync))
 			st.mu.Unlock()
 		}
 	}
@@ -685,8 +1109,7 @@ type mergeResponse struct {
 
 func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	var req mergeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, codeInvalidJSON, fmt.Errorf("invalid JSON body: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Sketches) == 0 {

@@ -186,7 +186,42 @@
 // preserve this locking discipline. Shutdown is graceful: in-flight requests
 // drain before the process exits.
 //
+// # Durability
+//
+// The sketches are exactly the compact state a long-running service must
+// not lose, and internal/persist turns them into a per-stream durability
+// engine for the daemon (kcenterd -persist-dir): the standard
+// log+checkpoint recipe.
+//
+//   - Every stream mutation — creation, ingest batch, clock advance — is
+//     appended to a per-stream write-ahead log (magic KCWL) before it is
+//     acknowledged: length-prefixed, CRC-32C-checked, sequence-numbered
+//     records with typed payloads, decoded strictly (the reader never
+//     panics; FuzzWALDecode enforces it).
+//   - Periodically the stream's complete state is compacted into a snapshot
+//     via the existing Snapshot()/KCSK/KCWN codecs — written to a temp
+//     file, fsynced, atomically renamed (magic KCSN, carrying the WAL
+//     sequence number it includes) — and the log is reset.
+//   - On boot, recovery loads the newest valid snapshot, verifies it
+//     against the journaled stream metadata (space, k/z, budget, window
+//     geometry), replays the log tail beyond the snapshot's sequence
+//     number, and tolerates a torn tail by truncating at the first corrupt
+//     record: a crash mid-append never takes down the records that were
+//     already durable.
+//
+// The determinism contract is what makes recovery exact rather than
+// approximate: replaying the journaled batches over the restored snapshot
+// reproduces the pre-crash state bit for bit, so a recovered stream's
+// re-snapshot is byte-identical to an uninterrupted run's (enforced by a
+// kill-and-recover test that SIGKILLs a real daemon process at random batch
+// boundaries). The -fsync flag trades durability for throughput: "always"
+// fsyncs before every acknowledgement, "interval" bounds the loss window to
+// -fsync-interval, and "never" survives SIGKILL but not power loss. See the
+// README's Durability section for the operational details and the daemon's
+// typed error-code table.
+//
 // The cmd/ directory provides a clustering CLI, a dataset generator, and a
 // driver that reproduces every figure of the paper's evaluation; the
-// examples/ directory contains runnable programs for common scenarios.
+// examples/ directory contains runnable programs for common scenarios
+// (examples/durable walks the journal -> crash -> recover loop by hand).
 package kcenter

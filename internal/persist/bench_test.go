@@ -1,0 +1,102 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPersistAppend measures WAL append throughput (64-point batches of
+// dimension 8) under each fsync mode. FsyncAlways is bound by the device;
+// interval/never measure the codec + write path itself.
+func BenchmarkPersistAppend(b *testing.B) {
+	batch := testBatch(64, 8, 1)
+	for _, mode := range []FsyncMode{FsyncNever, FsyncInterval, FsyncAlways} {
+		b.Run(mode.String(), func(b *testing.B) {
+			s, err := Open(b.TempDir(), Options{Fsync: mode, CompactEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			l, err := s.Create("bench", Meta{K: 4, Budget: 32, Space: "euclidean"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(64 * 8 * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.AppendBatch(batch, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPersistRecovery measures boot-time recovery (decode + truncate +
+// reopen) as a function of log length: replay cost must stay linear and
+// cheap, because it bounds daemon restart latency.
+func BenchmarkPersistRecovery(b *testing.B) {
+	for _, records := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			s, err := Open(b.TempDir(), Options{Fsync: FsyncNever, CompactEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, err := s.Create("bench", Meta{K: 4, Budget: 32, Space: "euclidean"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := testBatch(16, 8, 1)
+			for i := 0; i < records; i++ {
+				if err := l.AppendBatch(batch, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			dir := s.Dir()
+			s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s2, err := Open(dir, Options{Fsync: FsyncNever})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recs, err := s2.Recover()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(recs) != 1 || recs[0].Err != nil || len(recs[0].Tail) != records {
+					b.Fatalf("recovered %d streams, tail %d", len(recs), len(recs[0].Tail))
+				}
+				s2.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkPersistCompact measures snapshot compaction latency (snapshot
+// write + atomic rename + log reset) for a representative sketch size.
+func BenchmarkPersistCompact(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{Fsync: FsyncNever, CompactEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	l, err := s.Create("bench", Meta{K: 4, Budget: 32, Space: "euclidean"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sketch := make([]byte, 64<<10)
+	for i := range sketch {
+		sketch[i] = byte(i)
+	}
+	batch := testBatch(16, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.AppendBatch(batch, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Compact(sketch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

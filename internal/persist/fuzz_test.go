@@ -1,0 +1,89 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"coresetclustering/internal/metric"
+)
+
+// FuzzWALDecode proves the properties recovery depends on: DecodeWAL never
+// panics on arbitrary input, reports a valid prefix no longer than the input,
+// and truncating at ValidLen yields an image that decodes cleanly (no torn
+// tail) to the very same records — so "truncate at the first corrupt record"
+// is a fixed point, never a second data loss.
+func FuzzWALDecode(f *testing.F) {
+	// Seed corpus: a real log (header + create + batches + advance), plus
+	// assorted truncations and corruptions of it.
+	img := fileHeader(walMagic)
+	img = appendFrame(img, 1, OpCreate, encodeCreate(Meta{K: 2, Z: 1, Budget: 16, Space: "euclidean", WindowSize: 8}))
+	payload, err := encodeBatch(metric.Dataset{{1, 2}, {3, 4}}, []int64{5, 6})
+	if err != nil {
+		f.Fatal(err)
+	}
+	img = appendFrame(img, 2, OpBatch, payload)
+	img = appendFrame(img, 3, OpAdvance, encodeAdvance(9))
+	f.Add(img)
+	f.Add(img[:len(img)-3])
+	f.Add(img[:fileHeaderSize])
+	f.Add([]byte{})
+	f.Add([]byte("KCWL"))
+	corrupted := append([]byte(nil), img...)
+	corrupted[len(corrupted)-2] ^= 0x40
+	f.Add(corrupted)
+	f.Add([]byte("KCSKnot-a-wal"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeWAL(data)
+		if err != nil {
+			if res != nil {
+				t.Fatalf("hard error %v with a non-nil result", err)
+			}
+			return
+		}
+		if res.ValidLen < 0 || res.ValidLen > int64(len(data)) {
+			t.Fatalf("ValidLen %d outside [0, %d]", res.ValidLen, len(data))
+		}
+		if res.Torn == nil && res.ValidLen != int64(len(data)) && len(data) > 0 {
+			t.Fatalf("clean decode but ValidLen %d != %d", res.ValidLen, len(data))
+		}
+		// Truncation is a fixed point.
+		again, err := DecodeWAL(data[:res.ValidLen])
+		if err != nil {
+			t.Fatalf("re-decoding the valid prefix failed: %v", err)
+		}
+		if again.Torn != nil {
+			t.Fatalf("valid prefix still torn: %v", again.Torn)
+		}
+		if len(again.Records) != len(res.Records) {
+			t.Fatalf("valid prefix has %d records, first pass saw %d", len(again.Records), len(res.Records))
+		}
+		var prev uint64
+		for i, r := range res.Records {
+			if r.Seq <= prev {
+				t.Fatalf("record %d sequence %d not increasing after %d", i, r.Seq, prev)
+			}
+			prev = r.Seq
+			if !r.Op.valid() {
+				t.Fatalf("record %d has invalid op %d", i, r.Op)
+			}
+		}
+	})
+}
+
+// FuzzSnapshotDecode: the snapshot reader never panics and round-trips.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add(encodeSnapshot(7, []byte("sketch-bytes")))
+	f.Add(encodeSnapshot(0, nil))
+	f.Add([]byte("KCSN"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, payload, err := decodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeSnapshot(seq, payload), data) {
+			t.Fatalf("snapshot did not round-trip")
+		}
+	})
+}

@@ -1,0 +1,747 @@
+package persist
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"coresetclustering/internal/metric"
+)
+
+const (
+	walFile  = "wal"
+	snapFile = "snap"
+	// tombSuffix marks a stream directory mid-deletion: the rename is the
+	// atomic commit point of a delete, the RemoveAll behind it may be redone
+	// on the next open. failedSuffix sets aside unrecoverable streams so the
+	// name is freed without destroying evidence. Neither suffix can collide
+	// with an encoded stream name (base64url never contains '.').
+	tombSuffix   = ".tomb"
+	failedSuffix = ".failed"
+	tmpSuffix    = ".tmp"
+)
+
+// encodeName maps a stream name to its directory name (URL-safe base64, so
+// arbitrary names — slashes, dots, control bytes — cannot escape the root).
+func encodeName(name string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(name))
+}
+
+func decodeName(dir string) (string, error) {
+	b, err := base64.RawURLEncoding.DecodeString(dir)
+	if err != nil {
+		return "", fmt.Errorf("persist: undecodable stream directory %q: %w", dir, err)
+	}
+	return string(b), nil
+}
+
+// Store manages the durability state of every stream under one root
+// directory. Open it once at boot, Recover() the existing streams, then
+// Create/Replace logs as streams come and go. All methods are safe for
+// concurrent use; per-stream appends additionally serialise on the Log.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	logs   map[string]*Log
+	closed bool
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+// Open creates (if needed) the root directory, sweeps leftovers of
+// interrupted deletes and writes (*.tomb, *.tmp), and starts the background
+// flusher when opts.Fsync == FsyncInterval.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("persist: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), tombSuffix) || strings.HasSuffix(e.Name(), tmpSuffix) {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("persist: sweeping %s: %w", e.Name(), err)
+			}
+			continue
+		}
+		if !e.IsDir() {
+			continue
+		}
+		// Stale in-flight writes inside a stream directory (a crash between
+		// atomicWrite's temp file and its rename).
+		inner, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+		for _, f := range inner {
+			if strings.HasSuffix(f.Name(), tmpSuffix) {
+				if err := os.Remove(filepath.Join(dir, e.Name(), f.Name())); err != nil {
+					return nil, fmt.Errorf("persist: sweeping %s/%s: %w", e.Name(), f.Name(), err)
+				}
+			}
+		}
+	}
+	s := &Store{dir: dir, opts: opts.withDefaults(), logs: make(map[string]*Log)}
+	if s.opts.Fsync == FsyncInterval {
+		s.stopFlush = make(chan struct{})
+		s.flushDone = make(chan struct{})
+		go s.flushLoop()
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// flushLoop syncs dirty logs every FsyncInterval until Close.
+func (s *Store) flushLoop() {
+	defer close(s.flushDone)
+	t := time.NewTicker(s.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopFlush:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			logs := make([]*Log, 0, len(s.logs))
+			for _, l := range s.logs {
+				logs = append(logs, l)
+			}
+			s.mu.Unlock()
+			for _, l := range logs {
+				l.flush()
+			}
+		}
+	}
+}
+
+// Close stops the flusher, syncs and closes every open log. The Store and
+// its logs are unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	logs := make([]*Log, 0, len(s.logs))
+	for _, l := range s.logs {
+		logs = append(logs, l)
+	}
+	s.logs = make(map[string]*Log)
+	s.mu.Unlock()
+	if s.stopFlush != nil {
+		close(s.stopFlush)
+		<-s.flushDone
+	}
+	var first error
+	for _, l := range logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// register adds a log to the flusher set; it fails after Close.
+func (s *Store) register(l *Log) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("persist: store is closed")
+	}
+	s.logs[l.name] = l
+	return nil
+}
+
+func (s *Store) unregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.logs, name)
+}
+
+// Create starts a fresh log for a new stream: its directory, a WAL whose
+// first record journals the stream metadata. The name must not already have
+// a live directory (recover existing streams before creating new ones).
+func (s *Store) Create(name string, meta Meta) (*Log, error) {
+	if name == "" {
+		return nil, errors.New("persist: empty stream name")
+	}
+	if err := meta.validate(); err != nil {
+		return nil, fmt.Errorf("persist: %v", err)
+	}
+	dir := filepath.Join(s.dir, encodeName(name))
+	if _, err := os.Stat(dir); err == nil {
+		return nil, fmt.Errorf("persist: stream %q already has a directory (recover it instead)", name)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	l := &Log{store: s, name: name, dir: dir, meta: meta}
+	if err := l.resetWAL(1); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	l.seq = 1
+	if err := s.register(l); err != nil {
+		l.Close()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return l, nil
+}
+
+// Replace installs a restored stream: directory (re)created, the given
+// sketch written as the snapshot, and a fresh WAL journaling the new
+// metadata. Any previous log handle for the name must be removed or closed
+// first (the daemon marks the replaced stream gone before calling this).
+func (s *Store) Replace(name string, meta Meta, snapshot []byte) (*Log, error) {
+	if name == "" {
+		return nil, errors.New("persist: empty stream name")
+	}
+	if err := meta.validate(); err != nil {
+		return nil, fmt.Errorf("persist: %v", err)
+	}
+	dir := filepath.Join(s.dir, encodeName(name))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	l := &Log{store: s, name: name, dir: dir, meta: meta}
+	l.seq = 1
+	if err := l.writeSnapshotLocked(1, snapshot); err != nil {
+		return nil, err
+	}
+	if err := l.resetWAL(1); err != nil {
+		return nil, err
+	}
+	if err := s.register(l); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Log is the durability handle of one stream. Appends are serialised by the
+// caller (the daemon holds the stream mutex) but the Log still locks
+// internally so the background flusher and compaction never race an append.
+type Log struct {
+	store *Store
+	name  string
+	dir   string
+	meta  Meta
+
+	mu          sync.Mutex
+	f           *os.File
+	size        int64 // current wal file size
+	seq         uint64
+	records     int // records in the current wal (create record included)
+	since       int // records appended since the last compaction
+	compactions int64
+	dirty       bool
+	removed     bool
+	failed      error // first append failure; poisons the log (torn tail risk)
+}
+
+// Name returns the stream name the log belongs to.
+func (l *Log) Name() string { return l.name }
+
+// Meta returns the stream metadata journaled in the create record.
+func (l *Log) Meta() Meta { return l.meta }
+
+// resetWAL atomically replaces the WAL with a fresh one holding only the
+// header and a create record carrying seq (the metadata must survive log
+// resets; replay skips it by sequence number when a snapshot covers it).
+// When the metadata is not known yet (snapshot-only recovery, before
+// AdoptMeta) the create record is omitted rather than journaled invalid.
+// Callers hold l.mu or have exclusive access.
+func (l *Log) resetWAL(seq uint64) error {
+	img := fileHeader(walMagic)
+	records := 0
+	if l.meta.validate() == nil {
+		img = appendFrame(img, seq, OpCreate, encodeCreate(l.meta))
+		records = 1
+	}
+	// Write the replacement under a temp name and keep ITS file descriptor:
+	// the fd follows the inode through the rename, so there is no window in
+	// which l.f could point at an unlinked file. Any failure before the
+	// rename leaves the old WAL (and l.f) fully intact and consistent.
+	path := filepath.Join(l.dir, walFile)
+	tmp := path + tmpSuffix
+	sync := l.store.opts.Fsync != FsyncNever
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if sync {
+		// A dir-sync failure after the rename is tolerable: a crash may then
+		// resurrect the OLD log, whose records the snapshot's sequence
+		// number already covers, so replay skips them.
+		if d, err := os.Open(l.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f = f
+	l.size = int64(len(img))
+	l.records = records
+	l.since = 0
+	l.failed = nil
+	return nil
+}
+
+// append frames and writes one record, applying the fsync policy. It returns
+// the record's sequence number.
+func (l *Log) append(op Op, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.removed {
+		return 0, ErrLogRemoved
+	}
+	if l.failed != nil {
+		return 0, fmt.Errorf("persist: log is poisoned by an earlier write failure: %w", l.failed)
+	}
+	if frameFixedLen+len(payload) > maxFrameLen {
+		return 0, fmt.Errorf("persist: record of %d bytes exceeds the size bound", len(payload))
+	}
+	seq := l.seq + 1
+	frame := appendFrame(nil, seq, op, payload)
+	n, err := l.f.Write(frame)
+	if err != nil {
+		// A partial frame is a torn tail: recovery truncates it, but further
+		// appends to this handle would land behind garbage, so refuse them.
+		if n > 0 {
+			l.failed = err
+		}
+		return 0, fmt.Errorf("persist: %w", err)
+	}
+	if l.store.opts.Fsync == FsyncAlways {
+		if err := l.f.Sync(); err != nil {
+			// The frame IS fully written: if appends continued, the next one
+			// would reuse this sequence number and recovery would truncate
+			// everything from here on as a torn tail. Poison instead — the
+			// stream keeps answering reads, writes fail loudly until the
+			// next compaction or restart rebuilds the log.
+			l.failed = fmt.Errorf("fsync failed after a durable frame: %w", err)
+			return 0, fmt.Errorf("persist: %w", err)
+		}
+	} else {
+		l.dirty = true
+	}
+	l.seq = seq
+	l.size += int64(len(frame))
+	l.records++
+	l.since++
+	return seq, nil
+}
+
+// AppendBatch journals one validated ingest batch (ts may be nil for untimed
+// batches). The append is durable per the store's fsync mode when it returns.
+func (l *Log) AppendBatch(points metric.Dataset, ts []int64) error {
+	payload, err := encodeBatch(points, ts)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	_, err = l.append(OpBatch, payload)
+	return err
+}
+
+// AppendAdvance journals a clock advance of a window stream.
+func (l *Log) AppendAdvance(ts int64) error {
+	if ts < 0 {
+		return fmt.Errorf("persist: advance to negative timestamp %d", ts)
+	}
+	_, err := l.append(OpAdvance, encodeAdvance(ts))
+	return err
+}
+
+// flush syncs buffered appends (FsyncInterval mode).
+func (l *Log) flush() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dirty && !l.removed && l.f != nil {
+		if err := l.f.Sync(); err == nil {
+			l.dirty = false
+		}
+	}
+}
+
+// ShouldCompact reports whether enough records accumulated since the last
+// compaction to be worth folding into a snapshot.
+func (l *Log) ShouldCompact() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.store.opts.CompactEvery > 0 && l.since >= l.store.opts.CompactEvery && l.failed == nil && !l.removed
+}
+
+// writeSnapshotLocked writes the snapshot file atomically: temp file, fsync,
+// rename, directory fsync. lastSeq is the newest WAL sequence number the
+// snapshot's state includes; replay skips records at or below it.
+func (l *Log) writeSnapshotLocked(lastSeq uint64, sketch []byte) error {
+	return atomicWrite(filepath.Join(l.dir, snapFile), encodeSnapshot(lastSeq, sketch), l.store.opts.Fsync != FsyncNever)
+}
+
+// Compact folds the log into a snapshot: the sketch (the stream's complete
+// serialized state, captured by the caller under the stream mutex) replaces
+// every journaled record, and the WAL is reset. Crash-safe at every point:
+// the snapshot rename is atomic, and until the WAL reset lands the old
+// records are skipped on replay by sequence number.
+func (l *Log) Compact(sketch []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.removed {
+		return ErrLogRemoved
+	}
+	if err := l.writeSnapshotLocked(l.seq, sketch); err != nil {
+		return err
+	}
+	if err := l.resetWAL(l.seq); err != nil {
+		return err
+	}
+	l.compactions++
+	l.dirty = false
+	return nil
+}
+
+// Stats describes the live log for the daemon's stats endpoint.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LogStats{
+		WALRecords:  l.records,
+		WALBytes:    l.size,
+		Compactions: l.compactions,
+		LastSeq:     l.seq,
+	}
+}
+
+// Remove deletes the stream's durable state: the directory is first renamed
+// to a tombstone (the atomic commit point — a crash leaves either a live
+// stream or a tombstone the next Open sweeps) and then removed. The handle
+// is dead afterwards.
+func (l *Log) Remove() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.removed {
+		return nil
+	}
+	l.removed = true
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	l.store.unregister(l.name)
+	tomb := l.dir + tombSuffix
+	os.RemoveAll(tomb) // leftovers of a previous interrupted delete
+	if err := os.Rename(l.dir, tomb); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.RemoveAll(tomb); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// SetAside closes the log and renames the stream directory to the ".failed"
+// suffix: the name is freed, the bytes are kept for forensics. The daemon
+// uses it when recovery fails above the persistence layer (metadata
+// mismatch, replay failure). The handle is dead afterwards.
+func (l *Log) SetAside() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.removed {
+		return nil
+	}
+	l.removed = true
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	l.store.unregister(l.name)
+	failed := l.dir + failedSuffix
+	os.RemoveAll(failed)
+	if err := os.Rename(l.dir, failed); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the log file without touching the durable state.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.store.unregister(l.name)
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.dirty && l.store.opts.Fsync != FsyncNever {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Recovered is the durable state of one stream as found at boot.
+type Recovered struct {
+	// Name is the stream name (decoded from the directory).
+	Name string
+	// Meta is the journaled stream metadata; HaveMeta reports whether a
+	// create record survived (it can be absent only if the WAL was lost
+	// while a snapshot survived — the snapshot then carries the parameters).
+	Meta     Meta
+	HaveMeta bool
+	// Snapshot is the newest valid snapshot's sketch payload (nil if none).
+	Snapshot []byte
+	// Tail is the records to replay on top of the snapshot, in order:
+	// every batch/advance with a sequence number beyond the snapshot's.
+	Tail []Record
+	// Stats summarises what recovery found, for the stats endpoint.
+	Stats RecoveryStats
+	// Log is the live handle, positioned to append; nil when Err is set.
+	Log *Log
+	// Err is set when the stream could not be recovered (its directory has
+	// been set aside with the ".failed" suffix, freeing the name).
+	Err error
+}
+
+// Recover scans the store root and rebuilds the durable state of every
+// stream: newest valid snapshot, valid WAL prefix (torn tails truncated in
+// place), replay tail beyond the snapshot. Streams that cannot be recovered
+// are reported with Err and their directories set aside as "<dir>.failed".
+// Call once, before creating any new log.
+func (s *Store) Recover() ([]*Recovered, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var out []*Recovered
+	for _, e := range entries {
+		if !e.IsDir() || strings.HasSuffix(e.Name(), failedSuffix) {
+			continue
+		}
+		rec := s.recoverDir(e.Name())
+		if rec.Err != nil {
+			// Free the name but keep the bytes for forensics.
+			failed := filepath.Join(s.dir, e.Name()) + failedSuffix
+			os.RemoveAll(failed)
+			os.Rename(filepath.Join(s.dir, e.Name()), failed)
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// recoverDir rebuilds one stream directory.
+func (s *Store) recoverDir(entry string) *Recovered {
+	rec := &Recovered{Name: entry}
+	name, err := decodeName(entry)
+	if err != nil {
+		rec.Err = err
+		return rec
+	}
+	rec.Name = name
+	dir := filepath.Join(s.dir, entry)
+
+	// Newest valid snapshot first: it fixes the replay horizon.
+	var snapSeq uint64
+	if img, err := os.ReadFile(filepath.Join(dir, snapFile)); err == nil {
+		seq, payload, derr := decodeSnapshot(img)
+		if derr != nil {
+			rec.Err = fmt.Errorf("persist: stream %q: %w", name, derr)
+			return rec
+		}
+		snapSeq = seq
+		rec.Snapshot = append([]byte(nil), payload...)
+		rec.Stats.SnapshotLoaded = true
+		rec.Stats.SnapshotBytes = len(payload)
+		rec.Stats.SnapshotSeq = seq
+	} else if !os.IsNotExist(err) {
+		rec.Err = fmt.Errorf("persist: stream %q: %w", name, err)
+		return rec
+	}
+
+	walPath := filepath.Join(dir, walFile)
+	img, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		rec.Err = fmt.Errorf("persist: stream %q: %w", name, err)
+		return rec
+	}
+	res, err := DecodeWAL(img)
+	if err != nil {
+		rec.Err = fmt.Errorf("persist: stream %q: %w", name, err)
+		return rec
+	}
+	if res.Torn != nil {
+		rec.Stats.TornTail = true
+		rec.Stats.TruncatedBytes = int64(len(img)) - res.ValidLen
+		rec.Stats.TornDetail = res.Torn.Error()
+	}
+	rec.Stats.WALRecords = len(res.Records)
+
+	lastSeq := snapSeq
+	for _, r := range res.Records {
+		if r.Seq > lastSeq {
+			lastSeq = r.Seq
+		}
+		if r.Op == OpCreate {
+			rec.Meta = r.Meta
+			rec.HaveMeta = true
+			continue
+		}
+		if r.Seq <= snapSeq {
+			continue // already folded into the snapshot
+		}
+		rec.Tail = append(rec.Tail, r)
+		rec.Stats.PointsReplayed += int64(len(r.Points))
+	}
+	rec.Stats.RecordsReplayed = len(rec.Tail)
+	if !rec.HaveMeta && rec.Snapshot == nil {
+		rec.Err = fmt.Errorf("persist: stream %q: no snapshot and no create record — nothing to recover", name)
+		return rec
+	}
+
+	// Materialise a consistent on-disk log before handing out the handle:
+	// truncate the torn tail, or rebuild the file entirely when even the
+	// header is missing.
+	l := &Log{store: s, name: name, dir: dir, meta: rec.Meta, seq: lastSeq}
+	if res.ValidLen < fileHeaderSize {
+		// Even the header was lost (or never synced). Rebuild the file; when
+		// the metadata only lives in the snapshot, the daemon re-derives it
+		// from the sketch and calls AdoptMeta.
+		if err := l.recreateWAL(); err != nil {
+			rec.Err = err
+			return rec
+		}
+	} else {
+		if res.ValidLen < int64(len(img)) {
+			if err := os.Truncate(walPath, res.ValidLen); err != nil {
+				rec.Err = fmt.Errorf("persist: stream %q: %w", name, err)
+				return rec
+			}
+		}
+		f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			rec.Err = fmt.Errorf("persist: stream %q: %w", name, err)
+			return rec
+		}
+		l.f = f
+		l.size = res.ValidLen
+		l.records = len(res.Records)
+		l.since = len(rec.Tail)
+	}
+	if err := s.register(l); err != nil {
+		l.Close()
+		rec.Err = err
+		return rec
+	}
+	rec.Log = l
+	return rec
+}
+
+// recreateWAL rebuilds a missing or headerless WAL in place (fresh header +
+// create record at the current sequence number). Used by recovery; callers
+// have exclusive access.
+func (l *Log) recreateWAL() error {
+	seq := l.seq
+	if seq == 0 {
+		seq = 1
+		l.seq = 1
+	}
+	return l.resetWAL(seq)
+}
+
+// AdoptMeta fills in the metadata of a log recovered without a create record
+// (snapshot-only recovery) and journals it so the next boot has it again.
+func (l *Log) AdoptMeta(meta Meta) error {
+	if err := meta.validate(); err != nil {
+		return fmt.Errorf("persist: %v", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.removed {
+		return ErrLogRemoved
+	}
+	l.meta = meta
+	return l.resetWAL(l.seq)
+}
+
+// atomicWrite writes data to path via a temp file and rename, syncing the
+// file and its directory when sync is true.
+func atomicWrite(path string, data []byte, sync bool) error {
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if sync {
+		if d, err := os.Open(filepath.Dir(path)); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}

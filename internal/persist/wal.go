@@ -1,0 +1,354 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"coresetclustering/internal/metric"
+)
+
+const (
+	walMagic   = "KCWL"
+	snapMagic  = "KCSN"
+	walVersion = 1
+
+	fileHeaderSize = 8  // magic + version + reserved, shared by wal and snap
+	frameHeaderLen = 8  // frame length + CRC
+	frameFixedLen  = 9  // seq + op, the part of the frame before the payload
+	snapHeaderSize = 24 // file header + lastSeq + payload length + CRC
+
+	// maxFrameLen bounds a single record so a hostile length prefix cannot
+	// drive allocations; the daemon's request-body cap keeps real batches far
+	// below it.
+	maxFrameLen = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// fileHeader returns the 8-byte header shared by WAL and snapshot files.
+func fileHeader(magic string) []byte {
+	h := make([]byte, fileHeaderSize)
+	copy(h, magic)
+	binary.BigEndian.PutUint16(h[4:6], walVersion)
+	return h
+}
+
+// checkFileHeader validates magic and version. A prefix shorter than the
+// header is reported as torn (tornLen >= 0 tells the caller where the valid
+// bytes end); a wrong magic or version is a hard error.
+func checkFileHeader(data []byte, magic string) (tornLen int, err error) {
+	if len(data) >= 4 && string(data[:4]) != magic {
+		return -1, fmt.Errorf("%w: got %q, want %q", ErrBadMagic, data[:4], magic)
+	}
+	if len(data) < 6 {
+		return 0, nil // torn header write: nothing trustworthy yet
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != walVersion {
+		return -1, fmt.Errorf("%w: got version %d, support %d", ErrUnsupportedVersion, v, walVersion)
+	}
+	if len(data) < fileHeaderSize {
+		return 0, nil
+	}
+	return fileHeaderSize, nil
+}
+
+// appendFrame appends one framed record (length, CRC, seq, op, payload) to
+// dst and returns the extended slice.
+func appendFrame(dst []byte, seq uint64, op Op, payload []byte) []byte {
+	frameLen := frameFixedLen + len(payload)
+	var hdr [frameHeaderLen + frameFixedLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(frameLen))
+	binary.BigEndian.PutUint64(hdr[8:16], seq)
+	hdr[16] = byte(op)
+	crc := crc32.Update(0, crcTable, hdr[8:])
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.BigEndian.PutUint32(hdr[4:8], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// encodeCreate serializes a create payload.
+func encodeCreate(m Meta) []byte {
+	buf := make([]byte, 0, 30+len(m.Space))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.K))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Z))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Budget))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.WindowSize))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.WindowDuration))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Space)))
+	return append(buf, m.Space...)
+}
+
+func decodeCreate(payload []byte) (Meta, error) {
+	var m Meta
+	if len(payload) < 30 {
+		return m, fmt.Errorf("create payload is %d bytes, want at least 30", len(payload))
+	}
+	k := binary.BigEndian.Uint32(payload[0:4])
+	z := binary.BigEndian.Uint32(payload[4:8])
+	budget := binary.BigEndian.Uint32(payload[8:12])
+	if k > math.MaxInt32 || z > math.MaxInt32 || budget > math.MaxInt32 {
+		return m, fmt.Errorf("parameter out of range (k=%d z=%d budget=%d)", k, z, budget)
+	}
+	m.K, m.Z, m.Budget = int(k), int(z), int(budget)
+	m.WindowSize = int64(binary.BigEndian.Uint64(payload[12:20]))
+	m.WindowDuration = int64(binary.BigEndian.Uint64(payload[20:28]))
+	nameLen := int(binary.BigEndian.Uint16(payload[28:30]))
+	if len(payload) != 30+nameLen {
+		return m, fmt.Errorf("create payload is %d bytes, want %d", len(payload), 30+nameLen)
+	}
+	m.Space = string(payload[30:])
+	if err := m.validate(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// encodeBatch serializes a batch payload. The caller has validated the batch
+// (rectangular, finite, sorted non-negative timestamps), exactly as the
+// daemon does before acknowledging it.
+func encodeBatch(points metric.Dataset, ts []int64) ([]byte, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("empty batch")
+	}
+	dim := points.Dim()
+	if dim == 0 {
+		return nil, fmt.Errorf("zero-dimensional batch")
+	}
+	if ts != nil && len(ts) != len(points) {
+		return nil, fmt.Errorf("%d timestamps for %d points", len(ts), len(points))
+	}
+	size := 9 + len(points)*dim*8
+	if ts != nil {
+		size += len(points) * 8
+	}
+	if size+frameFixedLen > maxFrameLen {
+		return nil, fmt.Errorf("batch of %d points exceeds the record size bound", len(points))
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(dim))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(points)))
+	hasTS := byte(0)
+	if ts != nil {
+		hasTS = 1
+	}
+	buf = append(buf, hasTS)
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("ragged batch: point has %d coordinates, want %d", len(p), dim)
+		}
+		for _, c := range p {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c))
+		}
+	}
+	for _, t := range ts {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(t))
+	}
+	return buf, nil
+}
+
+func decodeBatch(payload []byte) (metric.Dataset, []int64, error) {
+	if len(payload) < 9 {
+		return nil, nil, fmt.Errorf("batch payload is %d bytes, want at least 9", len(payload))
+	}
+	dim := binary.BigEndian.Uint32(payload[0:4])
+	count := binary.BigEndian.Uint32(payload[4:8])
+	hasTS := payload[8]
+	if dim == 0 || count == 0 {
+		return nil, nil, fmt.Errorf("batch with dim=%d count=%d", dim, count)
+	}
+	if hasTS > 1 {
+		return nil, nil, fmt.Errorf("timestamp flag is %d", hasTS)
+	}
+	// Fix the payload length before allocating: a hostile header cannot make
+	// the reader allocate beyond the input's own size.
+	remaining := uint64(len(payload) - 9)
+	perPoint := 8 * uint64(dim)
+	if hasTS == 1 {
+		perPoint += 8
+	}
+	if uint64(count) > remaining/perPoint {
+		return nil, nil, fmt.Errorf("%d points of dimension %d need %d bytes, have %d", count, dim, uint64(count)*perPoint, remaining)
+	}
+	if need := uint64(count) * perPoint; need != remaining {
+		return nil, nil, fmt.Errorf("%d trailing bytes after %d points", remaining-need, count)
+	}
+	points := make(metric.Dataset, count)
+	off := 9
+	for i := range points {
+		p := make(metric.Point, dim)
+		for j := range p {
+			c := math.Float64frombits(binary.BigEndian.Uint64(payload[off : off+8]))
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, nil, fmt.Errorf("point %d coordinate %d is %v", i, j, c)
+			}
+			p[j] = c
+			off += 8
+		}
+		points[i] = p
+	}
+	var ts []int64
+	if hasTS == 1 {
+		ts = make([]int64, count)
+		for i := range ts {
+			t := int64(binary.BigEndian.Uint64(payload[off : off+8]))
+			off += 8
+			if t < 0 {
+				return nil, nil, fmt.Errorf("timestamp %d is negative (%d)", i, t)
+			}
+			if i > 0 && t < ts[i-1] {
+				return nil, nil, fmt.Errorf("timestamp %d (%d) precedes timestamp %d (%d)", i, t, i-1, ts[i-1])
+			}
+			ts[i] = t
+		}
+	}
+	return points, ts, nil
+}
+
+func encodeAdvance(ts int64) []byte {
+	return binary.BigEndian.AppendUint64(nil, uint64(ts))
+}
+
+func decodeAdvance(payload []byte) (int64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("advance payload is %d bytes, want 8", len(payload))
+	}
+	ts := int64(binary.BigEndian.Uint64(payload))
+	if ts < 0 {
+		return 0, fmt.Errorf("advance to negative timestamp %d", ts)
+	}
+	return ts, nil
+}
+
+// decodeRecord parses one framed record starting at data[0]. It returns the
+// record and the total frame size (header included), or an error describing
+// the defect; any error means the byte stream is defective from here on.
+func decodeRecord(data []byte, prevSeq uint64) (Record, int, error) {
+	var rec Record
+	if len(data) < frameHeaderLen {
+		return rec, 0, fmt.Errorf("%w: %d trailing bytes, a frame header needs %d", ErrCorruptRecord, len(data), frameHeaderLen)
+	}
+	frameLen := binary.BigEndian.Uint32(data[0:4])
+	if frameLen < frameFixedLen || frameLen > maxFrameLen {
+		return rec, 0, fmt.Errorf("%w: frame length %d out of range", ErrCorruptRecord, frameLen)
+	}
+	if uint64(len(data)-frameHeaderLen) < uint64(frameLen) {
+		return rec, 0, fmt.Errorf("%w: frame of %d bytes, %d available", ErrCorruptRecord, frameLen, len(data)-frameHeaderLen)
+	}
+	frame := data[frameHeaderLen : frameHeaderLen+int(frameLen)]
+	if got, want := crc32.Checksum(frame, crcTable), binary.BigEndian.Uint32(data[4:8]); got != want {
+		return rec, 0, fmt.Errorf("%w: CRC mismatch (got %08x, want %08x)", ErrCorruptRecord, got, want)
+	}
+	rec.Seq = binary.BigEndian.Uint64(frame[0:8])
+	rec.Op = Op(frame[8])
+	if !rec.Op.valid() {
+		return rec, 0, fmt.Errorf("%w: unknown op %d", ErrCorruptRecord, frame[8])
+	}
+	if rec.Seq <= prevSeq {
+		return rec, 0, fmt.Errorf("%w: sequence %d after %d", ErrCorruptRecord, rec.Seq, prevSeq)
+	}
+	payload := frame[frameFixedLen:]
+	var err error
+	switch rec.Op {
+	case OpCreate:
+		rec.Meta, err = decodeCreate(payload)
+	case OpBatch:
+		rec.Points, rec.Timestamps, err = decodeBatch(payload)
+	case OpAdvance:
+		rec.AdvanceTo, err = decodeAdvance(payload)
+	}
+	if err != nil {
+		return rec, 0, fmt.Errorf("%w: %s record: %v", ErrCorruptRecord, rec.Op, err)
+	}
+	return rec, frameHeaderLen + int(frameLen), nil
+}
+
+// DecodeResult is what DecodeWAL recovered from a log image.
+type DecodeResult struct {
+	// Records is the valid prefix of the log, in append order.
+	Records []Record
+	// ValidLen is the length in bytes of the valid prefix (file header
+	// included). Recovery truncates the file here before appending again.
+	ValidLen int64
+	// Torn is nil when the whole input decoded; otherwise it wraps
+	// ErrCorruptRecord and describes the first defect. Everything from
+	// ValidLen on is untrustworthy and must be discarded.
+	Torn error
+}
+
+// DecodeWAL strictly decodes a WAL image, tolerating a torn tail: the valid
+// record prefix is always returned, and the first defective record marks the
+// truncation point instead of failing the decode. Only a header that proves
+// the file is not ours (bad magic, unknown version) is a hard error. An empty
+// input is a valid empty log. DecodeWAL never panics, and its allocations are
+// bounded by the input size.
+func DecodeWAL(data []byte) (*DecodeResult, error) {
+	res := &DecodeResult{}
+	if len(data) == 0 {
+		return res, nil
+	}
+	hdrLen, err := checkFileHeader(data, walMagic)
+	if err != nil {
+		return nil, err
+	}
+	if hdrLen < fileHeaderSize {
+		res.Torn = fmt.Errorf("%w: torn file header (%d bytes)", ErrCorruptRecord, len(data))
+		return res, nil
+	}
+	if rsv := binary.BigEndian.Uint16(data[6:8]); rsv != 0 {
+		return nil, fmt.Errorf("%w: reserved header bytes are %d", ErrUnsupportedVersion, rsv)
+	}
+	res.ValidLen = fileHeaderSize
+	off := fileHeaderSize
+	var prevSeq uint64
+	for off < len(data) {
+		rec, n, err := decodeRecord(data[off:], prevSeq)
+		if err != nil {
+			res.Torn = err
+			return res, nil
+		}
+		res.Records = append(res.Records, rec)
+		prevSeq = rec.Seq
+		off += n
+		res.ValidLen = int64(off)
+	}
+	return res, nil
+}
+
+// encodeSnapshot frames a sketch payload as a snapshot file image.
+func encodeSnapshot(lastSeq uint64, payload []byte) []byte {
+	buf := make([]byte, snapHeaderSize, snapHeaderSize+len(payload))
+	copy(buf, fileHeader(snapMagic))
+	binary.BigEndian.PutUint64(buf[8:16], lastSeq)
+	binary.BigEndian.PutUint32(buf[16:20], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[20:24], crc32.Checksum(payload, crcTable))
+	return append(buf, payload...)
+}
+
+// decodeSnapshot strictly decodes a snapshot file image. Unlike the WAL there
+// is no tolerated tail: the snapshot was renamed into place atomically, so
+// any defect means the file cannot be trusted at all.
+func decodeSnapshot(data []byte) (lastSeq uint64, payload []byte, err error) {
+	hdrLen, err := checkFileHeader(data, snapMagic)
+	if err != nil {
+		return 0, nil, err
+	}
+	if hdrLen < fileHeaderSize || len(data) < snapHeaderSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrSnapshotCorrupt, len(data), snapHeaderSize)
+	}
+	if rsv := binary.BigEndian.Uint16(data[6:8]); rsv != 0 {
+		return 0, nil, fmt.Errorf("%w: reserved header bytes are %d", ErrSnapshotCorrupt, rsv)
+	}
+	lastSeq = binary.BigEndian.Uint64(data[8:16])
+	plen := binary.BigEndian.Uint32(data[16:20])
+	if uint64(plen) != uint64(len(data)-snapHeaderSize) {
+		return 0, nil, fmt.Errorf("%w: payload length %d, have %d bytes", ErrSnapshotCorrupt, plen, len(data)-snapHeaderSize)
+	}
+	payload = data[snapHeaderSize:]
+	if got, want := crc32.Checksum(payload, crcTable), binary.BigEndian.Uint32(data[20:24]); got != want {
+		return 0, nil, fmt.Errorf("%w: payload CRC mismatch (got %08x, want %08x)", ErrSnapshotCorrupt, got, want)
+	}
+	return lastSeq, payload, nil
+}

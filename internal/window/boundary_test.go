@@ -1,0 +1,203 @@
+package window
+
+import (
+	"errors"
+	"testing"
+
+	"coresetclustering/internal/metric"
+)
+
+// These are the golden boundary-semantics tests of Advance/ObserveAt: the
+// half-open duration window (now-MaxAge, now], the "last MaxCount points"
+// count window, timestamps exactly equal to the current clock, and the
+// rejection of windows with no bound at all. They pin the INTENDED behaviour
+// so an off-by-one in eviction can never creep in silently.
+
+// boundaryWindow isolates eviction: Base 1 and a huge Chi mean every point is
+// its own sealed bucket and no coalescing happens, so bucket-granularity
+// overshoot cannot mask a boundary error.
+func boundaryWindow(t *testing.T, cfg Config) *Window {
+	t.Helper()
+	cfg.Tau = 4
+	cfg.Base = 1
+	cfg.Chi = 1 << 20
+	return mustWindow(t, cfg)
+}
+
+func obs(t *testing.T, w *Window, ts int64) {
+	t.Helper()
+	if err := w.Observe(metric.Point{float64(ts), 1}, ts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObserveAtEqualToNow: a timestamp exactly equal to the current clock is
+// legal (non-decreasing, not strictly increasing) for both Observe and
+// Advance, and an equal-timestamp Advance is a pure no-op.
+func TestObserveAtEqualToNow(t *testing.T) {
+	w := boundaryWindow(t, Config{MaxAge: 10})
+	obs(t, w, 5)
+	obs(t, w, 5) // same tick: allowed
+	if got := w.Now(); got != 5 {
+		t.Fatalf("Now() = %d, want 5", got)
+	}
+	if err := w.Advance(5); err != nil { // advancing to "now": allowed, no-op
+		t.Fatalf("Advance(now): %v", err)
+	}
+	if w.LivePoints() != 2 || w.Now() != 5 {
+		t.Fatalf("equal-timestamp Advance changed state: live=%d now=%d", w.LivePoints(), w.Now())
+	}
+	// One tick back is ErrTimestampOrder, for both entry points.
+	if err := w.Advance(4); !errors.Is(err, ErrTimestampOrder) {
+		t.Fatalf("Advance(4) after 5: %v", err)
+	}
+	if err := w.Observe(metric.Point{1, 1}, 4); !errors.Is(err, ErrTimestampOrder) {
+		t.Fatalf("Observe at 4 after 5: %v", err)
+	}
+}
+
+// TestDurationEvictionBoundary pins the half-open window (now-MaxAge, now]:
+// a point whose timestamp equals now-MaxAge is exactly on the boundary and
+// OUT; one tick younger is in.
+func TestDurationEvictionBoundary(t *testing.T) {
+	const maxAge = 10
+
+	// Advance to (ts + maxAge - 1): the point at ts satisfies
+	// ts > now-maxAge, still live.
+	w := boundaryWindow(t, Config{MaxAge: maxAge})
+	obs(t, w, 3)
+	if err := w.Advance(3 + maxAge - 1); err != nil {
+		t.Fatal(err)
+	}
+	if w.LivePoints() != 1 {
+		t.Fatalf("point evicted one tick early: live=%d", w.LivePoints())
+	}
+	// One more tick: ts == now-maxAge, exactly on the boundary, evicted.
+	if err := w.Advance(3 + maxAge); err != nil {
+		t.Fatal(err)
+	}
+	if w.LivePoints() != 0 {
+		t.Fatalf("point at exactly now-MaxAge not evicted: live=%d", w.LivePoints())
+	}
+	if _, err := w.Coreset(); !errors.Is(err, ErrEmptyWindow) {
+		t.Fatalf("empty window Coreset: %v", err)
+	}
+
+	// The same boundary driven by ObserveAt instead of Advance: observing at
+	// old.ts+maxAge evicts the old point and keeps the new one.
+	w2 := boundaryWindow(t, Config{MaxAge: maxAge})
+	obs(t, w2, 0)
+	obs(t, w2, maxAge) // now=maxAge, old point ts=0 == now-maxAge -> out
+	if w2.LivePoints() != 1 {
+		t.Fatalf("ObserveAt at the eviction boundary: live=%d, want 1", w2.LivePoints())
+	}
+	cs, err := w2.Coreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || cs[0].P[0] != float64(maxAge) {
+		t.Fatalf("surviving coreset = %v, want only the newest point", cs)
+	}
+}
+
+// TestCountEvictionBoundary pins "the last MaxCount points": with W=4, the
+// 5th observation evicts exactly the 1st.
+func TestCountEvictionBoundary(t *testing.T) {
+	const maxCount = 4
+	w := boundaryWindow(t, Config{MaxCount: maxCount})
+	for i := 0; i < maxCount; i++ {
+		obs(t, w, int64(i))
+	}
+	if w.LivePoints() != maxCount {
+		t.Fatalf("live=%d after exactly W points, want %d", w.LivePoints(), maxCount)
+	}
+	if start, end := w.LiveRange(); start != 0 || end != maxCount {
+		t.Fatalf("LiveRange = [%d,%d), want [0,%d)", start, end, maxCount)
+	}
+	obs(t, w, maxCount)
+	if w.LivePoints() != maxCount {
+		t.Fatalf("live=%d after W+1 points, want %d", w.LivePoints(), maxCount)
+	}
+	if start, end := w.LiveRange(); start != 1 || end != maxCount+1 {
+		t.Fatalf("LiveRange = [%d,%d), want [1,%d): exactly the last W points", start, end, maxCount+1)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroWindowRejected: a window with no bound at all (zero duration AND
+// zero size) is a configuration error, not an empty or an unbounded window —
+// at construction, in both the internal and the public API.
+func TestZeroWindowRejected(t *testing.T) {
+	if _, err := New(Config{Tau: 4}); err == nil {
+		t.Fatal("Config without any window bound accepted")
+	}
+	if _, err := New(Config{Tau: 4, MaxCount: 0, MaxAge: 0}); err == nil {
+		t.Fatal("zero-duration zero-size window accepted")
+	}
+	// A duration-only window with duration 1 is the smallest legal time
+	// window: it holds exactly the points of the current tick.
+	w := boundaryWindow(t, Config{MaxAge: 1})
+	obs(t, w, 7)
+	obs(t, w, 7)
+	if w.LivePoints() != 2 {
+		t.Fatalf("live=%d, want both points of the current tick", w.LivePoints())
+	}
+	if err := w.Advance(8); err != nil {
+		t.Fatal(err)
+	}
+	if w.LivePoints() != 0 {
+		t.Fatalf("MaxAge=1 window kept %d points one tick later", w.LivePoints())
+	}
+}
+
+// TestAdvanceExpiresOpenBucket: eviction must reach the still-accumulating
+// open bucket too, not only sealed ones — a duration window advanced far
+// past the newest point goes empty even though the open bucket was never
+// sealed.
+func TestAdvanceExpiresOpenBucket(t *testing.T) {
+	w := mustWindow(t, Config{Tau: 4, MaxAge: 10, Base: 100}) // big base: bucket stays open
+	obs(t, w, 1)
+	obs(t, w, 2)
+	if w.LiveBuckets() != 1 || w.LivePoints() != 2 {
+		t.Fatalf("setup: buckets=%d live=%d", w.LiveBuckets(), w.LivePoints())
+	}
+	if err := w.Advance(12); err != nil { // newest ts=2 == 12-10 -> out
+		t.Fatal(err)
+	}
+	if w.LiveBuckets() != 0 || w.LivePoints() != 0 {
+		t.Fatalf("open bucket survived expiry: buckets=%d live=%d", w.LiveBuckets(), w.LivePoints())
+	}
+	// The window keeps working afterwards.
+	obs(t, w, 20)
+	if w.LivePoints() != 1 {
+		t.Fatalf("window dead after full eviction: live=%d", w.LivePoints())
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCombinedBoundsTightest: with both bounds set, a point stays live only
+// while it satisfies BOTH — whichever boundary is hit first evicts.
+func TestCombinedBoundsTightest(t *testing.T) {
+	// Count bound hits first.
+	w := boundaryWindow(t, Config{MaxCount: 2, MaxAge: 1000})
+	obs(t, w, 0)
+	obs(t, w, 1)
+	obs(t, w, 2)
+	if start, _ := w.LiveRange(); start != 1 || w.LivePoints() != 2 {
+		t.Fatalf("count bound ignored under combined bounds: start=%d live=%d", start, w.LivePoints())
+	}
+	// Duration bound hits first.
+	w2 := boundaryWindow(t, Config{MaxCount: 1000, MaxAge: 5})
+	obs(t, w2, 0)
+	obs(t, w2, 1)
+	if err := w2.Advance(5); err != nil { // window (0, 5]: ts=1 in, ts=0 out
+		t.Fatal(err)
+	}
+	if w2.LivePoints() != 1 {
+		t.Fatalf("duration bound ignored under combined bounds: live=%d", w2.LivePoints())
+	}
+}
