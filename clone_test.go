@@ -1,0 +1,194 @@
+package kcenter
+
+import (
+	"bytes"
+	"testing"
+)
+
+// snapshotOf fails the test on snapshot errors so clone assertions stay flat.
+func snapshotOf(t *testing.T, s interface{ Snapshot() ([]byte, error) }) []byte {
+	t.Helper()
+	b, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStreamingKCenterCloneIsSnapshotIsolated: a clone is a point-in-time
+// copy — further ingest into the original never leaks into it, and feeding
+// the clone the same suffix reproduces the original bit-identically (the
+// determinism contract extends to clones).
+func TestStreamingKCenterCloneIsSnapshotIsolated(t *testing.T) {
+	data := clusteredTestData(400, 3, 4, 11)
+	orig, err := NewStreamingKCenter(4, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.ObserveAll(data[:200]); err != nil {
+		t.Fatal(err)
+	}
+	cl := orig.Clone()
+	atClone := snapshotOf(t, cl)
+	if !bytes.Equal(atClone, snapshotOf(t, orig)) {
+		t.Fatal("clone snapshot differs from the original at clone time")
+	}
+	if err := orig.ObserveAll(data[200:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshotOf(t, cl); !bytes.Equal(got, atClone) {
+		t.Fatal("ingest into the original mutated the clone")
+	}
+	if cl.Observed() != 200 || orig.Observed() != 400 {
+		t.Fatalf("observed: clone=%d orig=%d", cl.Observed(), orig.Observed())
+	}
+	// The clone is fully live: catching it up must converge on the original.
+	if err := cl.ObserveAll(data[200:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapshotOf(t, cl), snapshotOf(t, orig)) {
+		t.Fatal("caught-up clone diverges from the original")
+	}
+}
+
+// TestStreamingCloneWhileBuffering exercises the pre-coreset phase: before
+// the budget fills, the doubling state is still buffering (a semantically
+// distinct nil-centers state a naive copy would corrupt).
+func TestStreamingCloneWhileBuffering(t *testing.T) {
+	data := clusteredTestData(100, 2, 3, 7)
+	orig, err := NewStreamingKCenter(3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.ObserveAll(data[:10]); err != nil { // well under the budget
+		t.Fatal(err)
+	}
+	cl := orig.Clone()
+	if err := orig.ObserveAll(data[10:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ObserveAll(data[10:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapshotOf(t, cl), snapshotOf(t, orig)) {
+		t.Fatal("clone taken while buffering diverges after catch-up")
+	}
+}
+
+func TestStreamingOutliersCloneIsSnapshotIsolated(t *testing.T) {
+	data := clusteredTestData(300, 3, 4, 13)
+	orig, err := NewStreamingOutliers(3, 5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.ObserveAll(data[:150]); err != nil {
+		t.Fatal(err)
+	}
+	cl := orig.Clone()
+	atClone := snapshotOf(t, cl)
+	if err := orig.ObserveAll(data[150:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshotOf(t, cl); !bytes.Equal(got, atClone) {
+		t.Fatal("ingest into the original mutated the clone")
+	}
+	if _, err := cl.Centers(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ObserveAll(data[150:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapshotOf(t, cl), snapshotOf(t, orig)) {
+		t.Fatal("caught-up clone diverges from the original")
+	}
+}
+
+// TestWindowedCloneIsSnapshotIsolated covers the copy-on-write window clone:
+// sealed buckets are shared, so ingest, bucket coalescing and eviction in the
+// original must never show through, and querying the clone (which memoises a
+// merged coreset internally) must not perturb the original either.
+func TestWindowedCloneIsSnapshotIsolated(t *testing.T) {
+	data := clusteredTestData(600, 2, 4, 17)
+	orig, err := NewWindowedKCenter(3, 24, WithWindowSize(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range data[:300] {
+		if err := orig.ObserveAt(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := orig.Clone()
+	atClone := snapshotOf(t, cl)
+
+	// Query the clone first: Centers memoises the merged live coreset, and
+	// that memo must stay private to the clone.
+	cloneCenters, err := cl.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push the original far enough to coalesce and evict whole buckets.
+	for i, p := range data[300:] {
+		if err := orig.ObserveAt(p, int64(300+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := snapshotOf(t, cl); !bytes.Equal(got, atClone) {
+		t.Fatal("ingest into the original mutated the clone")
+	}
+	again, err := cl.Centers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCenters(t, cloneCenters, again)
+	if cl.Observed() != 300 || orig.Observed() != 600 {
+		t.Fatalf("observed: clone=%d orig=%d", cl.Observed(), orig.Observed())
+	}
+
+	// Catch-up determinism, same as the insertion-only clusterers.
+	for i, p := range data[300:] {
+		if err := cl.ObserveAt(p, int64(300+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(snapshotOf(t, cl), snapshotOf(t, orig)) {
+		t.Fatal("caught-up clone diverges from the original")
+	}
+}
+
+func TestWindowedOutliersCloneIsSnapshotIsolated(t *testing.T) {
+	data := clusteredTestData(400, 2, 4, 19)
+	orig, err := NewWindowedOutliers(3, 4, 21, WithWindowDuration(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range data[:200] {
+		if err := orig.ObserveAt(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := orig.Clone()
+	atClone := snapshotOf(t, cl)
+	for i, p := range data[200:] {
+		if err := orig.ObserveAt(p, int64(200+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := orig.Advance(450); err != nil { // evict everything before ts 350
+		t.Fatal(err)
+	}
+	if got := snapshotOf(t, cl); !bytes.Equal(got, atClone) {
+		t.Fatal("ingest/eviction in the original mutated the clone")
+	}
+	for i, p := range data[200:] {
+		if err := cl.ObserveAt(p, int64(200+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Advance(450); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapshotOf(t, cl), snapshotOf(t, orig)) {
+		t.Fatal("caught-up clone diverges from the original")
+	}
+}

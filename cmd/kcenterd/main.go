@@ -47,10 +47,22 @@
 // and trailing data are invalid_json, and a body over -max-body bytes is a
 // 413 body_too_large.
 //
-// Every handler takes the owning stream's mutex, so concurrent ingest into
-// one stream is safe (and serialised), while distinct streams ingest in
-// parallel. SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
-// requests and flushes the journals.
+// Writes to one stream (ingest, advance) serialise on the stream's ingest
+// mutex, while reads are wait-free: every acknowledged write publishes an
+// immutable copy-on-write query view (cloning the clusterer costs O(budget)
+// for insertion-only streams and O(log window) shared bucket pointers for
+// window streams), and GET /centers, /stats and /snapshot answer from the
+// newest published view without ever touching the ingest mutex — a query
+// never stalls behind an in-flight batch, fsync or compaction. Reads are
+// snapshot-isolated: a reader always observes the state exactly as of some
+// acknowledged batch boundary (the view's "version", a per-process counter of
+// applied mutations surfaced in stats), never a torn mid-batch state. Each
+// view memoises its extraction and snapshot, so repeated queries at an
+// unchanged version are cache hits — byte-identical to a fresh extraction,
+// with hit/miss counters in stats — and the cache dies with the view, so
+// invalidation is automatic. Distinct streams ingest in parallel.
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight requests
+// and flushes the journals.
 //
 // Usage:
 //
@@ -76,6 +88,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -96,6 +109,7 @@ const (
 	codeNotWindowed       = "not_windowed"
 	codeUnknownStream     = "unknown_stream"
 	codeStreamGone        = "stream_gone"
+	codeStreamFailed      = "stream_failed"
 	codeBadSketch         = "bad_sketch"
 	codeEmptyStream       = "empty_stream"
 	codeBodyTooLarge      = "body_too_large"
@@ -222,34 +236,162 @@ type windowCore interface {
 	LivePoints() int64
 }
 
-// namedStream is one hosted stream. Its mutex serialises every access to the
-// core: the streaming clusterers are not safe for concurrent use, so all
-// ingest, extraction and snapshotting of one stream goes through here. gone
-// is set (under mu) when the stream is deleted or replaced by a restore, so
-// a handler that looked the stream up just before the swap fails loudly
-// instead of acknowledging a write into an orphaned object.
+// cloneCore returns an independent copy-on-write copy of a core: the clone
+// answers Centers and Snapshot without touching the original, so it can be
+// published as an immutable query view while ingest keeps mutating the
+// original under the stream mutex.
+func cloneCore(c streamCore) streamCore {
+	switch v := c.(type) {
+	case *kcenter.StreamingKCenter:
+		return v.Clone()
+	case *kcenter.StreamingOutliers:
+		return v.Clone()
+	case *kcenter.WindowedKCenter:
+		return v.Clone()
+	case *kcenter.WindowedOutliers:
+		return v.Clone()
+	default:
+		panic(fmt.Sprintf("unclonable stream core %T", c))
+	}
+}
+
+// extractKey identifies one cached extraction within a view. Today the only
+// key in play is the stream's own (k, z) — the version axis of the cache is
+// the view itself, which dies on the next publish.
+type extractKey struct{ k, z int }
+
+type extractResult struct {
+	centers kcenter.Dataset
+	err     error
+}
+
+// queryView is the immutable published read side of a stream: a point-in-time
+// clone of the clusterer plus the scalar stats that describe it, swapped in
+// atomically after every acknowledged mutation. GET handlers answer from the
+// newest view without ever taking the stream's ingest mutex, so a query
+// observes the state exactly as of an acknowledged batch boundary (snapshot
+// isolation) and never stalls behind an in-flight append, fsync or
+// compaction.
+//
+// Extraction and serialization are memoised per view under the view's own
+// mutex (the clone's query paths share internal memos, so concurrent readers
+// of ONE view serialise on that short critical section — readers of different
+// views, and readers vs the writer, share nothing). A repeated query at an
+// unchanged version is therefore a cache hit, byte-identical to the first
+// answer; publishing a new view is the whole invalidation story.
+type queryView struct {
+	core    streamCore
+	version int64  // mutations applied in-process when this view was published
+	walSeq  uint64 // newest journaled sequence folded into the view (0 without a log)
+
+	observed      int64
+	workingMemory int
+	dim           int
+	window        *windowStats // nil for insertion-only streams
+
+	mu          sync.Mutex
+	extractions map[extractKey]*extractResult
+	snap        []byte
+	snapErr     error
+	snapDone    bool
+}
+
+// centers returns the view's extraction for the given parameters, memoised;
+// hit reports whether the cache already held it.
+func (v *queryView) centers(key extractKey) (centers kcenter.Dataset, hit bool, err error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if r, ok := v.extractions[key]; ok {
+		return r.centers, true, r.err
+	}
+	c, err := v.core.Centers()
+	if v.extractions == nil {
+		v.extractions = make(map[extractKey]*extractResult, 1)
+	}
+	v.extractions[key] = &extractResult{centers: c, err: err}
+	return c, false, err
+}
+
+// snapshot returns the view's serialized sketch, memoised.
+func (v *queryView) snapshot() ([]byte, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.snapDone {
+		v.snap, v.snapErr = v.core.Snapshot()
+		v.snapDone = true
+	}
+	return v.snap, v.snapErr
+}
+
+// namedStream is one hosted stream, split into a mutable ingest side and an
+// immutable published read side. The mutex serialises mutations only (the
+// clusterers are not safe for concurrent use): ingest and advance append
+// under mu, bump version, and publish a fresh queryView. Readers load the
+// view pointer and never touch mu. gone flips when the stream is deleted or
+// replaced by a restore; failed flips when an applied batch diverged from the
+// journal — either way a handler that looked the stream up just before the
+// swap fails loudly instead of acknowledging a write into an orphaned object.
 type namedStream struct {
 	mu      sync.Mutex
-	core    streamCore
+	core    streamCore // mutable ingest side; only touched under mu
+	version int64      // mutations applied in-process; under mu
+	dim     int        // fixed by the first batch (0 = not yet known); under mu
+
+	// Stream parameters, immutable after creation: safe to read lock-free.
 	k, z    int
 	budget  int
 	space   string
 	winSize int64 // count window (0 = none)
 	winDur  int64 // duration window (0 = none)
-	dim     int   // fixed by the first batch (0 = not yet known)
-	gone    bool
+
+	view   atomic.Pointer[queryView]
+	gone   atomic.Bool
+	failed atomic.Bool
 
 	// log is the stream's durability handle (nil without -persist-dir);
 	// recovery carries the boot-time recovery stats of a recovered stream,
 	// and compacting guards the single in-flight background compaction.
-	log        *persist.Log
+	log        atomic.Pointer[persist.Log]
 	recovery   *persist.RecoveryStats
-	compacting bool
+	compacting atomic.Bool
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// publishLocked snapshots the ingest side into a fresh immutable queryView
+// and swaps it in for readers. Caller holds st.mu (or has exclusive access
+// during construction).
+func (st *namedStream) publishLocked() {
+	v := &queryView{
+		core:          cloneCore(st.core),
+		version:       st.version,
+		observed:      st.core.Observed(),
+		workingMemory: st.core.WorkingMemory(),
+		dim:           st.dim,
+	}
+	if wc, ok := st.core.(windowCore); ok {
+		v.window = &windowStats{
+			Size:        st.winSize,
+			Duration:    st.winDur,
+			LiveBuckets: wc.LiveBuckets(),
+			LivePoints:  wc.LivePoints(),
+		}
+	}
+	if lg := st.log.Load(); lg != nil {
+		v.walSeq = lg.LastSeq()
+	}
+	st.view.Store(v)
 }
 
 // errGone is returned to clients whose request lost a race with a delete or
 // restore of the same stream; retrying observes the new state.
 var errGone = errors.New("stream was deleted or replaced concurrently; retry")
+
+// errFailed is returned for a stream whose in-memory state diverged from its
+// journal (an apply failure after the WAL acknowledged the batch): the stream
+// was set aside and the name is free again.
+var errFailed = errors.New("stream diverged from its journal and was set aside; recreate it")
 
 type server struct {
 	cfg    config
@@ -411,8 +553,9 @@ func (s *server) getOrCreate(name string, r *http.Request) (*namedStream, error)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", errPersistFailed, err)
 		}
-		st.log = lg
+		st.log.Store(lg)
 	}
+	st.publishLocked()
 	s.streams[name] = st
 	return st, nil
 }
@@ -538,7 +681,7 @@ func (s *server) rebuildStream(rec *persist.Recovered) (*namedStream, error) {
 		}
 	}
 	stats := rec.Stats
-	return &namedStream{
+	st := &namedStream{
 		core:     core,
 		k:        meta.K,
 		z:        meta.Z,
@@ -547,9 +690,11 @@ func (s *server) rebuildStream(rec *persist.Recovered) (*namedStream, error) {
 		winSize:  meta.WindowSize,
 		winDur:   meta.WindowDuration,
 		dim:      dim,
-		log:      rec.Log,
 		recovery: &stats,
-	}, nil
+	}
+	st.log.Store(rec.Log)
+	st.publishLocked()
+	return st, nil
 }
 
 func (s *server) lookup(name string) (*namedStream, bool) {
@@ -582,6 +727,14 @@ type durabilityStats struct {
 	Recovery *persist.RecoveryStats `json:"recovery,omitempty"`
 }
 
+// cacheStats counts the stream's extraction-cache behaviour: a hit answers a
+// centers query from the published view's memo, a miss runs the extraction
+// (and primes the memo for the next query at the same version).
+type cacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
 type streamStats struct {
 	Name          string           `json:"name"`
 	K             int              `json:"k"`
@@ -590,32 +743,32 @@ type streamStats struct {
 	Space         string           `json:"space"`
 	Observed      int64            `json:"observed"`
 	WorkingMemory int              `json:"workingMemory"`
+	Version       int64            `json:"version"`
+	Cache         cacheStats       `json:"cache"`
 	Window        *windowStats     `json:"window,omitempty"`
 	Durability    *durabilityStats `json:"durability,omitempty"`
 }
 
-func (st *namedStream) statsLocked(name string, fsync string) streamStats {
+// statsFromView assembles the stats payload from a published view plus the
+// stream's lock-free counters — no stream mutex anywhere on the path (the
+// durability stats read the journal's lock-free snapshot too).
+func (s *server) statsFromView(name string, st *namedStream, v *queryView) streamStats {
 	stats := streamStats{
 		Name:          name,
 		K:             st.k,
 		Z:             st.z,
 		Budget:        st.budget,
 		Space:         st.space,
-		Observed:      st.core.Observed(),
-		WorkingMemory: st.core.WorkingMemory(),
+		Observed:      v.observed,
+		WorkingMemory: v.workingMemory,
+		Version:       v.version,
+		Cache:         cacheStats{Hits: st.cacheHits.Load(), Misses: st.cacheMisses.Load()},
+		Window:        v.window,
 	}
-	if wc, ok := st.core.(windowCore); ok {
-		stats.Window = &windowStats{
-			Size:        st.winSize,
-			Duration:    st.winDur,
-			LiveBuckets: wc.LiveBuckets(),
-			LivePoints:  wc.LivePoints(),
-		}
-	}
-	if st.log != nil {
+	if lg := st.log.Load(); lg != nil {
 		stats.Durability = &durabilityStats{
-			LogStats: st.log.Stats(),
-			Fsync:    fsync,
+			LogStats: lg.Stats(),
+			Fsync:    s.cfg.fsync,
 			Recovery: st.recovery,
 		}
 	}
@@ -737,12 +890,13 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.gone {
-		httpError(w, http.StatusConflict, codeStreamGone, errGone)
+	if code, err := st.gateLocked(); err != nil {
+		st.mu.Unlock()
+		httpError(w, statusForGate(code), code, err)
 		return
 	}
 	if st.dim != 0 && batch.Dim() != st.dim {
+		st.mu.Unlock()
 		httpError(w, http.StatusBadRequest, codeDimensionMismatch,
 			fmt.Errorf("batch dimension %d does not match stream dimension %d", batch.Dim(), st.dim))
 		return
@@ -750,6 +904,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if req.Timestamps != nil {
 		wc, ok := st.core.(windowCore)
 		if !ok {
+			st.mu.Unlock()
 			httpError(w, http.StatusBadRequest, codeNotWindowed,
 				errors.New("timestamps are only accepted by window streams (create with ?window= or ?windowDur=)"))
 			return
@@ -758,6 +913,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// whole batch is rejected before any point lands — and before it is
 		// journaled, so a record that would fail replay is never written.
 		if last := wc.LastTimestamp(); req.Timestamps[0] < last {
+			st.mu.Unlock()
 			httpError(w, http.StatusBadRequest, codeInvalidTimestamps,
 				fmt.Errorf("batch starts at timestamp %d, stream is already at %d", req.Timestamps[0], last))
 			return
@@ -767,54 +923,135 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// reject it, so the WAL record and the in-memory mutation stand or fall
 	// together, and the acknowledgement below implies durability (per the
 	// fsync mode).
-	if st.log != nil {
-		if err := st.log.AppendBatch(batch, req.Timestamps); err != nil {
+	if lg := st.log.Load(); lg != nil {
+		if err := lg.AppendBatch(batch, req.Timestamps); err != nil {
+			st.mu.Unlock()
 			httpError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
 	}
+	var applyErr error
 	if req.Timestamps != nil {
 		wc := st.core.(windowCore)
 		for i, p := range batch {
-			if err := wc.ObserveAt(p, req.Timestamps[i]); err != nil {
-				httpError(w, http.StatusInternalServerError, codeInternal, err)
-				return
+			if applyErr = applyPointHook(i); applyErr != nil {
+				break
+			}
+			if applyErr = wc.ObserveAt(p, req.Timestamps[i]); applyErr != nil {
+				break
 			}
 		}
 	} else {
-		for _, p := range batch {
-			if err := st.core.Observe(p); err != nil {
-				httpError(w, http.StatusInternalServerError, codeInternal, err)
-				return
+		for i, p := range batch {
+			if applyErr = applyPointHook(i); applyErr != nil {
+				break
+			}
+			if applyErr = st.core.Observe(p); applyErr != nil {
+				break
 			}
 		}
 	}
-	st.dim = batch.Dim()
-	s.maybeCompactLocked(st)
-	writeJSON(w, http.StatusOK, st.statsLocked(r.PathValue("name"), s.cfg.fsync))
-}
-
-// maybeCompactLocked kicks off a background snapshot compaction when the
-// stream's journal has grown past the threshold. Caller holds st.mu; at most
-// one compaction per stream is in flight.
-func (s *server) maybeCompactLocked(st *namedStream) {
-	if st.log == nil || st.compacting || !st.log.ShouldCompact() {
+	if applyErr != nil {
+		// The journal acknowledged records the in-memory state no longer
+		// reflects (the batch was only partially applied): every later answer
+		// and every replay would silently diverge. Fail the stream — set it
+		// aside like an unrecoverable boot, free the name — instead of
+		// serving corrupt state.
+		st.failed.Store(true)
+		st.gone.Store(true)
+		st.mu.Unlock()
+		s.failStream(name, st, applyErr)
+		httpError(w, http.StatusInternalServerError, codeStreamFailed,
+			fmt.Errorf("batch failed to apply after it was journaled; %w: %v", errFailed, applyErr))
 		return
 	}
-	st.compacting = true
+	st.dim = batch.Dim()
+	st.version++
+	st.publishLocked()
+	s.maybeCompactLocked(st)
+	stats := s.statsFromView(name, st, st.view.Load())
+	st.mu.Unlock()
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// gateLocked rejects requests that raced a delete, restore or failure of the
+// stream. Callers hold st.mu (writers) or nothing at all (readers — the flags
+// are atomic and only ever flip one way).
+func (st *namedStream) gateLocked() (code string, err error) {
+	if st.failed.Load() {
+		return codeStreamFailed, errFailed
+	}
+	if st.gone.Load() {
+		return codeStreamGone, errGone
+	}
+	return "", nil
+}
+
+func statusForGate(code string) int {
+	if code == codeStreamFailed {
+		return http.StatusInternalServerError
+	}
+	return http.StatusConflict
+}
+
+// failStream sets a diverged stream aside (journal renamed *.failed, name
+// removed from the table). Called WITHOUT st.mu: the failed/gone flags are
+// already set, so every concurrent handler fails at its gate, and the map
+// removal needs the server lock (lock order is server -> stream).
+func (s *server) failStream(name string, st *namedStream, cause error) {
+	s.logf("stream %q: apply diverged from the journal: %v (set aside)", name, cause)
+	if lg := st.log.Swap(nil); lg != nil {
+		if err := lg.SetAside(); err != nil {
+			s.logf("stream %q: setting aside failed: %v", name, err)
+		}
+	}
+	s.mu.Lock()
+	if cur, ok := s.streams[name]; ok && cur == st {
+		delete(s.streams, name)
+	}
+	s.mu.Unlock()
+}
+
+// applyPointHook is a test seam called before each point of a batch is
+// applied: a non-nil error simulates a mid-batch apply failure, which is
+// otherwise unreachable because batches are fully validated up front. The
+// default is free of overhead beyond one predictable branch.
+var applyPointHook = func(i int) error { return nil }
+
+// compactStartHook is a test seam called at the start of a background
+// compaction, before the view is serialized; tests block here to prove
+// ingest proceeds while a compaction is in flight.
+var compactStartHook = func() {}
+
+// maybeCompactLocked kicks off a background snapshot compaction when the
+// stream's journal has grown past the threshold. Caller holds st.mu and has
+// just published the current view, so the view's walSeq covers every
+// journaled record; the compaction itself captures that view and runs with NO
+// stream lock at all — serialization and the disk I/O (snapshot write, WAL
+// rewrite, fsyncs) happen entirely off the ingest path, and records appended
+// meanwhile are preserved by CompactAt. At most one compaction per stream is
+// in flight.
+func (s *server) maybeCompactLocked(st *namedStream) {
+	lg := st.log.Load()
+	if lg == nil || !lg.ShouldCompact() {
+		return
+	}
+	if !st.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	v := st.view.Load()
 	go func() {
-		st.mu.Lock()
-		defer st.mu.Unlock()
-		st.compacting = false
-		if st.gone || st.log == nil {
+		defer st.compacting.Store(false)
+		compactStartHook()
+		if st.gone.Load() {
 			return
 		}
-		snap, err := st.core.Snapshot()
+		snap, err := v.snapshot()
 		if err != nil {
 			s.logf("compaction: snapshot failed: %v", err)
 			return
 		}
-		if err := st.log.Compact(snap); err != nil {
+		if err := lg.CompactAt(v.walSeq, snap); err != nil && !errors.Is(err, persist.ErrLogRemoved) {
 			s.logf("compaction: %v", err)
 		}
 	}()
@@ -838,13 +1075,14 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.gone {
-		httpError(w, http.StatusConflict, codeStreamGone, errGone)
+	if code, err := st.gateLocked(); err != nil {
+		st.mu.Unlock()
+		httpError(w, statusForGate(code), code, err)
 		return
 	}
 	wc, ok := st.core.(windowCore)
 	if !ok {
+		st.mu.Unlock()
 		httpError(w, http.StatusBadRequest, codeNotWindowed,
 			errors.New("only window streams have a clock to advance"))
 		return
@@ -852,30 +1090,46 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	// Validated before journaling, so a record that would fail replay is
 	// never written.
 	if req.To < 0 {
+		st.mu.Unlock()
 		httpError(w, http.StatusBadRequest, codeInvalidTimestamps, fmt.Errorf("advance target %d is negative", req.To))
 		return
 	}
 	if last := wc.LastTimestamp(); req.To < last {
+		st.mu.Unlock()
 		httpError(w, http.StatusBadRequest, codeInvalidTimestamps,
 			fmt.Errorf("advance target %d precedes the stream clock %d", req.To, last))
 		return
 	}
-	if st.log != nil {
-		if err := st.log.AppendAdvance(req.To); err != nil {
+	if lg := st.log.Load(); lg != nil {
+		if err := lg.AppendAdvance(req.To); err != nil {
+			st.mu.Unlock()
 			httpError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
 	}
 	if err := wc.Advance(req.To); err != nil {
-		httpError(w, http.StatusInternalServerError, codeInternal, err)
+		// Same divergence as a mid-batch apply failure: the journal holds a
+		// record the in-memory state rejected.
+		st.failed.Store(true)
+		st.gone.Store(true)
+		st.mu.Unlock()
+		s.failStream(name, st, err)
+		httpError(w, http.StatusInternalServerError, codeStreamFailed,
+			fmt.Errorf("advance failed to apply after it was journaled; %w: %v", errFailed, err))
 		return
 	}
+	st.version++
+	st.publishLocked()
 	s.maybeCompactLocked(st)
-	writeJSON(w, http.StatusOK, st.statsLocked(name, s.cfg.fsync))
+	stats := s.statsFromView(name, st, st.view.Load())
+	st.mu.Unlock()
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // handleStats is the introspection endpoint: per-stream counters, working
-// memory, space name and (for window streams) the live window state.
+// memory, space name and (for window streams) the live window state. Answered
+// entirely from the published view and lock-free counters — it never takes
+// the stream's ingest mutex.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	st, ok := s.lookup(name)
@@ -883,13 +1137,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
 		return
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.gone {
-		httpError(w, http.StatusConflict, codeStreamGone, errGone)
+	if code, err := st.gateLocked(); err != nil {
+		httpError(w, statusForGate(code), code, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st.statsLocked(name, s.cfg.fsync))
+	writeJSON(w, http.StatusOK, s.statsFromView(name, st, st.view.Load()))
 }
 
 type centersResponse struct {
@@ -897,6 +1149,10 @@ type centersResponse struct {
 	Centers kcenter.Dataset `json:"centers"`
 }
 
+// handleCenters extracts the current k centers from the newest published
+// view, never taking the stream's ingest mutex: the answer is a consistent
+// snapshot as of the view's version, and a repeated query at an unchanged
+// version is a cache hit (the view memoises its extraction).
 func (s *server) handleCenters(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	st, ok := s.lookup(name)
@@ -904,13 +1160,17 @@ func (s *server) handleCenters(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
 		return
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.gone {
-		httpError(w, http.StatusConflict, codeStreamGone, errGone)
+	if code, err := st.gateLocked(); err != nil {
+		httpError(w, statusForGate(code), code, err)
 		return
 	}
-	centers, err := st.core.Centers()
+	v := st.view.Load()
+	centers, hit, err := v.centers(extractKey{k: st.k, z: st.z})
+	if hit {
+		st.cacheHits.Add(1)
+	} else {
+		st.cacheMisses.Add(1)
+	}
 	if err != nil {
 		// A window stream whose every bucket has been evicted has nothing to
 		// answer with; other extraction failures are equally state conflicts.
@@ -918,11 +1178,14 @@ func (s *server) handleCenters(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, centersResponse{
-		streamStats: st.statsLocked(name, s.cfg.fsync),
+		streamStats: s.statsFromView(name, st, v),
 		Centers:     centers,
 	})
 }
 
+// handleSnapshot serializes the newest published view — wait-free like the
+// other reads, and memoised, so back-to-back snapshots at an unchanged
+// version serialize once and answer byte-identically.
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	st, ok := s.lookup(name)
@@ -930,21 +1193,23 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
 		return
 	}
-	st.mu.Lock()
-	if st.gone {
-		st.mu.Unlock()
-		httpError(w, http.StatusConflict, codeStreamGone, errGone)
+	if code, err := st.gateLocked(); err != nil {
+		httpError(w, statusForGate(code), code, err)
 		return
 	}
-	snap, err := st.core.Snapshot()
-	st.mu.Unlock()
+	snap, err := st.view.Load().snapshot()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(snap)))
 	w.WriteHeader(http.StatusOK)
-	w.Write(snap)
+	if n, err := w.Write(snap); err != nil {
+		// The response status is already on the wire; all that is left is to
+		// make the truncation observable on the server side too.
+		s.logf("snapshot %q: short write to client (%d of %d bytes): %v", name, n, len(snap), err)
+	}
 }
 
 func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
@@ -983,17 +1248,17 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if old, ok := s.streams[name]; ok {
 		// Mark the replaced stream dead under its own mutex so a handler
 		// that already looked it up fails with 409 instead of acknowledging
-		// a write into the orphan. (Lock order server->stream is safe: no
-		// handler acquires the server lock while holding a stream lock.)
+		// a write into the orphan: taking old.mu waits out any in-flight
+		// append. (Lock order server->stream is safe: no handler acquires
+		// the server lock while holding a stream lock.)
 		old.mu.Lock()
-		old.gone = true
-		if old.log != nil {
+		old.gone.Store(true)
+		if lg := old.log.Swap(nil); lg != nil {
 			// The old journal dies with the old state; Replace below writes
 			// the new directory contents.
-			if err := old.log.Remove(); err != nil {
+			if err := lg.Remove(); err != nil {
 				s.logf("restore: removing old journal of %q: %v", name, err)
 			}
-			old.log = nil
 		}
 		old.mu.Unlock()
 	}
@@ -1008,13 +1273,12 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
-		st.log = lg
+		st.log.Store(lg)
 	}
+	st.publishLocked()
 	s.streams[name] = st
 	s.mu.Unlock()
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	writeJSON(w, http.StatusOK, st.statsLocked(name, s.cfg.fsync))
+	writeJSON(w, http.StatusOK, s.statsFromView(name, st, st.view.Load()))
 }
 
 // restoreCore revives a sketch of any kind — insertion-only or windowed,
@@ -1058,10 +1322,9 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		// per-stream mutex is garbage-collected with the stream — the stream
 		// table cannot accumulate mutexes for deleted names.
 		st.mu.Lock()
-		st.gone = true
-		if st.log != nil {
-			rmErr = st.log.Remove()
-			st.log = nil
+		st.gone.Store(true)
+		if lg := st.log.Swap(nil); lg != nil {
+			rmErr = lg.Remove()
 		}
 		st.mu.Unlock()
 	}
@@ -1089,9 +1352,7 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 	out := make([]streamStats, 0, len(names))
 	for _, name := range names {
 		if st, ok := s.lookup(name); ok {
-			st.mu.Lock()
-			out = append(out, st.statsLocked(name, s.cfg.fsync))
-			st.mu.Unlock()
+			out = append(out, s.statsFromView(name, st, st.view.Load()))
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"streams": out})

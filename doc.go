@@ -118,6 +118,13 @@
 //     afterwards. Only built-in distances are serializable — a custom
 //     WithDistance function yields ErrSketchUnknownDistance, because a
 //     closure cannot be reconstructed on another machine.
+//   - Clone is Snapshot's in-process sibling: an O(budget) copy-on-write
+//     deep copy of the clusterer's bounded state (windowed clones share
+//     their immutable sealed buckets). The clone is a fully live,
+//     snapshot-isolated stream — ingest into either side never shows
+//     through to the other, and feeding both the same suffix reproduces
+//     bit-identical states (the determinism contract extends to clones).
+//     Unlike Snapshot, Clone works for custom WithDistance functions.
 //   - MergeSketches requires all sketches to agree on kind, distance, k, z,
 //     epsHat, budget and dimensionality (ErrSketchIncompatible otherwise).
 //     The merge is fully sequential, independent of worker counts, and fixed
@@ -178,12 +185,23 @@
 // automatically as batches arrive. Error responses carry stable
 // machine-readable codes, and batches are validated in full (finite
 // coordinates, rectangular dimensions, sorted timestamps) before any point
-// is applied. The streaming clusterers are not
-// safe for concurrent use, so every handler serialises access through the
-// owning stream's mutex: concurrent ingest into one stream is safe (batches
-// interleave at batch granularity), distinct streams ingest in parallel, and
-// a snapshot observes a consistent state — handlers added to the daemon must
-// preserve this locking discipline. Shutdown is graceful: in-flight requests
+// is applied. The streaming clusterers are not safe for concurrent use, so
+// writes serialise through the owning stream's mutex: concurrent ingest
+// into one stream is safe (batches interleave at batch granularity) and
+// distinct streams ingest in parallel.
+//
+// Reads never take that mutex. After every successful mutation the daemon
+// publishes an immutable query view — a Clone of the clusterer plus a
+// monotonic version counter — with an atomic pointer swap, and the stats,
+// centers and snapshot handlers answer from the latest published view:
+// snapshot isolation (a read observes a whole number of batches, never a
+// torn mid-batch state), wait-free behind any amount of ingest, WAL fsync
+// or background compaction. Centers extraction and snapshot bytes are
+// memoised per view, so repeated queries at an unchanged version replay
+// cached, byte-identical answers (GET /stats reports the version and the
+// cache hit/miss counters). Handlers added to the daemon must preserve this
+// discipline: mutate under the stream mutex and publish a fresh view; read
+// only from published views. Shutdown is graceful: in-flight requests
 // drain before the process exits.
 //
 // # Durability
@@ -201,7 +219,11 @@
 //   - Periodically the stream's complete state is compacted into a snapshot
 //     via the existing Snapshot()/KCSK/KCWN codecs — written to a temp
 //     file, fsynced, atomically renamed (magic KCSN, carrying the WAL
-//     sequence number it includes) — and the log is reset.
+//     sequence number it includes) — and the log is rewritten. The daemon
+//     runs this off the ingest lock: it serializes an already-published
+//     query view and folds the journal at that view's sequence number,
+//     preserving any concurrently appended records as the new log tail, so
+//     ingest never stalls behind compaction I/O.
 //   - On boot, recovery loads the newest valid snapshot, verifies it
 //     against the journaled stream metadata (space, k/z, budget, window
 //     geometry), replays the log tail beyond the snapshot's sequence

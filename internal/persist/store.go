@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"coresetclustering/internal/metric"
@@ -200,6 +201,7 @@ func (s *Store) Create(name string, meta Meta) (*Log, error) {
 		return nil, err
 	}
 	l.seq = 1
+	l.publishStatsLocked()
 	if err := s.register(l); err != nil {
 		l.Close()
 		os.RemoveAll(dir)
@@ -251,12 +253,18 @@ type Log struct {
 	f           *os.File
 	size        int64 // current wal file size
 	seq         uint64
-	records     int // records in the current wal (create record included)
-	since       int // records appended since the last compaction
+	snapSeq     uint64 // newest sequence folded into the snapshot file (0 = none)
+	records     int    // records in the current wal (create record included)
+	since       int    // records appended since the last compaction
 	compactions int64
 	dirty       bool
 	removed     bool
 	failed      error // first append failure; poisons the log (torn tail risk)
+
+	// statsCache is the lock-free snapshot behind Stats(): refreshed after
+	// every counter change, read without l.mu so the daemon's wait-free query
+	// handlers never stall behind an in-flight append fsync or compaction.
+	statsCache atomic.Pointer[LogStats]
 }
 
 // Name returns the stream name the log belongs to.
@@ -278,6 +286,13 @@ func (l *Log) resetWAL(seq uint64) error {
 		img = appendFrame(img, seq, OpCreate, encodeCreate(l.meta))
 		records = 1
 	}
+	return l.swapWAL(img, records, 0)
+}
+
+// swapWAL atomically replaces the WAL file with the given image (a complete
+// file: header plus records) and adopts its descriptor and counters. Callers
+// hold l.mu or have exclusive access.
+func (l *Log) swapWAL(img []byte, records, since int) error {
 	// Write the replacement under a temp name and keep ITS file descriptor:
 	// the fd follows the inode through the rename, so there is no window in
 	// which l.f could point at an unlinked file. Any failure before the
@@ -321,8 +336,9 @@ func (l *Log) resetWAL(seq uint64) error {
 	l.f = f
 	l.size = int64(len(img))
 	l.records = records
-	l.since = 0
+	l.since = since
 	l.failed = nil
+	l.publishStatsLocked()
 	return nil
 }
 
@@ -368,6 +384,7 @@ func (l *Log) append(op Op, payload []byte) (uint64, error) {
 	l.size += int64(len(frame))
 	l.records++
 	l.since++
+	l.publishStatsLocked()
 	return seq, nil
 }
 
@@ -414,7 +431,11 @@ func (l *Log) ShouldCompact() bool {
 // rename, directory fsync. lastSeq is the newest WAL sequence number the
 // snapshot's state includes; replay skips records at or below it.
 func (l *Log) writeSnapshotLocked(lastSeq uint64, sketch []byte) error {
-	return atomicWrite(filepath.Join(l.dir, snapFile), encodeSnapshot(lastSeq, sketch), l.store.opts.Fsync != FsyncNever)
+	if err := atomicWrite(filepath.Join(l.dir, snapFile), encodeSnapshot(lastSeq, sketch), l.store.opts.Fsync != FsyncNever); err != nil {
+		return err
+	}
+	l.snapSeq = lastSeq
+	return nil
 }
 
 // Compact folds the log into a snapshot: the sketch (the stream's complete
@@ -436,20 +457,109 @@ func (l *Log) Compact(sketch []byte) error {
 	}
 	l.compactions++
 	l.dirty = false
+	l.publishStatsLocked()
 	return nil
 }
 
-// Stats describes the live log for the daemon's stats endpoint.
-func (l *Log) Stats() LogStats {
+// CompactAt folds the log into a snapshot captured at captureSeq — a sequence
+// number that may be OLDER than the log's current tip. Unlike Compact, which
+// assumes the caller blocked appends while capturing the sketch, CompactAt is
+// built for compaction off the ingest path: appends may land between the
+// capture and this call, and every record with a sequence number beyond
+// captureSeq is carried over verbatim into the rewritten WAL, so no
+// acknowledged write is lost. Crash-safe at every point, like Compact.
+func (l *Log) CompactAt(captureSeq uint64, sketch []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return LogStats{
+	if l.removed {
+		return ErrLogRemoved
+	}
+	if captureSeq < 1 || captureSeq > l.seq {
+		return fmt.Errorf("persist: compaction capture sequence %d outside the log's range [1, %d]", captureSeq, l.seq)
+	}
+	if captureSeq < l.snapSeq {
+		// The snapshot horizon only moves forward: replacing a newer snapshot
+		// with this stale capture would orphan the records between the two
+		// (folded into the newer snapshot, no longer in the WAL).
+		return fmt.Errorf("persist: compaction capture sequence %d is behind the snapshot horizon %d", captureSeq, l.snapSeq)
+	}
+	if err := l.writeSnapshotLocked(captureSeq, sketch); err != nil {
+		return err
+	}
+	// Find the WAL tail beyond the capture point. The file on disk is exactly
+	// what this handle wrote (appends are serialised on l.mu), so a strict
+	// re-read is cheap insurance, not a recovery pass: any defect means the
+	// handle and the disk disagree, and compaction must not guess.
+	img, err := os.ReadFile(filepath.Join(l.dir, walFile))
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if len(img) < fileHeaderSize {
+		return fmt.Errorf("persist: WAL lost its header mid-compaction (%d bytes)", len(img))
+	}
+	tailStart := -1
+	tailRecords := 0
+	var prevSeq uint64
+	for off := fileHeaderSize; off < len(img); {
+		rec, n, derr := decodeRecord(img[off:], prevSeq)
+		if derr != nil {
+			return fmt.Errorf("persist: WAL defective under a live handle: %w", derr)
+		}
+		if tailStart < 0 && rec.Op != OpCreate && rec.Seq > captureSeq {
+			tailStart = off
+		}
+		if tailStart >= 0 {
+			tailRecords++
+		}
+		prevSeq = rec.Seq
+		off += n
+	}
+	newImg := fileHeader(walMagic)
+	records := 0
+	if l.meta.validate() == nil {
+		newImg = appendFrame(newImg, captureSeq, OpCreate, encodeCreate(l.meta))
+		records = 1
+	}
+	if tailStart >= 0 {
+		newImg = append(newImg, img[tailStart:]...)
+	}
+	if err := l.swapWAL(newImg, records+tailRecords, tailRecords); err != nil {
+		return err
+	}
+	// swapWAL synced the full replacement image (tail included) in every
+	// durable fsync mode, so nothing buffered remains.
+	l.compactions++
+	l.dirty = false
+	l.publishStatsLocked()
+	return nil
+}
+
+// publishStatsLocked refreshes the lock-free stats snapshot. Callers hold
+// l.mu or have exclusive access.
+func (l *Log) publishStatsLocked() {
+	l.statsCache.Store(&LogStats{
 		WALRecords:  l.records,
 		WALBytes:    l.size,
 		Compactions: l.compactions,
 		LastSeq:     l.seq,
-	}
+	})
 }
+
+// Stats describes the live log for the daemon's stats endpoint. It reads the
+// published snapshot without taking the log mutex, so a stats query never
+// stalls behind an in-flight append fsync or compaction.
+func (l *Log) Stats() LogStats {
+	if s := l.statsCache.Load(); s != nil {
+		return *s
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.publishStatsLocked()
+	return *l.statsCache.Load()
+}
+
+// LastSeq returns the newest appended sequence number, lock-free.
+func (l *Log) LastSeq() uint64 { return l.Stats().LastSeq }
 
 // Remove deletes the stream's durable state: the directory is first renamed
 // to a tombstone (the atomic commit point — a crash leaves either a live
@@ -647,7 +757,7 @@ func (s *Store) recoverDir(entry string) *Recovered {
 	// Materialise a consistent on-disk log before handing out the handle:
 	// truncate the torn tail, or rebuild the file entirely when even the
 	// header is missing.
-	l := &Log{store: s, name: name, dir: dir, meta: rec.Meta, seq: lastSeq}
+	l := &Log{store: s, name: name, dir: dir, meta: rec.Meta, seq: lastSeq, snapSeq: snapSeq}
 	if res.ValidLen < fileHeaderSize {
 		// Even the header was lost (or never synced). Rebuild the file; when
 		// the metadata only lives in the snapshot, the daemon re-derives it
@@ -672,6 +782,7 @@ func (s *Store) recoverDir(entry string) *Recovered {
 		l.size = res.ValidLen
 		l.records = len(res.Records)
 		l.since = len(rec.Tail)
+		l.publishStatsLocked()
 	}
 	if err := s.register(l); err != nil {
 		l.Close()

@@ -86,6 +86,13 @@ func (c *CoresetStream) Space() metric.Space { return c.space }
 // use its State method to capture a serializable snapshot.
 func (c *CoresetStream) Doubling() *Doubling { return c.doubling }
 
+// Clone returns a deep copy of the stream: the copy answers Result and keeps
+// processing points independently of the original. Only the metric space is
+// shared.
+func (c *CoresetStream) Clone() *CoresetStream {
+	return &CoresetStream{k: c.k, workers: c.workers, space: c.space, doubling: c.doubling.Clone()}
+}
+
 // Process implements Processor.
 func (c *CoresetStream) Process(p metric.Point) error { return c.doubling.Process(p) }
 
@@ -214,6 +221,16 @@ func (c *CoresetOutliers) SetSearchStrategy(s outliers.SearchStrategy) { c.strat
 // 1 forces the sequential path. The result is bit-identical for any value.
 // Not safe to call concurrently with Result.
 func (c *CoresetOutliers) SetWorkers(workers int) { c.workers = workers }
+
+// Clone returns a deep copy of the stream, with the same semantics as
+// (*CoresetStream).Clone. The search strategy (stateless by contract) is
+// shared.
+func (c *CoresetOutliers) Clone() *CoresetOutliers {
+	return &CoresetOutliers{
+		k: c.k, z: c.z, workers: c.workers, epsHat: c.epsHat,
+		space: c.space, strategy: c.strategy, doubling: c.doubling.Clone(),
+	}
+}
 
 // Process implements Processor.
 func (c *CoresetOutliers) Process(p metric.Point) error { return c.doubling.Process(p) }

@@ -181,6 +181,25 @@ func (d *Doubling) mergeCloserThan(threshold float64) {
 	d.syncPts()
 }
 
+// Clone returns a deep copy of the processor: the copy and the original can
+// keep processing points independently and neither observes the other's
+// mutations. Only the metric space (immutable by contract) is shared. The
+// state is bounded by tau+1 points, so a clone is cheap — this is what the
+// daemon's copy-on-write query views are built from.
+func (d *Doubling) Clone() *Doubling {
+	cp := &Doubling{space: d.space, tau: d.tau, phi: d.phi, processed: d.processed}
+	// centers' nil-ness is semantic (nil = still buffering), so it must be
+	// preserved: WeightedSet.Clone would turn nil into an empty non-nil set.
+	if d.centers != nil {
+		cp.centers = d.centers.Clone()
+		cp.syncPts()
+	}
+	if d.initBuf != nil {
+		cp.initBuf = d.initBuf.Clone()
+	}
+	return cp
+}
+
 // DoublingState is the complete, self-contained state of a Doubling
 // processor: everything needed to serialize it, move it across machines, and
 // resume (or merge) it elsewhere. Before initialisation (fewer than tau+1

@@ -58,6 +58,12 @@ func (s *KCenterStream) Space() metric.Space { return s.space }
 // Window exposes the underlying bucket ring (shared, not a copy).
 func (s *KCenterStream) Window() *Window { return s.win }
 
+// Clone returns a copy-on-write copy of the stream (see (*Window).Clone):
+// the copy answers Result and keeps observing independently of the original.
+func (s *KCenterStream) Clone() *KCenterStream {
+	return &KCenterStream{k: s.k, workers: s.workers, space: s.space, win: s.win.Clone()}
+}
+
 // Observe consumes the next point at the given timestamp.
 func (s *KCenterStream) Observe(p metric.Point, ts int64) error { return s.win.Observe(p, ts) }
 
@@ -161,6 +167,14 @@ func (s *OutliersStream) Space() metric.Space { return s.space }
 
 // Window exposes the underlying bucket ring (shared, not a copy).
 func (s *OutliersStream) Window() *Window { return s.win }
+
+// Clone returns a copy-on-write copy of the stream (see (*Window).Clone).
+func (s *OutliersStream) Clone() *OutliersStream {
+	return &OutliersStream{
+		k: s.k, z: s.z, epsHat: s.epsHat, workers: s.workers,
+		space: s.space, win: s.win.Clone(),
+	}
+}
 
 // Observe consumes the next point at the given timestamp.
 func (s *OutliersStream) Observe(p metric.Point, ts int64) error { return s.win.Observe(p, ts) }

@@ -256,6 +256,28 @@ func (w *Window) Advance(ts int64) error {
 	return nil
 }
 
+// Clone returns a copy-on-write copy of the window: the copy and the original
+// answer queries and keep observing points independently. Sealed buckets are
+// IMMUTABLE once sealed — Observe only mutates the open bucket, coalesce
+// builds new buckets instead of editing old ones, and evict merely drops
+// references — so the clone shares the sealed buckets and deep-copies only
+// the open one. The cost is O(chi * log W) pointer copies plus at most one
+// small (level-0, < Base points) doubling clone, which is what makes
+// per-mutation view publication affordable for the daemon.
+func (w *Window) Clone() *Window {
+	cp := *w
+	cp.sealed = append([]*bucket(nil), w.sealed...)
+	if w.open != nil {
+		ob := *w.open
+		ob.proc = w.open.proc.Clone()
+		cp.open = &ob
+	}
+	// The memoised union is rebuilt on the clone's first query; sharing it
+	// would let one side's append grow into the other's backing array.
+	cp.union = nil
+	return &cp
+}
+
 // coalesce re-establishes the exponential-histogram invariant: at most chi
 // sealed buckets per level. Whenever a level overflows, the two oldest
 // buckets of that level (adjacent, because levels are non-increasing towards

@@ -57,6 +57,15 @@ func (s *StreamingKCenter) ObserveAll(points Dataset) error {
 // be called repeatedly; observation can continue afterwards.
 func (s *StreamingKCenter) Centers() (Dataset, error) { return s.inner.Result() }
 
+// Clone returns a deep copy of the clusterer: a point-in-time snapshot that
+// answers Centers and Snapshot — and can even keep observing — independently
+// of the original. The state is bounded by the budget, so a clone is cheap;
+// it is the building block of snapshot-isolated query views (clone under the
+// writer's lock, publish the clone, query it without any lock).
+func (s *StreamingKCenter) Clone() *StreamingKCenter {
+	return &StreamingKCenter{inner: s.inner.Clone()}
+}
+
 // WorkingMemory reports the number of points currently retained.
 func (s *StreamingKCenter) WorkingMemory() int { return s.inner.WorkingMemory() }
 
@@ -116,6 +125,12 @@ func (s *StreamingOutliers) Centers() (Dataset, error) {
 		return nil, err
 	}
 	return res.Centers, nil
+}
+
+// Clone returns a deep copy of the clusterer, with the same semantics as
+// (*StreamingKCenter).Clone.
+func (s *StreamingOutliers) Clone() *StreamingOutliers {
+	return &StreamingOutliers{inner: s.inner.Clone(), z: s.z}
 }
 
 // WorkingMemory reports the number of points currently retained.

@@ -95,6 +95,15 @@ func (s *WindowedKCenter) ObserveAll(points Dataset) error {
 // a point, evicting buckets that age out of a duration window.
 func (s *WindowedKCenter) Advance(ts int64) error { return s.inner.Advance(ts) }
 
+// Clone returns a copy-on-write copy of the clusterer: a point-in-time
+// snapshot that answers Centers and Snapshot — and can even keep observing —
+// independently of the original. Sealed window buckets are immutable and
+// shared, so a clone costs O(log window) pointer copies plus one small open
+// bucket; see (*StreamingKCenter).Clone for the query-view pattern it serves.
+func (s *WindowedKCenter) Clone() *WindowedKCenter {
+	return &WindowedKCenter{inner: s.inner.Clone()}
+}
+
 // Centers returns k centers summarising the live window. ErrWindowEmpty means
 // everything has been evicted. Observation may continue afterwards.
 func (s *WindowedKCenter) Centers() (Dataset, error) { return s.inner.Result() }
@@ -211,6 +220,12 @@ func (s *WindowedOutliers) ObserveAll(points Dataset) error {
 // Advance moves the window's notion of "now" forward to ts without observing
 // a point, evicting buckets that age out of a duration window.
 func (s *WindowedOutliers) Advance(ts int64) error { return s.inner.Advance(ts) }
+
+// Clone returns a copy-on-write copy of the clusterer, with the same
+// semantics as (*WindowedKCenter).Clone.
+func (s *WindowedOutliers) Clone() *WindowedOutliers {
+	return &WindowedOutliers{inner: s.inner.Clone()}
+}
 
 // Centers returns at most k centers summarising the live window; up to z of
 // the live points may be left uncovered (the outliers).
