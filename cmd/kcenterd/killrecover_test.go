@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
 	"math/rand"
 	"net"
 	"net/http"
@@ -24,9 +23,9 @@ import (
 // goroutine that a graceful shutdown path could sneak into.
 func TestMain(m *testing.M) {
 	if os.Getenv("KCENTERD_CHILD") == "1" {
-		logger := log.New(os.Stderr, "kcenterd-child: ", log.LstdFlags)
-		if err := run(context.Background(), strings.Fields(os.Getenv("KCENTERD_ARGS")), logger); err != nil {
-			logger.Fatal(err)
+		if err := run(context.Background(), strings.Fields(os.Getenv("KCENTERD_ARGS")), os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "kcenterd-child:", err)
+			os.Exit(1)
 		}
 		os.Exit(0)
 	}

@@ -6,8 +6,9 @@
 //
 // Endpoints:
 //
-//	GET    /healthz                      liveness probe
-//	GET    /streams                      list streams and their stats
+//	GET    /healthz                      liveness probe (503 + failed-stream list when degraded)
+//	GET    /metrics                      Prometheus text exposition (global + per-stream series)
+//	GET    /streams                      list streams and their stats (including failed ones)
 //	GET    /streams/{name}/stats         introspect one stream (counts, memory, window, durability)
 //	POST   /streams/{name}/points        batch ingest {"points": [[...], ...], "timestamps": [...]}
 //	POST   /streams/{name}/advance       move a window stream's clock: {"to": ts}
@@ -64,11 +65,28 @@
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight requests
 // and flushes the journals.
 //
+// The daemon is observable end to end. Every request carries an
+// X-Request-ID (assigned if the client did not send a well-formed one, and
+// echoed back) that tags its structured log lines; logs are levelled
+// key=value records on stderr, filtered by -log-level, and any request
+// slower than -slow-request (default 1s, 0 disables) is logged at warn
+// with its route, status and duration. GET /metrics serves Prometheus
+// text exposition: per-route×status HTTP counters and latency histograms,
+// ingest/eviction/view-publish/cache counters, WAL append/fsync/compaction/
+// recovery timings, plus per-stream gauges (observed points, working
+// memory, version) rendered from published query views — the scrape never
+// touches an ingest mutex. Per-stream series are capped at -obs-max-streams
+// streams (alphabetically; a kcenterd_streams_omitted gauge counts the
+// rest). -debug-addr starts a separate listener with net/http/pprof and
+// expvar; profiling is off unless that flag is set and never rides the
+// ingest port.
+//
 // Usage:
 //
 //	kcenterd -addr :8080 -k 20 -budget 320
 //	kcenterd -addr :8080 -k 20 -z 100 -distance manhattan
 //	kcenterd -addr :8080 -persist-dir /var/lib/kcenterd -fsync always
+//	kcenterd -addr :8080 -debug-addr 127.0.0.1:6060 -slow-request 250ms -log-level debug
 package main
 
 import (
@@ -79,7 +97,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"math"
 	"net"
 	"net/http"
@@ -94,6 +111,7 @@ import (
 
 	kcenter "coresetclustering"
 	"coresetclustering/internal/metric"
+	"coresetclustering/internal/obs"
 	"coresetclustering/internal/persist"
 	"coresetclustering/internal/sketch"
 )
@@ -121,24 +139,27 @@ const (
 const maxBodyBytes = 64 << 20
 
 func main() {
-	if err := run(context.Background(), os.Args[1:], log.New(os.Stderr, "kcenterd: ", log.LstdFlags)); err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "kcenterd:", err)
 		os.Exit(1)
 	}
 }
 
-// config carries the daemon defaults applied to implicitly created streams.
+// config carries the daemon defaults applied to implicitly created streams,
+// plus the observability knobs.
 type config struct {
-	k       int
-	z       int
-	budget  int
-	workers int
-	dist    string
-	maxBody int64  // request-body cap in bytes (0 = maxBodyBytes)
-	fsync   string // fsync mode name, surfaced in durability stats
+	k             int
+	z             int
+	budget        int
+	workers       int
+	dist          string
+	maxBody       int64         // request-body cap in bytes (0 = maxBodyBytes)
+	fsync         string        // fsync mode name, surfaced in durability stats
+	slowReq       time.Duration // slow-request log threshold (0 = disabled)
+	obsMaxStreams int           // per-stream /metrics series cap (0 = default, <0 = unlimited)
 }
 
-func run(ctx context.Context, args []string, logger *log.Logger) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kcenterd", flag.ContinueOnError)
 	var (
 		addr          = fs.String("addr", ":8080", "listen address")
@@ -152,6 +173,10 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 		fsyncMode     = fs.String("fsync", "always", "WAL flush policy: always, interval or never")
 		fsyncInterval = fs.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync=interval")
 		compactEvery  = fs.Int("compact-every", 1024, "journaled records per stream that trigger snapshot compaction (negative disables)")
+		logLevel      = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		slowReq       = fs.Duration("slow-request", time.Second, "log requests slower than this at warn level (0 disables)")
+		debugAddr     = fs.String("debug-addr", "", "separate listen address for pprof and expvar (empty = disabled)")
+		obsMaxStreams = fs.Int("obs-max-streams", 64, "per-stream series cap on /metrics (negative = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -163,10 +188,22 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	if err != nil {
 		return err
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
 	if *maxBody <= 0 {
 		return fmt.Errorf("-max-body must be positive, got %d", *maxBody)
 	}
-	srv := newServer(config{k: *k, z: *z, budget: *budget, workers: *workers, dist: *dist, maxBody: *maxBody, fsync: mode.String()})
+	if *slowReq < 0 {
+		return fmt.Errorf("-slow-request must be non-negative, got %v", *slowReq)
+	}
+	logger := obs.NewLogger(out, level)
+	srv := newServer(config{
+		k: *k, z: *z, budget: *budget, workers: *workers, dist: *dist,
+		maxBody: *maxBody, fsync: mode.String(),
+		slowReq: *slowReq, obsMaxStreams: *obsMaxStreams,
+	})
 	srv.logger = logger
 
 	if *persistDir != "" {
@@ -174,18 +211,23 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 			Fsync:         mode,
 			FsyncInterval: *fsyncInterval,
 			CompactEvery:  *compactEvery,
+			Hooks:         srv.metrics.persistHooks(),
 		})
 		if err != nil {
 			return err
 		}
-		defer store.Close()
+		defer func() {
+			if err := store.Close(); err != nil {
+				logger.Error("closing the store", "err", err)
+			}
+		}()
 		srv.store = store
 		recovered, err := store.Recover()
 		if err != nil {
 			return err
 		}
 		srv.adoptRecovered(recovered)
-		logger.Printf("durability on: dir=%s fsync=%s compact-every=%d", store.Dir(), mode, *compactEvery)
+		logger.Info("durability on", "dir", store.Dir(), "fsync", mode, "compactEvery", *compactEvery)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -194,21 +236,43 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 	}
 	httpSrv := &http.Server{Handler: srv.routes(), ReadHeaderTimeout: 10 * time.Second}
 
+	// The debug surface (pprof, expvar) binds its own listener so profiling
+	// endpoints are never reachable through the ingest port.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		debugSrv = &http.Server{Handler: debugRoutes(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server", "err", err)
+			}
+		}()
+		logger.Info("debug server listening", "addr", dln.Addr())
+	}
+
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	logger.Printf("listening on %s (k=%d z=%d budget=%d distance=%s)", ln.Addr(), *k, *z, *budget, *dist)
+	logger.Info("listening", "addr", ln.Addr(), "k", *k, "z", *z, "budget", *budget, "distance", *dist)
 
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("debug server shutdown", "err", err)
+		}
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
@@ -234,6 +298,8 @@ type windowCore interface {
 	LastTimestamp() int64
 	LiveBuckets() int
 	LivePoints() int64
+	EvictedBuckets() int64
+	EvictedPoints() int64
 }
 
 // cloneCore returns an independent copy-on-write copy of a core: the clone
@@ -357,12 +423,19 @@ type namedStream struct {
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Last published lifetime eviction counters, for per-publish deltas into
+	// the daemon metrics; under mu.
+	lastEvictedBuckets int64
+	lastEvictedPoints  int64
 }
 
 // publishLocked snapshots the ingest side into a fresh immutable queryView
-// and swaps it in for readers. Caller holds st.mu (or has exclusive access
-// during construction).
-func (st *namedStream) publishLocked() {
+// and swaps it in for readers, crediting the publish (and, for window
+// streams, the evictions since the last publish) to the daemon metrics.
+// Caller holds st.mu (or has exclusive access during construction); m may be
+// nil for an uninstrumented server.
+func (st *namedStream) publishLocked(m *daemonMetrics) {
 	v := &queryView{
 		core:          cloneCore(st.core),
 		version:       st.version,
@@ -377,11 +450,20 @@ func (st *namedStream) publishLocked() {
 			LiveBuckets: wc.LiveBuckets(),
 			LivePoints:  wc.LivePoints(),
 		}
+		eb, ep := wc.EvictedBuckets(), wc.EvictedPoints()
+		if m != nil {
+			m.evictedBuckets.Add(eb - st.lastEvictedBuckets)
+			m.evictedPoints.Add(ep - st.lastEvictedPoints)
+		}
+		st.lastEvictedBuckets, st.lastEvictedPoints = eb, ep
 	}
 	if lg := st.log.Load(); lg != nil {
 		v.walSeq = lg.LastSeq()
 	}
 	st.view.Store(v)
+	if m != nil {
+		m.viewPublishes.Add(1)
+	}
 }
 
 // errGone is returned to clients whose request lost a race with a delete or
@@ -394,12 +476,19 @@ var errGone = errors.New("stream was deleted or replaced concurrently; retry")
 var errFailed = errors.New("stream diverged from its journal and was set aside; recreate it")
 
 type server struct {
-	cfg    config
-	store  *persist.Store // nil = in-memory only
-	logger *log.Logger    // nil-safe via logf
+	cfg     config
+	store   *persist.Store // nil = in-memory only
+	logger  *obs.Logger    // nil-safe; nil drops everything
+	metrics *daemonMetrics // nil disables instrumentation entirely
 
 	mu      sync.RWMutex
 	streams map[string]*namedStream
+
+	// failed records streams set aside after diverging from their journal
+	// (at boot or mid-flight), keyed by name, until the name is reused.
+	// Drives the degraded /healthz answer and the /streams status entries.
+	failedMu sync.Mutex
+	failed   map[string]string
 }
 
 func newServer(cfg config) *server {
@@ -415,20 +504,31 @@ func newServer(cfg config) *server {
 	if cfg.fsync == "" {
 		cfg.fsync = persist.FsyncAlways.String()
 	}
-	return &server{cfg: cfg, streams: make(map[string]*namedStream)}
+	if cfg.obsMaxStreams == 0 {
+		cfg.obsMaxStreams = 64
+	}
+	return &server{cfg: cfg, streams: make(map[string]*namedStream), metrics: newDaemonMetrics()}
 }
 
-func (s *server) logf(format string, args ...any) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
+// handleHealthz is the liveness probe. It degrades to 503 when any stream
+// has been set aside as failed: the daemon is still serving, but state a
+// client acknowledged has been lost, which an orchestrator should surface
+// rather than round-robin past.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if failed := s.failedStreams(); len(failed) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":        "degraded",
+			"failedStreams": failed,
+		})
+		return
 	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /streams", s.handleList)
 	mux.HandleFunc("GET /streams/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /streams/{name}/points", s.handleIngest)
@@ -438,7 +538,11 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /streams/{name}/restore", s.handleRestore)
 	mux.HandleFunc("DELETE /streams/{name}", s.handleDelete)
 	mux.HandleFunc("POST /merge", s.handleMerge)
-	return http.MaxBytesHandler(mux, s.cfg.maxBody)
+	// withObs sits INSIDE MaxBytesHandler: MaxBytesHandler forwards a shallow
+	// copy of the request, and the mux populates Pattern in place on the
+	// request it receives — the middleware must hold that same copy to read
+	// the route label afterwards.
+	return http.MaxBytesHandler(s.withObs(mux), s.cfg.maxBody)
 }
 
 // newCore builds a streaming clusterer for the given parameters. The space
@@ -555,8 +659,9 @@ func (s *server) getOrCreate(name string, r *http.Request) (*namedStream, error)
 		}
 		st.log.Store(lg)
 	}
-	st.publishLocked()
+	st.publishLocked(s.metrics)
 	s.streams[name] = st
+	s.clearFailed(name)
 	return st, nil
 }
 
@@ -584,22 +689,25 @@ func streamMeta(st *namedStream) persist.Meta {
 func (s *server) adoptRecovered(recovered []*persist.Recovered) {
 	for _, rec := range recovered {
 		if rec.Err != nil {
-			s.logf("recovery: stream %q: %v (set aside)", rec.Name, rec.Err)
+			s.logger.Error("recovery failed, stream set aside", "stream", rec.Name, "err", rec.Err)
+			s.markFailed(rec.Name, rec.Err.Error())
 			continue
 		}
 		st, err := s.rebuildStream(rec)
 		if err != nil {
-			s.logf("recovery: stream %q: %v (set aside)", rec.Name, err)
+			s.logger.Error("recovery failed, stream set aside", "stream", rec.Name, "err", err)
 			if saErr := rec.Log.SetAside(); saErr != nil {
-				s.logf("recovery: stream %q: setting aside failed: %v", rec.Name, saErr)
+				s.logger.Error("setting stream aside failed", "stream", rec.Name, "err", saErr)
 			}
+			s.markFailed(rec.Name, err.Error())
 			continue
 		}
 		s.mu.Lock()
 		s.streams[rec.Name] = st
 		s.mu.Unlock()
-		s.logf("recovered stream %q: snapshot=%v records=%d points=%d tornTail=%v",
-			rec.Name, rec.Stats.SnapshotLoaded, rec.Stats.RecordsReplayed, rec.Stats.PointsReplayed, rec.Stats.TornTail)
+		s.logger.Info("recovered stream", "stream", rec.Name,
+			"snapshot", rec.Stats.SnapshotLoaded, "records", rec.Stats.RecordsReplayed,
+			"points", rec.Stats.PointsReplayed, "tornTail", rec.Stats.TornTail)
 	}
 }
 
@@ -693,7 +801,7 @@ func (s *server) rebuildStream(rec *persist.Recovered) (*namedStream, error) {
 		recovery: &stats,
 	}
 	st.log.Store(rec.Log)
-	st.publishLocked()
+	st.publishLocked(s.metrics)
 	return st, nil
 }
 
@@ -736,7 +844,11 @@ type cacheStats struct {
 }
 
 type streamStats struct {
-	Name          string           `json:"name"`
+	Name string `json:"name"`
+	// Status is "ok" for a live stream; /streams also lists set-aside streams
+	// with status "failed" and the failure reason.
+	Status        string           `json:"status"`
+	Reason        string           `json:"reason,omitempty"`
 	K             int              `json:"k"`
 	Z             int              `json:"z"`
 	Budget        int              `json:"budget"`
@@ -755,6 +867,7 @@ type streamStats struct {
 func (s *server) statsFromView(name string, st *namedStream, v *queryView) streamStats {
 	stats := streamStats{
 		Name:          name,
+		Status:        "ok",
 		K:             st.k,
 		Z:             st.z,
 		Budget:        st.budget,
@@ -967,10 +1080,14 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	st.dim = batch.Dim()
 	st.version++
-	st.publishLocked()
+	st.publishLocked(s.metrics)
 	s.maybeCompactLocked(st)
 	stats := s.statsFromView(name, st, st.view.Load())
 	st.mu.Unlock()
+	if m := s.metrics; m != nil {
+		m.ingestBatches.Add(1)
+		m.ingestPoints.Add(int64(len(batch)))
+	}
 	writeJSON(w, http.StatusOK, stats)
 }
 
@@ -999,10 +1116,10 @@ func statusForGate(code string) int {
 // already set, so every concurrent handler fails at its gate, and the map
 // removal needs the server lock (lock order is server -> stream).
 func (s *server) failStream(name string, st *namedStream, cause error) {
-	s.logf("stream %q: apply diverged from the journal: %v (set aside)", name, cause)
+	s.logger.Error("apply diverged from the journal, stream set aside", "stream", name, "err", cause)
 	if lg := st.log.Swap(nil); lg != nil {
 		if err := lg.SetAside(); err != nil {
-			s.logf("stream %q: setting aside failed: %v", name, err)
+			s.logger.Error("setting stream aside failed", "stream", name, "err", err)
 		}
 	}
 	s.mu.Lock()
@@ -1010,6 +1127,7 @@ func (s *server) failStream(name string, st *namedStream, cause error) {
 		delete(s.streams, name)
 	}
 	s.mu.Unlock()
+	s.markFailed(name, cause.Error())
 }
 
 // applyPointHook is a test seam called before each point of a batch is
@@ -1048,11 +1166,11 @@ func (s *server) maybeCompactLocked(st *namedStream) {
 		}
 		snap, err := v.snapshot()
 		if err != nil {
-			s.logf("compaction: snapshot failed: %v", err)
+			s.logger.Error("compaction: serializing the view failed", "err", err)
 			return
 		}
 		if err := lg.CompactAt(v.walSeq, snap); err != nil && !errors.Is(err, persist.ErrLogRemoved) {
-			s.logf("compaction: %v", err)
+			s.logger.Error("compaction failed", "err", err)
 		}
 	}()
 }
@@ -1119,7 +1237,7 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st.version++
-	st.publishLocked()
+	st.publishLocked(s.metrics)
 	s.maybeCompactLocked(st)
 	stats := s.statsFromView(name, st, st.view.Load())
 	st.mu.Unlock()
@@ -1171,6 +1289,13 @@ func (s *server) handleCenters(w http.ResponseWriter, r *http.Request) {
 	} else {
 		st.cacheMisses.Add(1)
 	}
+	if m := s.metrics; m != nil {
+		if hit {
+			m.cacheHits.Add(1)
+		} else {
+			m.cacheMisses.Add(1)
+		}
+	}
 	if err != nil {
 		// A window stream whose every bucket has been evicted has nothing to
 		// answer with; other extraction failures are equally state conflicts.
@@ -1208,7 +1333,8 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if n, err := w.Write(snap); err != nil {
 		// The response status is already on the wire; all that is left is to
 		// make the truncation observable on the server side too.
-		s.logf("snapshot %q: short write to client (%d of %d bytes): %v", name, n, len(snap), err)
+		s.logger.Warn("snapshot: short write to client", "stream", name,
+			"written", n, "size", len(snap), "err", err)
 	}
 }
 
@@ -1257,7 +1383,7 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 			// The old journal dies with the old state; Replace below writes
 			// the new directory contents.
 			if err := lg.Remove(); err != nil {
-				s.logf("restore: removing old journal of %q: %v", name, err)
+				s.logger.Error("restore: removing the old journal failed", "stream", name, "err", err)
 			}
 		}
 		old.mu.Unlock()
@@ -1275,9 +1401,10 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		}
 		st.log.Store(lg)
 	}
-	st.publishLocked()
+	st.publishLocked(s.metrics)
 	s.streams[name] = st
 	s.mu.Unlock()
+	s.clearFailed(name)
 	writeJSON(w, http.StatusOK, s.statsFromView(name, st, st.view.Load()))
 }
 
@@ -1348,9 +1475,22 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 		names = append(names, name)
 	}
 	s.mu.RUnlock()
+	failed := s.failedStreams()
+	for name := range failed {
+		// A failed name that was since recreated is listed live, not failed.
+		if _, ok := s.lookup(name); ok {
+			delete(failed, name)
+		} else {
+			names = append(names, name)
+		}
+	}
 	sort.Strings(names)
 	out := make([]streamStats, 0, len(names))
 	for _, name := range names {
+		if reason, isFailed := failed[name]; isFailed {
+			out = append(out, streamStats{Name: name, Status: "failed", Reason: reason})
+			continue
+		}
 		if st, ok := s.lookup(name); ok {
 			out = append(out, s.statsFromView(name, st, st.view.Load()))
 		}

@@ -7,7 +7,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -325,7 +324,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-k", "2"}, log.New(io.Discard, "", 0))
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-k", "2"}, io.Discard)
 	}()
 	time.Sleep(100 * time.Millisecond)
 	cancel()
@@ -340,7 +339,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 }
 
 func TestRunRejectsUnknownDistance(t *testing.T) {
-	err := run(context.Background(), []string{"-distance", "warp"}, log.New(io.Discard, "", 0))
+	err := run(context.Background(), []string{"-distance", "warp"}, io.Discard)
 	if err == nil {
 		t.Fatal("run accepted an unknown distance")
 	}

@@ -1,0 +1,363 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"coresetclustering/internal/obs"
+	"coresetclustering/internal/persist"
+)
+
+// daemonMetrics is the daemon's process-lifetime metric set, all under the
+// kcenterd_ prefix. Recording is wait-free (see internal/obs), so every
+// counter below is safe to bump from the ingest hot path, the persistence
+// layer's critical sections and concurrent HTTP handlers alike. A nil
+// *daemonMetrics disables instrumentation entirely — every method is
+// nil-safe — which is also how the benchmark measures the uninstrumented
+// baseline.
+type daemonMetrics struct {
+	reg   *obs.Registry
+	start time.Time
+
+	// HTTP surface.
+	httpRequests *obs.CounterVec   // route, method, status
+	httpDuration *obs.HistogramVec // route
+	httpSlow     *obs.Counter
+	httpInFlight *obs.Gauge
+
+	// Stream lifecycle and query path.
+	ingestPoints   *obs.Counter
+	ingestBatches  *obs.Counter
+	evictedBuckets *obs.Counter
+	evictedPoints  *obs.Counter
+	viewPublishes  *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	streamsFailed  *obs.Counter
+
+	// Persistence layer, fed by persist.Hooks.
+	walAppends       *obs.CounterVec // op
+	walAppendBytes   *obs.Counter
+	walAppendDur     *obs.Histogram
+	walFsyncs        *obs.Counter
+	walFsyncDur      *obs.Histogram
+	walFlushErrors   *obs.Counter
+	walTornTails     *obs.Counter
+	walTruncatedB    *obs.Counter
+	compactions      *obs.Counter
+	compactionDur    *obs.Histogram
+	compactionFolded *obs.Counter
+	recoveries       *obs.Counter
+	recoveryDur      *obs.Histogram
+	recoveryPoints   *obs.Counter
+}
+
+func newDaemonMetrics() *daemonMetrics {
+	r := obs.NewRegistry()
+	return &daemonMetrics{
+		reg:   r,
+		start: time.Now(),
+
+		httpRequests: r.CounterVec("kcenterd_http_requests_total",
+			"HTTP requests served, by route pattern, method and status code.",
+			"route", "method", "status"),
+		httpDuration: r.HistogramVec("kcenterd_http_request_duration_seconds",
+			"HTTP request latency by route pattern.",
+			obs.DefDurationBuckets, "route"),
+		httpSlow: r.Counter("kcenterd_http_slow_requests_total",
+			"Requests slower than the -slow-request threshold."),
+		httpInFlight: r.Gauge("kcenterd_http_in_flight_requests",
+			"Requests currently being handled."),
+
+		ingestPoints: r.Counter("kcenterd_ingest_points_total",
+			"Points acknowledged across all streams."),
+		ingestBatches: r.Counter("kcenterd_ingest_batches_total",
+			"Ingest batches acknowledged across all streams."),
+		evictedBuckets: r.Counter("kcenterd_stream_evicted_buckets_total",
+			"Window buckets evicted across all streams."),
+		evictedPoints: r.Counter("kcenterd_stream_evicted_points_total",
+			"Stream points inside evicted window buckets."),
+		viewPublishes: r.Counter("kcenterd_view_publishes_total",
+			"Immutable query views published (one per acknowledged mutation)."),
+		cacheHits: r.Counter("kcenterd_extraction_cache_hits_total",
+			"Centers queries answered from a view's memoised extraction."),
+		cacheMisses: r.Counter("kcenterd_extraction_cache_misses_total",
+			"Centers queries that ran a fresh extraction."),
+		streamsFailed: r.Counter("kcenterd_streams_failed_total",
+			"Streams set aside after diverging from their journal."),
+
+		walAppends: r.CounterVec("kcenterd_wal_appends_total",
+			"WAL records appended, by op.", "op"),
+		walAppendBytes: r.Counter("kcenterd_wal_append_bytes_total",
+			"Framed bytes appended to WALs."),
+		walAppendDur: r.Histogram("kcenterd_wal_append_duration_seconds",
+			"WAL append latency (fsync included under -fsync=always).",
+			obs.DefDurationBuckets),
+		walFsyncs: r.Counter("kcenterd_wal_fsyncs_total",
+			"Successful WAL fsyncs."),
+		walFsyncDur: r.Histogram("kcenterd_wal_fsync_duration_seconds",
+			"WAL fsync latency.", obs.DefDurationBuckets),
+		walFlushErrors: r.Counter("kcenterd_wal_flush_errors_total",
+			"Background flusher fsync failures (the log stays dirty and is retried)."),
+		walTornTails: r.Counter("kcenterd_wal_torn_tails_total",
+			"WALs found ending in a defective record during recovery."),
+		walTruncatedB: r.Counter("kcenterd_wal_truncated_bytes_total",
+			"Bytes discarded when truncating torn WAL tails."),
+		compactions: r.Counter("kcenterd_compactions_total",
+			"Snapshot compactions completed."),
+		compactionDur: r.Histogram("kcenterd_compaction_duration_seconds",
+			"Snapshot compaction latency.", obs.DefDurationBuckets),
+		compactionFolded: r.Counter("kcenterd_compaction_folded_records_total",
+			"Journal records folded into snapshots by compaction."),
+		recoveries: r.Counter("kcenterd_recoveries_total",
+			"Streams whose durable state was decoded at boot."),
+		recoveryDur: r.Histogram("kcenterd_recovery_duration_seconds",
+			"Boot-time per-stream decode latency (snapshot + WAL scan).",
+			obs.DefDurationBuckets),
+		recoveryPoints: r.Counter("kcenterd_recovery_points_replayed_total",
+			"Points replayed from WAL tails at boot."),
+	}
+}
+
+// persistHooks adapts the metric set to the persistence layer's
+// instrumentation seam. A nil receiver returns the zero Hooks, leaving the
+// persistence hot paths on their uninstrumented branch.
+func (m *daemonMetrics) persistHooks() persist.Hooks {
+	if m == nil {
+		return persist.Hooks{}
+	}
+	return persist.Hooks{
+		AppendDone: func(op persist.Op, bytes int, d time.Duration) {
+			m.walAppends.With(op.String()).Add(1)
+			m.walAppendBytes.Add(int64(bytes))
+			m.walAppendDur.ObserveDuration(d)
+		},
+		FsyncDone: func(d time.Duration) {
+			m.walFsyncs.Add(1)
+			m.walFsyncDur.ObserveDuration(d)
+		},
+		FlushError: func(error) { m.walFlushErrors.Add(1) },
+		CompactionDone: func(d time.Duration, folded int) {
+			m.compactions.Add(1)
+			m.compactionDur.ObserveDuration(d)
+			m.compactionFolded.Add(int64(folded))
+		},
+		TornTail: func(truncated int64) {
+			m.walTornTails.Add(1)
+			m.walTruncatedB.Add(truncated)
+		},
+		RecoveryDone: func(name string, d time.Duration, records int, points int64) {
+			m.recoveries.Add(1)
+			m.recoveryDur.ObserveDuration(d)
+			m.recoveryPoints.Add(points)
+		},
+	}
+}
+
+// statusWriter records the status code a handler sent (200 when the handler
+// wrote a body without an explicit WriteHeader).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// requestIDOK bounds what the daemon accepts as a caller-supplied
+// X-Request-ID: short, printable, no spaces — anything else is replaced so a
+// hostile header cannot inject log fields or unbounded bytes into every line.
+func requestIDOK(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '=' {
+			return false
+		}
+	}
+	return true
+}
+
+// withObs wraps the route mux with the daemon's request instrumentation:
+// every request gets an X-Request-ID (the caller's, when well-formed, so IDs
+// propagate through shard fan-outs; a fresh one otherwise) echoed on the
+// response, per-route counters and latency histograms keyed by the mux
+// pattern that matched, and a warn-level log line when the request exceeds
+// the -slow-request threshold. Runs inside MaxBytesHandler so the mux
+// populates r.Pattern on the very request this wrapper holds.
+func (s *server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if !requestIDOK(reqID) {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		m := s.metrics
+		if m == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		m.httpInFlight.Add(1)
+		defer m.httpInFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		route := r.Pattern // set in place by the mux while routing
+		if route == "" {
+			route = "unmatched"
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		m.httpRequests.With(route, r.Method, fmt.Sprintf("%d", status)).Add(1)
+		m.httpDuration.With(route).ObserveDuration(elapsed)
+		if s.cfg.slowReq > 0 && elapsed >= s.cfg.slowReq {
+			m.httpSlow.Add(1)
+			s.logger.Warn("slow request",
+				"requestId", reqID, "method", r.Method, "route", route,
+				"status", status, "duration", elapsed)
+		} else if s.logger.Enabled(obs.LevelDebug) {
+			s.logger.Debug("request",
+				"requestId", reqID, "method", r.Method, "route", route,
+				"status", status, "duration", elapsed)
+		}
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition: the process-lifetime
+// registry first, then scrape-time series (uptime, stream census, per-stream
+// gauges) rendered into a throwaway registry so they share the golden-tested
+// formatter. Per-stream series come exclusively from published query views
+// and atomic counters — scraping never touches a stream's ingest mutex, so
+// /metrics stays responsive while ingest, fsyncs or compactions are in
+// flight. Per-stream cardinality is capped at -obs-max-streams series
+// (alphabetically first names win, deterministically); the number omitted is
+// itself exported.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	if m == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.streams))
+	for name := range s.streams {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	total := len(names)
+	omitted := 0
+	if max := s.cfg.obsMaxStreams; max >= 0 && total > max {
+		omitted = total - max
+		names = names[:max]
+	}
+
+	scrape := obs.NewRegistry()
+	scrape.Gauge("kcenterd_uptime_seconds",
+		"Seconds since the daemon started.").Set(time.Since(m.start).Seconds())
+	scrape.Gauge("kcenterd_streams",
+		"Streams currently hosted.").Set(float64(total))
+	s.failedMu.Lock()
+	failedNow := len(s.failed)
+	s.failedMu.Unlock()
+	scrape.Gauge("kcenterd_streams_failed_current",
+		"Streams currently set aside as failed.").Set(float64(failedNow))
+	scrape.Gauge("kcenterd_streams_omitted",
+		"Streams beyond the -obs-max-streams per-stream series cap.").Set(float64(omitted))
+
+	observed := scrape.GaugeVec("kcenterd_stream_observed_points",
+		"Lifetime points observed by the stream.", "stream")
+	working := scrape.GaugeVec("kcenterd_stream_working_memory_points",
+		"Points currently retained by the stream's sketch.", "stream")
+	version := scrape.GaugeVec("kcenterd_stream_version",
+		"Mutations applied to the stream in-process.", "stream")
+	livePts := scrape.GaugeVec("kcenterd_stream_live_points",
+		"Points summarised by the live window (window streams only).", "stream")
+	for _, name := range names {
+		st, ok := s.lookup(name)
+		if !ok {
+			continue
+		}
+		v := st.view.Load()
+		observed.With(name).Set(float64(v.observed))
+		working.With(name).Set(float64(v.workingMemory))
+		version.With(name).Set(float64(v.version))
+		if v.window != nil {
+			livePts.With(name).Set(float64(v.window.LivePoints))
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := m.reg.WritePrometheus(w); err != nil {
+		return // client went away; nothing sensible left to send
+	}
+	scrape.WritePrometheus(w)
+}
+
+// debugRoutes builds the opt-in -debug-addr surface: pprof and expvar on
+// their own mux, so profiling endpoints are reachable only via the separate
+// debug listener, never on the ingest port.
+func debugRoutes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// markFailed records a stream set aside as failed, for /healthz and /streams.
+func (s *server) markFailed(name, reason string) {
+	s.failedMu.Lock()
+	if s.failed == nil {
+		s.failed = make(map[string]string)
+	}
+	s.failed[name] = reason
+	s.failedMu.Unlock()
+	if m := s.metrics; m != nil {
+		m.streamsFailed.Add(1)
+	}
+}
+
+// clearFailed forgets a failed name once it is recreated or restored.
+func (s *server) clearFailed(name string) {
+	s.failedMu.Lock()
+	delete(s.failed, name)
+	s.failedMu.Unlock()
+}
+
+// failedStreams returns a point-in-time copy of the failed-stream table.
+func (s *server) failedStreams() map[string]string {
+	s.failedMu.Lock()
+	defer s.failedMu.Unlock()
+	if len(s.failed) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(s.failed))
+	for k, v := range s.failed {
+		out[k] = v
+	}
+	return out
+}

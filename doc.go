@@ -242,6 +242,25 @@
 // README's Durability section for the operational details and the daemon's
 // typed error-code table.
 //
+// # Observability
+//
+// internal/obs is a zero-dependency observability core: wait-free metric
+// primitives (atomic counters, gauges and fixed-bucket latency histograms
+// with p50/p99 snapshots, rendered in Prometheus text exposition format)
+// and a levelled structured key=value logger with per-request IDs. The
+// daemon threads it through every layer — per-route HTTP counters and
+// latency histograms with slow-request logging (-slow-request), WAL
+// append/fsync/compaction/recovery timings via persist.Hooks, and stream
+// ingest/eviction/view-publish/cache counters — and serves the result on
+// GET /metrics, with per-stream gauges rendered from published query views
+// (never the ingest mutex) under an -obs-max-streams cardinality cap.
+// Profiling (net/http/pprof, expvar) is opt-in on a separate -debug-addr
+// listener so it never rides the ingest port. CI keeps instrumentation
+// honest: a smoke job boots a daemon and fails on missing series, and
+// BENCH_obs.json gates the instrumented ingest path within 5% of a build
+// with metrics stripped. See the README's Observability section for the
+// metric name table and operational details.
+//
 // The cmd/ directory provides a clustering CLI, a dataset generator, and a
 // driver that reproduces every figure of the paper's evaluation; the
 // examples/ directory contains runnable programs for common scenarios

@@ -1,0 +1,208 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coresetclustering/internal/metric"
+)
+
+// hookCounts collects Hooks firings behind atomics so the background flusher
+// and compactions can fire them concurrently with the test body.
+type hookCounts struct {
+	appends, appendBytes   atomic.Int64
+	fsyncs                 atomic.Int64
+	flushErrors            atomic.Int64
+	compactions, folded    atomic.Int64
+	tornTails, tornBytes   atomic.Int64
+	recoveries, recPoints  atomic.Int64
+	recRecords             atomic.Int64
+	negativeDurationSeen   atomic.Bool
+	zeroAppendSizeObserved atomic.Bool
+}
+
+func (h *hookCounts) hooks() Hooks {
+	return Hooks{
+		AppendDone: func(op Op, bytes int, d time.Duration) {
+			h.appends.Add(1)
+			h.appendBytes.Add(int64(bytes))
+			if d < 0 {
+				h.negativeDurationSeen.Store(true)
+			}
+			if bytes == 0 {
+				h.zeroAppendSizeObserved.Store(true)
+			}
+		},
+		FsyncDone: func(d time.Duration) {
+			h.fsyncs.Add(1)
+			if d < 0 {
+				h.negativeDurationSeen.Store(true)
+			}
+		},
+		FlushError: func(error) { h.flushErrors.Add(1) },
+		CompactionDone: func(d time.Duration, folded int) {
+			h.compactions.Add(1)
+			h.folded.Add(int64(folded))
+		},
+		TornTail: func(b int64) {
+			h.tornTails.Add(1)
+			h.tornBytes.Add(b)
+		},
+		RecoveryDone: func(name string, d time.Duration, records int, points int64) {
+			h.recoveries.Add(1)
+			h.recRecords.Add(int64(records))
+			h.recPoints.Add(points)
+		},
+	}
+}
+
+func hookBatch(n int) metric.Dataset {
+	pts := make(metric.Dataset, n)
+	for i := range pts {
+		pts[i] = metric.Point{float64(i), float64(i) + 0.5}
+	}
+	return pts
+}
+
+func TestHooksAppendFsyncCompact(t *testing.T) {
+	dir := t.TempDir()
+	var hc hookCounts
+	s, err := Open(dir, Options{Fsync: FsyncAlways, Hooks: hc.hooks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	l, err := s.Create("h", Meta{K: 2, Budget: 16, Space: "euclidean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.AppendBatch(hookBatch(4), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := hc.appends.Load(); got != 3 {
+		t.Fatalf("AppendDone fired %d times, want 3", got)
+	}
+	if hc.fsyncs.Load() != 3 {
+		t.Fatalf("FsyncDone fired %d times, want 3 (FsyncAlways)", hc.fsyncs.Load())
+	}
+	if hc.appendBytes.Load() <= 0 || hc.zeroAppendSizeObserved.Load() {
+		t.Fatal("AppendDone must report the framed record size")
+	}
+	if hc.negativeDurationSeen.Load() {
+		t.Fatal("hook durations must be non-negative")
+	}
+
+	if err := l.Compact([]byte("sketch-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if hc.compactions.Load() != 1 {
+		t.Fatalf("CompactionDone fired %d times, want 1", hc.compactions.Load())
+	}
+	if got := hc.folded.Load(); got != 3 {
+		t.Fatalf("folded = %d, want 3 (the create record is metadata, not data)", got)
+	}
+
+	// CompactAt with a tail: two more appends, capture at the first.
+	if err := l.AppendBatch(hookBatch(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	capture := l.LastSeq()
+	if err := l.AppendBatch(hookBatch(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CompactAt(capture, []byte("sketch-2")); err != nil {
+		t.Fatal(err)
+	}
+	if hc.compactions.Load() != 2 {
+		t.Fatalf("CompactionDone fired %d times, want 2", hc.compactions.Load())
+	}
+	if got := hc.folded.Load(); got != 4 {
+		t.Fatalf("cumulative folded = %d, want 4 (1 folded by CompactAt, 1 carried over)", got)
+	}
+}
+
+func TestHooksTornTailAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.Create("r", Meta{K: 2, Budget: 16, Space: "euclidean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(hookBatch(5), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: append garbage that cannot decode as a frame.
+	walPath := filepath.Join(dir, encodeName("r"), walFile)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var hc hookCounts
+	s2, err := Open(dir, Options{Fsync: FsyncNever, Hooks: hc.hooks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recovered, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0].Err != nil {
+		t.Fatalf("recovery: %+v", recovered)
+	}
+	if hc.tornTails.Load() != 1 || hc.tornBytes.Load() != 3 {
+		t.Fatalf("TornTail fired %d times with %d bytes, want 1/3", hc.tornTails.Load(), hc.tornBytes.Load())
+	}
+	if hc.recoveries.Load() != 1 {
+		t.Fatalf("RecoveryDone fired %d times, want 1", hc.recoveries.Load())
+	}
+	if hc.recRecords.Load() != 2 { // create + batch
+		t.Fatalf("RecoveryDone records = %d, want 2", hc.recRecords.Load())
+	}
+	if hc.recPoints.Load() != 5 {
+		t.Fatalf("RecoveryDone points = %d, want 5", hc.recPoints.Load())
+	}
+}
+
+func TestHooksIntervalFlush(t *testing.T) {
+	dir := t.TempDir()
+	var hc hookCounts
+	s, err := Open(dir, Options{Fsync: FsyncInterval, FsyncInterval: 5 * time.Millisecond, Hooks: hc.hooks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	l, err := s.Create("f", Meta{K: 2, Budget: 16, Space: "euclidean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(hookBatch(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for hc.fsyncs.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if hc.fsyncs.Load() == 0 {
+		t.Fatal("background flusher never reported an fsync")
+	}
+	if hc.flushErrors.Load() != 0 {
+		t.Fatalf("unexpected flush errors: %d", hc.flushErrors.Load())
+	}
+}

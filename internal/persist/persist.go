@@ -214,6 +214,40 @@ type Record struct {
 	AdvanceTo int64
 }
 
+// Hooks are optional instrumentation callbacks fired by the persistence
+// layer, the seam the daemon's metrics subsystem plugs into. Nil fields cost
+// one predictable branch on the paths they would instrument; non-nil fields
+// additionally pay the clock reads that time the operation. Callbacks must be
+// safe for concurrent use (appends, the background flusher, compactions and
+// recovery may all fire them) and must return quickly: they run inside the
+// log's critical section, so a slow callback stalls the ingest path it is
+// meant to observe.
+type Hooks struct {
+	// AppendDone fires after each successful WAL append with the framed
+	// record size in bytes and the total append latency (under FsyncAlways
+	// this includes the fsync; FsyncDone then also fires separately).
+	AppendDone func(op Op, bytes int, d time.Duration)
+	// FsyncDone fires after each successful fsync of a log file — per append
+	// under FsyncAlways, per dirty log per tick under FsyncInterval.
+	FsyncDone func(d time.Duration)
+	// FlushError fires when the background flusher's fsync fails (the log
+	// stays dirty and is retried next tick; appends are NOT failed, so this
+	// is the only signal).
+	FlushError func(err error)
+	// CompactionDone fires after a successful Compact/CompactAt with the
+	// total compaction latency and the number of journaled records folded
+	// into the snapshot (records carried over into the new WAL tail are not
+	// counted).
+	CompactionDone func(d time.Duration, foldedRecords int)
+	// TornTail fires during recovery when a WAL ends in a defective record,
+	// with the number of bytes truncated.
+	TornTail func(truncatedBytes int64)
+	// RecoveryDone fires after one stream's durable state has been decoded at
+	// boot (snapshot + WAL scan; replay happens in the caller), with the
+	// decode latency, the valid record count and the points awaiting replay.
+	RecoveryDone func(name string, d time.Duration, records int, points int64)
+}
+
 // Options configures a Store.
 type Options struct {
 	// Fsync is the append flush policy (default FsyncAlways).
@@ -224,6 +258,8 @@ type Options struct {
 	// CompactEvery is the number of appended records after which
 	// (*Log).ShouldCompact reports true (default 1024; negative disables).
 	CompactEvery int
+	// Hooks are optional instrumentation callbacks (see Hooks).
+	Hooks Hooks
 }
 
 func (o Options) withDefaults() Options {

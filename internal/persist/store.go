@@ -356,6 +356,11 @@ func (l *Log) append(op Op, payload []byte) (uint64, error) {
 	if frameFixedLen+len(payload) > maxFrameLen {
 		return 0, fmt.Errorf("persist: record of %d bytes exceeds the size bound", len(payload))
 	}
+	hooks := &l.store.opts.Hooks
+	var start time.Time
+	if hooks.AppendDone != nil || hooks.FsyncDone != nil {
+		start = time.Now()
+	}
 	seq := l.seq + 1
 	frame := appendFrame(nil, seq, op, payload)
 	n, err := l.f.Write(frame)
@@ -368,6 +373,10 @@ func (l *Log) append(op Op, payload []byte) (uint64, error) {
 		return 0, fmt.Errorf("persist: %w", err)
 	}
 	if l.store.opts.Fsync == FsyncAlways {
+		var syncStart time.Time
+		if hooks.FsyncDone != nil {
+			syncStart = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			// The frame IS fully written: if appends continued, the next one
 			// would reuse this sequence number and recovery would truncate
@@ -377,8 +386,14 @@ func (l *Log) append(op Op, payload []byte) (uint64, error) {
 			l.failed = fmt.Errorf("fsync failed after a durable frame: %w", err)
 			return 0, fmt.Errorf("persist: %w", err)
 		}
+		if hooks.FsyncDone != nil {
+			hooks.FsyncDone(time.Since(syncStart))
+		}
 	} else {
 		l.dirty = true
+	}
+	if hooks.AppendDone != nil {
+		hooks.AppendDone(op, len(frame), time.Since(start))
 	}
 	l.seq = seq
 	l.size += int64(len(frame))
@@ -413,8 +428,20 @@ func (l *Log) flush() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.dirty && !l.removed && l.f != nil {
+		hooks := &l.store.opts.Hooks
+		var start time.Time
+		if hooks.FsyncDone != nil {
+			start = time.Now()
+		}
 		if err := l.f.Sync(); err == nil {
 			l.dirty = false
+			if hooks.FsyncDone != nil {
+				hooks.FsyncDone(time.Since(start))
+			}
+		} else if hooks.FlushError != nil {
+			// The log stays dirty and is retried next tick; appends keep
+			// succeeding meanwhile, so this callback is the only signal.
+			hooks.FlushError(err)
 		}
 	}
 }
@@ -449,6 +476,15 @@ func (l *Log) Compact(sketch []byte) error {
 	if l.removed {
 		return ErrLogRemoved
 	}
+	hooks := &l.store.opts.Hooks
+	var start time.Time
+	if hooks.CompactionDone != nil {
+		start = time.Now()
+	}
+	folded := l.records
+	if folded > 0 && l.meta.validate() == nil {
+		folded-- // the re-written create record is metadata, not folded data
+	}
 	if err := l.writeSnapshotLocked(l.seq, sketch); err != nil {
 		return err
 	}
@@ -458,6 +494,9 @@ func (l *Log) Compact(sketch []byte) error {
 	l.compactions++
 	l.dirty = false
 	l.publishStatsLocked()
+	if hooks.CompactionDone != nil {
+		hooks.CompactionDone(time.Since(start), folded)
+	}
 	return nil
 }
 
@@ -483,6 +522,11 @@ func (l *Log) CompactAt(captureSeq uint64, sketch []byte) error {
 		// (folded into the newer snapshot, no longer in the WAL).
 		return fmt.Errorf("persist: compaction capture sequence %d is behind the snapshot horizon %d", captureSeq, l.snapSeq)
 	}
+	hooks := &l.store.opts.Hooks
+	var start time.Time
+	if hooks.CompactionDone != nil {
+		start = time.Now()
+	}
 	if err := l.writeSnapshotLocked(captureSeq, sketch); err != nil {
 		return err
 	}
@@ -499,6 +543,7 @@ func (l *Log) CompactAt(captureSeq uint64, sketch []byte) error {
 	}
 	tailStart := -1
 	tailRecords := 0
+	folded := 0
 	var prevSeq uint64
 	for off := fileHeaderSize; off < len(img); {
 		rec, n, derr := decodeRecord(img[off:], prevSeq)
@@ -510,6 +555,8 @@ func (l *Log) CompactAt(captureSeq uint64, sketch []byte) error {
 		}
 		if tailStart >= 0 {
 			tailRecords++
+		} else if rec.Op != OpCreate {
+			folded++
 		}
 		prevSeq = rec.Seq
 		off += n
@@ -531,6 +578,9 @@ func (l *Log) CompactAt(captureSeq uint64, sketch []byte) error {
 	l.compactions++
 	l.dirty = false
 	l.publishStatsLocked()
+	if hooks.CompactionDone != nil {
+		hooks.CompactionDone(time.Since(start), folded)
+	}
 	return nil
 }
 
@@ -687,6 +737,11 @@ func (s *Store) Recover() ([]*Recovered, error) {
 
 // recoverDir rebuilds one stream directory.
 func (s *Store) recoverDir(entry string) *Recovered {
+	hooks := &s.opts.Hooks
+	var start time.Time
+	if hooks.RecoveryDone != nil {
+		start = time.Now()
+	}
 	rec := &Recovered{Name: entry}
 	name, err := decodeName(entry)
 	if err != nil {
@@ -729,6 +784,9 @@ func (s *Store) recoverDir(entry string) *Recovered {
 		rec.Stats.TornTail = true
 		rec.Stats.TruncatedBytes = int64(len(img)) - res.ValidLen
 		rec.Stats.TornDetail = res.Torn.Error()
+		if hooks.TornTail != nil {
+			hooks.TornTail(rec.Stats.TruncatedBytes)
+		}
 	}
 	rec.Stats.WALRecords = len(res.Records)
 
@@ -790,6 +848,9 @@ func (s *Store) recoverDir(entry string) *Recovered {
 		return rec
 	}
 	rec.Log = l
+	if hooks.RecoveryDone != nil {
+		hooks.RecoveryDone(name, time.Since(start), rec.Stats.WALRecords, rec.Stats.PointsReplayed)
+	}
 	return rec
 }
 

@@ -137,6 +137,9 @@ type Window struct {
 	lastTS int64 // newest observed (or advanced-to) timestamp
 	dim    int   // fixed by the first point (0 = not yet known)
 
+	evictedBuckets int64 // lifetime count of buckets dropped by evict
+	evictedPoints  int64 // lifetime count of points inside those buckets
+
 	union metric.WeightedSet // memoised query-time coreset union; nil when stale
 }
 
@@ -426,6 +429,8 @@ func (w *Window) expired(b *bucket) bool {
 func (w *Window) evict() {
 	cut := 0
 	for cut < len(w.sealed) && w.expired(w.sealed[cut]) {
+		w.evictedBuckets++
+		w.evictedPoints += w.sealed[cut].count
 		cut++
 	}
 	if cut > 0 {
@@ -438,6 +443,8 @@ func (w *Window) evict() {
 	// The open bucket contains the newest point whenever the last mutation
 	// was an Observe, but a duration window advanced past it expires it too.
 	if w.open != nil && w.expired(w.open) {
+		w.evictedBuckets++
+		w.evictedPoints += w.open.count
 		w.open = nil
 	}
 }
@@ -535,6 +542,15 @@ func (w *Window) LivePoints() int64 {
 	}
 	return n
 }
+
+// EvictedBuckets returns the lifetime count of buckets dropped because every
+// one of their points left the window.
+func (w *Window) EvictedBuckets() int64 { return w.evictedBuckets }
+
+// EvictedPoints returns the lifetime count of stream points inside evicted
+// buckets. Points still summarised by a live bucket are not counted even when
+// they individually lie outside the window bound (eviction is whole-bucket).
+func (w *Window) EvictedPoints() int64 { return w.evictedPoints }
 
 // LiveRange returns the contiguous sequence-number range [start, end) covered
 // by the live buckets; start == end means the window is empty. Sequence

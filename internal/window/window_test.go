@@ -436,3 +436,58 @@ func TestStreamConstructorValidation(t *testing.T) {
 		t.Error("nil sketch restored")
 	}
 }
+
+func TestEvictionCounters(t *testing.T) {
+	const (
+		W   = 100
+		tau = 8
+		n   = 1500
+	)
+	rng := rand.New(rand.NewSource(11))
+	w := mustWindow(t, Config{Tau: tau, MaxCount: W})
+	feedCount(t, w, clusteredData(rng, n, 3, 4, 1))
+
+	// Every observed point is either live or inside an evicted bucket.
+	if got := w.EvictedPoints() + w.LivePoints(); got != w.Observed() {
+		t.Fatalf("evicted(%d) + live(%d) = %d, want observed %d",
+			w.EvictedPoints(), w.LivePoints(), got, w.Observed())
+	}
+	if w.EvictedBuckets() == 0 || w.EvictedPoints() == 0 {
+		t.Fatalf("window of %d over %d points must have evicted (buckets=%d points=%d)",
+			W, n, w.EvictedBuckets(), w.EvictedPoints())
+	}
+
+	// Clone carries the lifetime counters, and diverges independently.
+	cp := w.Clone()
+	if cp.EvictedBuckets() != w.EvictedBuckets() || cp.EvictedPoints() != w.EvictedPoints() {
+		t.Fatal("Clone must copy eviction counters")
+	}
+	before := w.EvictedPoints()
+	feedCount(t, w, clusteredData(rng, 500, 3, 4, 1))
+	if w.EvictedPoints() <= before {
+		t.Fatal("continued ingest must keep evicting")
+	}
+	if cp.EvictedPoints() != before {
+		t.Fatal("clone counters must not move with the original")
+	}
+}
+
+func TestEvictionCountersDurationWindow(t *testing.T) {
+	w := mustWindow(t, Config{Tau: 4, MaxAge: 10, Base: 1})
+	for ts := int64(0); ts < 100; ts += 2 {
+		if err := w.Observe(metric.Point{float64(ts)}, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Advance far past the newest point: everything, open bucket included,
+	// leaves the window.
+	if err := w.Advance(1000); err != nil {
+		t.Fatal(err)
+	}
+	if w.LivePoints() != 0 {
+		t.Fatalf("live = %d after advancing past everything", w.LivePoints())
+	}
+	if got := w.EvictedPoints(); got != w.Observed() {
+		t.Fatalf("evicted %d points, want all %d observed", got, w.Observed())
+	}
+}

@@ -119,6 +119,14 @@ func (s *WindowedKCenter) LivePoints() int64 { return s.inner.Window().LivePoint
 // LiveBuckets reports the number of live buckets (O(log window)).
 func (s *WindowedKCenter) LiveBuckets() int { return s.inner.Window().LiveBuckets() }
 
+// EvictedBuckets reports the lifetime count of buckets evicted from the
+// window; EvictedPoints the stream points those buckets summarised.
+func (s *WindowedKCenter) EvictedBuckets() int64 { return s.inner.Window().EvictedBuckets() }
+
+// EvictedPoints reports the lifetime count of stream points inside evicted
+// buckets.
+func (s *WindowedKCenter) EvictedPoints() int64 { return s.inner.Window().EvictedPoints() }
+
 // LiveRange returns the contiguous observation-order range [start, end) of
 // the points the live window summarises; start == end means the window is
 // empty.
@@ -247,6 +255,14 @@ func (s *WindowedOutliers) LivePoints() int64 { return s.inner.Window().LivePoin
 
 // LiveBuckets reports the number of live buckets (O(log window)).
 func (s *WindowedOutliers) LiveBuckets() int { return s.inner.Window().LiveBuckets() }
+
+// EvictedBuckets reports the lifetime count of buckets evicted from the
+// window; EvictedPoints the stream points those buckets summarised.
+func (s *WindowedOutliers) EvictedBuckets() int64 { return s.inner.Window().EvictedBuckets() }
+
+// EvictedPoints reports the lifetime count of stream points inside evicted
+// buckets.
+func (s *WindowedOutliers) EvictedPoints() int64 { return s.inner.Window().EvictedPoints() }
 
 // LiveRange returns the contiguous observation-order range [start, end) of
 // the points the live window summarises.
