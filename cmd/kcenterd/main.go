@@ -10,7 +10,8 @@
 //	GET    /metrics                      Prometheus text exposition (global + per-stream series)
 //	GET    /streams                      list streams and their stats (including failed ones)
 //	GET    /streams/{name}/stats         introspect one stream (counts, memory, window, durability)
-//	POST   /streams/{name}/points        batch ingest {"points": [[...], ...], "timestamps": [...]}
+//	POST   /streams/{name}/points        batch ingest, JSON or binary (negotiated by Content-Type)
+//	POST   /streams/{name}/ingest        alias for /points (same negotiated handler)
 //	POST   /streams/{name}/advance       move a window stream's clock: {"to": ts}
 //	GET    /streams/{name}/centers       extract the current k centers
 //	POST   /streams/{name}/snapshot      serialize the stream (octet-stream)
@@ -29,9 +30,25 @@
 // Snapshots of window streams carry the full window state (magic KCWN) and
 // restore to live window streams; window sketches cannot be merged.
 //
+// Ingest speaks two wire encodings, negotiated by Content-Type. JSON
+// ({"points": [[...], ...], "timestamps": [...]}) is the default; a
+// Content-Type of application/x-kcenter-flat switches the body to the KCFL
+// binary flat frame — a 20-byte header (magic, version, dimension, count)
+// followed by big-endian float64 coordinates, optionally trailed by a KCTS
+// block of per-point int64 timestamps for window streams. A .kcf dataset
+// file is a valid frame body verbatim. Binary frames decode directly into
+// the clusterer's flat point layout with no per-point allocation and are
+// validated as strictly as JSON (a malformed frame is a 400 invalid_frame,
+// an unrecognised Content-Type a 415 unsupported_media_type); the two
+// encodings are state-equivalent — the same points yield byte-identical
+// snapshots either way. cmd/kcenterload generates load in both encodings
+// and reports measured throughput and ack latency.
+//
 // With -persist-dir set, every stream is durable: stream creation, ingest
 // batches and clock advances are journaled to a per-stream write-ahead log
-// (fsynced per -fsync) before they are acknowledged, the stream state is
+// (fsynced per -fsync) before they are acknowledged — under -fsync=always,
+// concurrent appends coalesce into shared group-commit fsyncs (-group-commit,
+// on by default) without weakening the guarantee — the stream state is
 // periodically compacted into a snapshot via the sketch codecs (-compact-every
 // journaled records), and on boot the daemon recovers every stream by loading
 // its newest valid snapshot and replaying the log tail — a recovered stream's
@@ -41,7 +58,8 @@
 //
 // Error responses are typed: {"error": ..., "code": ...} where code is a
 // stable machine-readable identifier (invalid_point, dimension_mismatch,
-// invalid_timestamps, unknown_stream, body_too_large, ...). Batches are
+// invalid_timestamps, unknown_stream, invalid_frame, unsupported_media_type,
+// body_too_large, ...). Batches are
 // validated before any point is applied, so a rejected batch (NaN/Inf
 // coordinates, ragged or mismatched dimensions, bad timestamps) never
 // perturbs stream state. JSON bodies are decoded strictly: unknown fields
@@ -131,6 +149,8 @@ const (
 	codeBadSketch         = "bad_sketch"
 	codeEmptyStream       = "empty_stream"
 	codeBodyTooLarge      = "body_too_large"
+	codeInvalidFrame      = "invalid_frame"
+	codeUnsupportedMedia  = "unsupported_media_type"
 	codeInternal          = "internal"
 )
 
@@ -173,6 +193,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fsyncMode     = fs.String("fsync", "always", "WAL flush policy: always, interval or never")
 		fsyncInterval = fs.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync=interval")
 		compactEvery  = fs.Int("compact-every", 1024, "journaled records per stream that trigger snapshot compaction (negative disables)")
+		groupCommit   = fs.Bool("group-commit", true, "coalesce concurrent WAL appends into shared fsyncs under -fsync=always")
 		logLevel      = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		slowReq       = fs.Duration("slow-request", time.Second, "log requests slower than this at warn level (0 disables)")
 		debugAddr     = fs.String("debug-addr", "", "separate listen address for pprof and expvar (empty = disabled)")
@@ -211,6 +232,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Fsync:         mode,
 			FsyncInterval: *fsyncInterval,
 			CompactEvery:  *compactEvery,
+			GroupCommit:   *groupCommit,
 			Hooks:         srv.metrics.persistHooks(),
 		})
 		if err != nil {
@@ -532,6 +554,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /streams", s.handleList)
 	mux.HandleFunc("GET /streams/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /streams/{name}/points", s.handleIngest)
+	mux.HandleFunc("POST /streams/{name}/ingest", s.handleIngest)
 	mux.HandleFunc("POST /streams/{name}/advance", s.handleAdvance)
 	mux.HandleFunc("GET /streams/{name}/centers", s.handleCenters)
 	mux.HandleFunc("POST /streams/{name}/snapshot", s.handleSnapshot)
@@ -956,18 +979,82 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// handleIngest serves both ingest routes (/points and its alias /ingest),
+// negotiating the decoder by Content-Type: JSON stays the default, and
+// "application/x-kcenter-flat" selects the binary flat-frame decoder — no
+// JSON anywhere on that path. Both decoders feed the same ingestBatch core,
+// so validation, journaling, atomicity and the response shape are identical.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var req ingestRequest
-	if !decodeJSON(w, r, &req) {
+	switch negotiateIngest(r) {
+	case mediaBinary:
+		s.handleIngestBinary(w, r)
+	case mediaJSON:
+		s.handleIngestJSON(w, r)
+	default:
+		httpError(w, http.StatusUnsupportedMediaType, codeUnsupportedMedia,
+			fmt.Errorf("unsupported Content-Type %q (use application/json or %s)",
+				r.Header.Get("Content-Type"), binaryContentType))
+	}
+}
+
+// handleIngestJSON is the JSON decode front end: pooled decode buffers (the
+// carrier), strict decoding, full up-front validation, then one contiguous
+// copy of the batch into stream-owned storage.
+func (s *server) handleIngestJSON(w http.ResponseWriter, r *http.Request) {
+	c := ingestPool.Get().(*ingestCarrier)
+	defer ingestPool.Put(c)
+	if !c.readIngestJSON(w, r) {
 		return
 	}
-	if status, code, err := validateBatch(&req); err != nil {
+	if status, code, err := validateBatch(&c.req); err != nil {
 		httpError(w, status, code, err)
 		return
 	}
-	batch := req.Points
+	// The pooled points are about to be reused by another request; what the
+	// stream keeps must be a private contiguous copy.
+	batch, err := compactBatch(c.req.Points)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	s.ingestBatch(w, r, batch, c.req.Timestamps, -1)
+}
+
+// handleIngestBinary is the binary decode front end: the body is one flat
+// frame (plus optional timestamp trailer), decoded straight into contiguous
+// storage with zero per-point allocations and no JSON anywhere.
+func (s *server) handleIngestBinary(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, codeInvalidFrame, fmt.Errorf("reading request body: %w", err))
+		return
+	}
+	f, ts, code, err := decodeBinaryIngest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, code, err)
+		return
+	}
+	s.ingestBatch(w, r, f.Dataset(), ts, len(body))
+}
+
+// ingestBatch is the shared ingest core behind both decoders. The batch is
+// fully validated, dimensionally consistent and stream-owned when it arrives
+// here. Under group commit the WAL write (BeginBatch) is issued under the
+// stream mutex — so journal order equals apply order — but the covering
+// fsync is awaited AFTER the mutex is released: while this batch's fsync is
+// in flight, the next batches append their frames and join the same disk
+// flush, which is where the -fsync=always throughput multiple comes from.
+// The 200 still implies durability per the fsync mode; a Wait failure is a
+// 500 on a now-poisoned log, exactly like an inline fsync failure.
+func (s *server) ingestBatch(w http.ResponseWriter, r *http.Request, batch metric.Dataset, timestamps []int64, binaryBytes int) {
 	name := r.PathValue("name")
-	if req.Timestamps != nil {
+	if timestamps != nil {
 		// Reject timestamps aimed at a non-window stream BEFORE getOrCreate
 		// runs: otherwise a first ingest that forgot ?window= would create a
 		// plain stream as a side effect of its own rejection, permanently
@@ -1014,7 +1101,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch dimension %d does not match stream dimension %d", batch.Dim(), st.dim))
 		return
 	}
-	if req.Timestamps != nil {
+	if timestamps != nil {
 		wc, ok := st.core.(windowCore)
 		if !ok {
 			st.mu.Unlock()
@@ -1025,32 +1112,38 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// The stream's clock only moves forward; checked up front so the
 		// whole batch is rejected before any point lands — and before it is
 		// journaled, so a record that would fail replay is never written.
-		if last := wc.LastTimestamp(); req.Timestamps[0] < last {
+		if last := wc.LastTimestamp(); timestamps[0] < last {
 			st.mu.Unlock()
 			httpError(w, http.StatusBadRequest, codeInvalidTimestamps,
-				fmt.Errorf("batch starts at timestamp %d, stream is already at %d", req.Timestamps[0], last))
+				fmt.Errorf("batch starts at timestamp %d, stream is already at %d", timestamps[0], last))
 			return
 		}
 	}
 	// Journal, then apply: the batch has passed every validation that could
 	// reject it, so the WAL record and the in-memory mutation stand or fall
 	// together, and the acknowledgement below implies durability (per the
-	// fsync mode).
+	// fsync mode). The frame is written and sequenced here under st.mu —
+	// journal order equals apply order — but under group commit the covering
+	// fsync is awaited only after the mutex is released, so concurrent
+	// batches on this and other streams share disk flushes.
+	var pending *persist.Pending
 	if lg := st.log.Load(); lg != nil {
-		if err := lg.AppendBatch(batch, req.Timestamps); err != nil {
+		p, err := lg.BeginBatch(batch, timestamps)
+		if err != nil {
 			st.mu.Unlock()
 			httpError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
+		pending = p
 	}
 	var applyErr error
-	if req.Timestamps != nil {
+	if timestamps != nil {
 		wc := st.core.(windowCore)
 		for i, p := range batch {
 			if applyErr = applyPointHook(i); applyErr != nil {
 				break
 			}
-			if applyErr = wc.ObserveAt(p, req.Timestamps[i]); applyErr != nil {
+			if applyErr = wc.ObserveAt(p, timestamps[i]); applyErr != nil {
 				break
 			}
 		}
@@ -1084,9 +1177,26 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.maybeCompactLocked(st)
 	stats := s.statsFromView(name, st, st.view.Load())
 	st.mu.Unlock()
+	// Block for durability OUTSIDE the stream mutex: this is the group-commit
+	// window — while this batch's fsync is in flight, the next requests take
+	// st.mu, journal their frames and join the next flush. A Wait failure
+	// means the fsync failed after the frame was written; the log is poisoned
+	// and the outcome is indeterminate (the frame may or may not survive
+	// recovery), so the client gets a 500, never a 200. The applied-but-
+	// unacked view state is the same transient recovery would produce.
+	if pending != nil {
+		if err := pending.Wait(); err != nil {
+			httpError(w, http.StatusInternalServerError, codeInternal, err)
+			return
+		}
+	}
 	if m := s.metrics; m != nil {
 		m.ingestBatches.Add(1)
 		m.ingestPoints.Add(int64(len(batch)))
+		if binaryBytes >= 0 {
+			m.ingestBinaryBytes.Add(int64(binaryBytes))
+			m.ingestBinaryPoints.Add(int64(len(batch)))
+		}
 	}
 	writeJSON(w, http.StatusOK, stats)
 }
@@ -1218,12 +1328,15 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("advance target %d precedes the stream clock %d", req.To, last))
 		return
 	}
+	var pending *persist.Pending
 	if lg := st.log.Load(); lg != nil {
-		if err := lg.AppendAdvance(req.To); err != nil {
+		p, err := lg.BeginAdvance(req.To)
+		if err != nil {
 			st.mu.Unlock()
 			httpError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
+		pending = p
 	}
 	if err := wc.Advance(req.To); err != nil {
 		// Same divergence as a mid-batch apply failure: the journal holds a
@@ -1241,6 +1354,14 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	s.maybeCompactLocked(st)
 	stats := s.statsFromView(name, st, st.view.Load())
 	st.mu.Unlock()
+	// Same ordering as ingestBatch: durability is awaited outside st.mu so
+	// concurrent writers share the covering fsync.
+	if pending != nil {
+		if err := pending.Wait(); err != nil {
+			httpError(w, http.StatusInternalServerError, codeInternal, err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, stats)
 }
 

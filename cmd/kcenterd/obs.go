@@ -30,14 +30,16 @@ type daemonMetrics struct {
 	httpInFlight *obs.Gauge
 
 	// Stream lifecycle and query path.
-	ingestPoints   *obs.Counter
-	ingestBatches  *obs.Counter
-	evictedBuckets *obs.Counter
-	evictedPoints  *obs.Counter
-	viewPublishes  *obs.Counter
-	cacheHits      *obs.Counter
-	cacheMisses    *obs.Counter
-	streamsFailed  *obs.Counter
+	ingestPoints       *obs.Counter
+	ingestBatches      *obs.Counter
+	ingestBinaryBytes  *obs.Counter
+	ingestBinaryPoints *obs.Counter
+	evictedBuckets     *obs.Counter
+	evictedPoints      *obs.Counter
+	viewPublishes      *obs.Counter
+	cacheHits          *obs.Counter
+	cacheMisses        *obs.Counter
+	streamsFailed      *obs.Counter
 
 	// Persistence layer, fed by persist.Hooks.
 	walAppends       *obs.CounterVec // op
@@ -45,6 +47,9 @@ type daemonMetrics struct {
 	walAppendDur     *obs.Histogram
 	walFsyncs        *obs.Counter
 	walFsyncDur      *obs.Histogram
+	walGroupCommits  *obs.Counter
+	walGroupDepth    *obs.Histogram
+	walGroupDur      *obs.Histogram
 	walFlushErrors   *obs.Counter
 	walTornTails     *obs.Counter
 	walTruncatedB    *obs.Counter
@@ -77,6 +82,10 @@ func newDaemonMetrics() *daemonMetrics {
 			"Points acknowledged across all streams."),
 		ingestBatches: r.Counter("kcenterd_ingest_batches_total",
 			"Ingest batches acknowledged across all streams."),
+		ingestBinaryBytes: r.Counter("kcenterd_ingest_binary_bytes_total",
+			"Request-body bytes of acknowledged binary (flat-frame) ingest batches."),
+		ingestBinaryPoints: r.Counter("kcenterd_ingest_binary_points_total",
+			"Points acknowledged via the binary ingest protocol."),
 		evictedBuckets: r.Counter("kcenterd_stream_evicted_buckets_total",
 			"Window buckets evicted across all streams."),
 		evictedPoints: r.Counter("kcenterd_stream_evicted_points_total",
@@ -101,6 +110,14 @@ func newDaemonMetrics() *daemonMetrics {
 			"Successful WAL fsyncs."),
 		walFsyncDur: r.Histogram("kcenterd_wal_fsync_duration_seconds",
 			"WAL fsync latency.", obs.DefDurationBuckets),
+		walGroupCommits: r.Counter("kcenterd_wal_group_commits_total",
+			"Group-commit cycles (one shared fsync pass each)."),
+		walGroupDepth: r.Histogram("kcenterd_wal_group_commit_depth",
+			"Appends coalesced per group-commit cycle.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		walGroupDur: r.Histogram("kcenterd_wal_group_commit_duration_seconds",
+			"Group-commit cycle latency (fsync plus ack fan-out).",
+			obs.DefDurationBuckets),
 		walFlushErrors: r.Counter("kcenterd_wal_flush_errors_total",
 			"Background flusher fsync failures (the log stays dirty and is retried)."),
 		walTornTails: r.Counter("kcenterd_wal_torn_tails_total",
@@ -139,6 +156,11 @@ func (m *daemonMetrics) persistHooks() persist.Hooks {
 		FsyncDone: func(d time.Duration) {
 			m.walFsyncs.Add(1)
 			m.walFsyncDur.ObserveDuration(d)
+		},
+		GroupCommitDone: func(groupSize int, d time.Duration) {
+			m.walGroupCommits.Add(1)
+			m.walGroupDepth.Observe(float64(groupSize))
+			m.walGroupDur.ObserveDuration(d)
 		},
 		FlushError: func(error) { m.walFlushErrors.Add(1) },
 		CompactionDone: func(d time.Duration, folded int) {

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"sync"
+
+	"coresetclustering/internal/metric"
+)
+
+// Binary ingest wire format. The request body of a binary ingest is one
+// metric.Flat frame (magic "KCFL", see internal/metric) — exactly the bytes
+// SaveFlatFile writes, so a dataset file can be POSTed verbatim — optionally
+// followed by a timestamp trailer for window streams:
+//
+//	offset  size      field
+//	0       4         trailer magic "KCTS"
+//	4       8*count   count int64 timestamps, big-endian, one per point,
+//	                  non-negative and non-decreasing
+//
+// The trailer's count is the frame's point count; nothing may follow it.
+// Negotiation is by Content-Type: "application/x-kcenter-flat" selects the
+// binary decoder, JSON (or no Content-Type) the JSON one, anything else is
+// 415 unsupported_media_type.
+const (
+	binaryContentType = "application/x-kcenter-flat"
+	tsTrailerMagic    = "KCTS"
+)
+
+// ingestMedia is the outcome of Content-Type negotiation on an ingest route.
+type ingestMedia int
+
+const (
+	mediaJSON ingestMedia = iota
+	mediaBinary
+	mediaUnsupported
+)
+
+// negotiateIngest picks the decoder for an ingest request. An absent or
+// unparseable Content-Type falls back to JSON (matching what the daemon
+// accepted before the binary protocol existed).
+func negotiateIngest(r *http.Request) ingestMedia {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return mediaJSON
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return mediaJSON
+	}
+	switch mt {
+	case binaryContentType:
+		return mediaBinary
+	case "application/json", "text/json":
+		return mediaJSON
+	default:
+		return mediaUnsupported
+	}
+}
+
+// decodeBinaryIngest decodes a binary ingest body: one flat frame plus the
+// optional timestamp trailer. On failure it returns the error code the
+// response should carry (invalid_frame for structural defects,
+// invalid_timestamps for a well-formed trailer with bad values, empty_batch
+// for a frame of zero points).
+func decodeBinaryIngest(body []byte) (f *metric.Flat, ts []int64, code string, err error) {
+	f, rest, err := metric.DecodeFlatFrame(body)
+	if err != nil {
+		return nil, nil, codeInvalidFrame, err
+	}
+	if f.Len() == 0 {
+		return nil, nil, codeEmptyBatch, errors.New("empty batch")
+	}
+	if len(rest) == 0 {
+		return f, nil, "", nil
+	}
+	if len(rest) < len(tsTrailerMagic) || string(rest[:len(tsTrailerMagic)]) != tsTrailerMagic {
+		return nil, nil, codeInvalidFrame,
+			fmt.Errorf("%d trailing bytes after the point frame are not a timestamp trailer", len(rest))
+	}
+	rest = rest[len(tsTrailerMagic):]
+	if len(rest) != 8*f.Len() {
+		return nil, nil, codeInvalidFrame,
+			fmt.Errorf("timestamp trailer holds %d bytes, want %d (8 per point)", len(rest), 8*f.Len())
+	}
+	ts = make([]int64, f.Len())
+	for i := range ts {
+		v := int64(binary.BigEndian.Uint64(rest[8*i:]))
+		if v < 0 {
+			return nil, nil, codeInvalidTimestamps, fmt.Errorf("timestamp %d is negative (%d)", i, v)
+		}
+		if i > 0 && v < ts[i-1] {
+			return nil, nil, codeInvalidTimestamps,
+				fmt.Errorf("timestamp %d (%d) precedes timestamp %d (%d)", i, v, i-1, ts[i-1])
+		}
+		ts[i] = v
+	}
+	return f, ts, "", nil
+}
+
+// appendBinaryIngest encodes a batch (and optional timestamps) as a binary
+// ingest body — the encoder half of decodeBinaryIngest, shared by tests and
+// the load generator via this package's conventions.
+func appendBinaryIngest(dst []byte, f *metric.Flat, ts []int64) []byte {
+	dst = f.AppendFrame(dst)
+	if ts != nil {
+		dst = append(dst, tsTrailerMagic...)
+		var scratch [8]byte
+		for _, v := range ts {
+			binary.BigEndian.PutUint64(scratch[:], uint64(v))
+			dst = append(dst, scratch[:]...)
+		}
+	}
+	return dst
+}
+
+// ingestCarrier is the pooled per-request scratch state of the JSON ingest
+// path: the raw body buffer and the decoded request, both reused across
+// requests so steady-state JSON ingest does not re-allocate its decode
+// buffers (the points handed to the stream are copied into fresh contiguous
+// storage first — nothing pooled ever leaks into stream state).
+type ingestCarrier struct {
+	body bytes.Buffer
+	req  ingestRequest
+}
+
+var ingestPool = sync.Pool{New: func() any { return new(ingestCarrier) }}
+
+// readIngestJSON reads and strictly decodes a JSON ingest body into the
+// carrier, reusing its buffers: the body buffer is pre-sized from
+// Content-Length, the point slices (outer and inner) are reused by
+// encoding/json's reset-length-then-append semantics. Timestamps are nilled
+// before decoding — absence must mean nil, not last request's values. It
+// writes the error response itself and reports success.
+func (c *ingestCarrier) readIngestJSON(w http.ResponseWriter, r *http.Request) bool {
+	c.body.Reset()
+	if n := r.ContentLength; n > 0 {
+		c.body.Grow(int(n))
+	}
+	if _, err := c.body.ReadFrom(r.Body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest, codeInvalidJSON, fmt.Errorf("reading request body: %w", err))
+		return false
+	}
+	if c.req.Points != nil {
+		c.req.Points = c.req.Points[:0]
+	}
+	c.req.Timestamps = nil
+	dec := json.NewDecoder(bytes.NewReader(c.body.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c.req); err != nil {
+		httpError(w, http.StatusBadRequest, codeInvalidJSON, fmt.Errorf("invalid JSON body: %w", err))
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, codeInvalidJSON, errors.New("trailing data after JSON body"))
+		return false
+	}
+	return true
+}
+
+// compactBatch copies the validated pooled points into fresh contiguous flat
+// storage and returns the dataset of views into it. This is what crosses
+// into stream state (the clusterers retain the point slices they observe),
+// so the pooled decode buffers can be reused by the next request — and the
+// copy is itself a win: one allocation for all coordinates instead of one
+// per point, laid out the way the batched distance kernels want.
+func compactBatch(points metric.Dataset) (metric.Dataset, error) {
+	f, err := metric.FlatFromDataset(points)
+	if err != nil {
+		return nil, err
+	}
+	return f.Dataset(), nil
+}

@@ -67,6 +67,10 @@ func (f *Flat) Append(p Point) error {
 	return nil
 }
 
+// Reset empties the dataset in place, keeping dimension and storage so the
+// buffer can be refilled without reallocating.
+func (f *Flat) Reset() { f.buf = f.buf[:0] }
+
 // Len returns the number of points stored.
 func (f *Flat) Len() int { return len(f.buf) / f.dim }
 
@@ -225,6 +229,82 @@ func ReadFlat(r io.Reader) (*Flat, error) {
 	return f, nil
 }
 
+// AppendFrame appends the flat dataset's binary flat-buffer encoding (the
+// exact bytes WriteTo produces) to dst and returns the extended slice. It is
+// the in-memory encoder behind the daemon's binary ingest wire format.
+func (f *Flat) AppendFrame(dst []byte) []byte {
+	var hdr [flatHeaderSize]byte
+	copy(hdr[0:4], FlatMagic)
+	binary.BigEndian.PutUint16(hdr[4:6], flatVersion)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(f.dim))
+	binary.BigEndian.PutUint64(hdr[12:20], uint64(f.Len()))
+	dst = append(dst, hdr[:]...)
+	var scratch [8]byte
+	for _, c := range f.buf {
+		binary.BigEndian.PutUint64(scratch[:], math.Float64bits(c))
+		dst = append(dst, scratch[:]...)
+	}
+	return dst
+}
+
+// FrameLen returns the encoded size of the dataset's binary frame.
+func (f *Flat) FrameLen() int { return flatHeaderSize + 8*len(f.buf) }
+
+// DecodeFlatFrame decodes one binary flat-buffer frame from the front of
+// data and returns the remaining bytes. Unlike ReadFlat it works on an
+// in-memory buffer, so the payload length is validated against the header
+// BEFORE the coordinate buffer is allocated: the decode performs exactly one
+// allocation (the coordinate slice, sized from the now-trusted count) no
+// matter how many points the frame holds — zero per-point allocations.
+// Every malformed input maps to a typed flat-codec error; it never panics.
+// Trailing bytes are returned, not rejected — the caller decides whether a
+// trailer (e.g. the wire protocol's timestamp block) is allowed.
+func DecodeFlatFrame(data []byte) (*Flat, []byte, error) {
+	if len(data) < flatHeaderSize {
+		return nil, nil, fmt.Errorf("%w: %d bytes, need the %d-byte header", ErrFlatCorrupt, len(data), flatHeaderSize)
+	}
+	if string(data[0:4]) != FlatMagic {
+		return nil, nil, ErrFlatBadMagic
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != flatVersion {
+		return nil, nil, fmt.Errorf("%w: version %d", ErrFlatUnsupportedVersion, v)
+	}
+	if rsv := binary.BigEndian.Uint16(data[6:8]); rsv != 0 {
+		return nil, nil, fmt.Errorf("%w: non-zero reserved field %d", ErrFlatCorrupt, rsv)
+	}
+	dim := binary.BigEndian.Uint32(data[8:12])
+	count := binary.BigEndian.Uint64(data[12:20])
+	if dim == 0 || dim > 1<<20 {
+		return nil, nil, fmt.Errorf("%w: dim %d", ErrFlatCorrupt, dim)
+	}
+	// Cap count before multiplying so total cannot overflow (count ≤ 2^33,
+	// dim ≤ 2^20 keeps the product well under 2^64).
+	const maxCoords = 1 << 33
+	total := count * uint64(dim)
+	if count > maxCoords || total > maxCoords {
+		return nil, nil, fmt.Errorf("%w: %d points of dim %d exceed the size cap", ErrFlatCorrupt, count, dim)
+	}
+	if total > uint64(len(data))/8 {
+		// The payload cannot possibly fit in data; rejected before any
+		// allocation, so a crafted count never costs memory.
+		return nil, nil, fmt.Errorf("%w: %d points of dim %d exceed the %d payload bytes",
+			ErrFlatCorrupt, count, dim, len(data)-flatHeaderSize)
+	}
+	payload := data[flatHeaderSize:]
+	if uint64(len(payload)) < total*8 {
+		return nil, nil, fmt.Errorf("%w: payload ends at byte %d of %d", ErrFlatCorrupt, len(payload), total*8)
+	}
+	buf := make([]float64, total)
+	for i := range buf {
+		c := math.Float64frombits(binary.BigEndian.Uint64(payload[8*i:]))
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, nil, fmt.Errorf("%w: coordinate %d is %v", ErrFlatCorrupt, i, c)
+		}
+		buf[i] = c
+	}
+	return &Flat{dim: int(dim), buf: buf}, payload[total*8:], nil
+}
+
 // SaveFlatFile writes the flat dataset to a file, creating or truncating it.
 func SaveFlatFile(path string, f *Flat) error {
 	out, err := os.Create(path)
@@ -238,12 +318,21 @@ func SaveFlatFile(path string, f *Flat) error {
 	return out.Close()
 }
 
-// LoadFlatFile reads a flat dataset from a file.
+// LoadFlatFile reads a flat dataset from a file. The whole file is read and
+// decoded in memory (DecodeFlatFrame: one coordinate-buffer allocation, no
+// per-point work), with the same strictness as ReadFlat — trailing bytes
+// after the frame are rejected.
 func LoadFlatFile(path string) (*Flat, error) {
-	in, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("metric: %w", err)
 	}
-	defer in.Close()
-	return ReadFlat(in)
+	f, rest, err := DecodeFlatFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the frame", ErrFlatCorrupt, len(rest))
+	}
+	return f, nil
 }

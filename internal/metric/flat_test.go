@@ -192,3 +192,110 @@ func TestReadFlatHugeCountHeader(t *testing.T) {
 		t.Fatalf("in-cap truncated header error = %v, want ErrFlatCorrupt", err)
 	}
 }
+
+// TestFlatFrameRoundTrip: AppendFrame must be byte-identical to WriteTo, and
+// DecodeFlatFrame must round-trip it and hand back the untouched remainder.
+func TestFlatFrameRoundTrip(t *testing.T) {
+	f := testFlat(t, 100, 16, 3)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	frame := f.AppendFrame(nil)
+	if !bytes.Equal(frame, buf.Bytes()) {
+		t.Fatal("AppendFrame differs from WriteTo")
+	}
+	if len(frame) != f.FrameLen() {
+		t.Fatalf("FrameLen = %d, frame is %d bytes", f.FrameLen(), len(frame))
+	}
+	trailer := []byte("trailer bytes")
+	got, rest, err := DecodeFlatFrame(append(frame, trailer...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, trailer) {
+		t.Fatalf("rest = %q, want %q", rest, trailer)
+	}
+	if got.Len() != f.Len() || got.Dim() != f.Dim() {
+		t.Fatalf("decoded shape %dx%d, want %dx%d", got.Len(), got.Dim(), f.Len(), f.Dim())
+	}
+	for i := range f.Coords() {
+		if got.Coords()[i] != f.Coords()[i] {
+			t.Fatalf("coordinate %d differs after frame round trip", i)
+		}
+	}
+}
+
+// TestDecodeFlatFrameRejectsMalformedInput mirrors the ReadFlat rejection
+// table (minus trailing-data, which DecodeFlatFrame hands to the caller).
+func TestDecodeFlatFrameRejectsMalformedInput(t *testing.T) {
+	good := testFlat(t, 5, 2, 4).AppendFrame(nil)
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrFlatCorrupt},
+		{"short header", good[:19], ErrFlatCorrupt},
+		{"bad magic", append([]byte("NOPE"), good[4:]...), ErrFlatBadMagic},
+		{"bad version", mutate(good, 5, 9), ErrFlatUnsupportedVersion},
+		{"reserved set", mutate(good, 7, 1), ErrFlatCorrupt},
+		{"zero dim", func() []byte {
+			b := append([]byte(nil), good...)
+			b[8], b[9], b[10], b[11] = 0, 0, 0, 0
+			return b
+		}(), ErrFlatCorrupt},
+		{"truncated payload", good[:len(good)-3], ErrFlatCorrupt},
+		{"count beyond payload", mutate(good, 19, 200), ErrFlatCorrupt},
+		{"nan coordinate", func() []byte {
+			b := append([]byte(nil), good...)
+			nan := math.Float64bits(math.NaN())
+			for i := 0; i < 8; i++ {
+				b[20+i] = byte(nan >> (56 - 8*i))
+			}
+			return b
+		}(), ErrFlatCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := DecodeFlatFrame(tc.data); !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeFlatFrameHugeCountHeader: a crafted count must be rejected before
+// any allocation — over the hard cap and merely over the payload length.
+func TestDecodeFlatFrameHugeCountHeader(t *testing.T) {
+	mk := func(count uint64) []byte {
+		var hdr [20]byte
+		copy(hdr[0:4], FlatMagic)
+		hdr[5] = 1  // version
+		hdr[11] = 8 // dim = 8
+		for i := 0; i < 8; i++ {
+			hdr[12+i] = byte(count >> (56 - 8*i))
+		}
+		return hdr[:]
+	}
+	for _, count := range []uint64{1 << 62, 1 << 46, 1 << 24, 1} {
+		if _, _, err := DecodeFlatFrame(mk(count)); !errors.Is(err, ErrFlatCorrupt) {
+			t.Fatalf("count %d: error = %v, want ErrFlatCorrupt", count, err)
+		}
+	}
+}
+
+// TestDecodeFlatFrameAllocs pins the zero-per-point allocation property the
+// binary ingest path is built on: one coordinate-buffer allocation plus the
+// Flat header, regardless of point count.
+func TestDecodeFlatFrameAllocs(t *testing.T) {
+	frame := testFlat(t, 4096, 8, 9).AppendFrame(nil)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := DecodeFlatFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("DecodeFlatFrame of 4096 points did %v allocations, want <= 2", allocs)
+	}
+}

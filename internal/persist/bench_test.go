@@ -32,6 +32,41 @@ func BenchmarkPersistAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestWALAppend measures concurrent append throughput with and
+// without group commit under each fsync mode — the CI ingest gate compares
+// fsync=always/group=on against fsync=always/group=off, where coalescing
+// concurrent callers into shared fsyncs is the whole win. 64 concurrent
+// appenders (per GOMAXPROCS) model a loaded daemon's parallel ingest
+// handlers; without group commit they serialise one fsync each.
+func BenchmarkIngestWALAppend(b *testing.B) {
+	batch := testBatch(16, 8, 1)
+	for _, mode := range []FsyncMode{FsyncNever, FsyncInterval, FsyncAlways} {
+		for _, group := range []bool{false, true} {
+			b.Run(fmt.Sprintf("fsync=%s/group=%v", mode, group), func(b *testing.B) {
+				s, err := Open(b.TempDir(), Options{Fsync: mode, GroupCommit: group, CompactEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				l, err := s.Create("bench", Meta{K: 4, Budget: 32, Space: "euclidean"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(16 * 8 * 8))
+				b.SetParallelism(64)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if err := l.AppendBatch(batch, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
 // BenchmarkPersistRecovery measures boot-time recovery (decode + truncate +
 // reopen) as a function of log length: replay cost must stay linear and
 // cheap, because it bounds daemon restart latency.

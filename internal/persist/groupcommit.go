@@ -1,0 +1,201 @@
+package persist
+
+import (
+	"fmt"
+	"time"
+)
+
+// maxCommitGroup bounds how many queued appends one committer cycle drains.
+// The bound exists only to keep a single cycle's ack fan-out finite under a
+// firehose; 4096 is far beyond any realistic in-flight count.
+const maxCommitGroup = 4096
+
+// Pending is an append whose frame is written (and sequenced) but whose
+// covering fsync may not have happened yet. Wait blocks until the append is
+// durable per the store's fsync policy and returns the append's final error.
+// A Pending from a non-group-commit store is already resolved when returned,
+// so Wait is free.
+type Pending struct {
+	l     *Log
+	seq   uint64
+	op    Op
+	bytes int
+	start time.Time
+
+	// done is nil when the Pending was resolved synchronously; otherwise it
+	// is closed by the committer after err is set (close is the
+	// happens-before edge that publishes err).
+	done chan struct{}
+	err  error
+}
+
+// Seq returns the record's sequence number, assigned at write time — valid
+// immediately, even before Wait returns.
+func (p *Pending) Seq() uint64 { return p.seq }
+
+// Wait blocks until the append's covering fsync completes (or fails) and
+// returns the append's final error. It is safe to call multiple times.
+func (p *Pending) Wait() error {
+	if p.done != nil {
+		<-p.done
+	}
+	return p.err
+}
+
+func (p *Pending) resolve(err error) {
+	p.err = err
+	close(p.done)
+}
+
+// groupActive reports whether appends go through the committer goroutine.
+func (s *Store) groupActive() bool {
+	return s.opts.Fsync == FsyncAlways && s.opts.GroupCommit
+}
+
+// enqueueCommit hands a written-but-unsynced append to the committer. After
+// Close has stopped the committer, late appends fall back to an inline fsync
+// so no Pending is ever left unresolved.
+func (s *Store) enqueueCommit(p *Pending) {
+	s.commitMu.Lock()
+	if s.commitStopped {
+		s.commitMu.Unlock()
+		p.resolve(p.l.syncInline())
+		return
+	}
+	// A full queue blocks here while holding commitMu; the committer is
+	// still draining (it only exits once the channel is closed, which
+	// requires commitMu), so the send always completes.
+	s.commitQ <- p
+	s.commitMu.Unlock()
+}
+
+// commitLoop is the committer goroutine: it drains the queue into groups and
+// resolves each group with one fsync per distinct log.
+func (s *Store) commitLoop() {
+	defer close(s.commitDone)
+	group := make([]*Pending, 0, 64)
+	for {
+		p, ok := <-s.commitQ
+		if !ok {
+			return
+		}
+		group = append(group[:0], p)
+		// Everything already queued behind p joins this cycle's fsync; the
+		// non-blocking drain is what turns concurrent callers into a group.
+	drain:
+		for len(group) < maxCommitGroup {
+			select {
+			case q, more := <-s.commitQ:
+				if !more {
+					break drain
+				}
+				group = append(group, q)
+			default:
+				break drain
+			}
+		}
+		s.commitGroup(group)
+	}
+}
+
+// commitGroup fsyncs each distinct log once and fans the result back out to
+// every member of the group, preserving per-log enqueue order.
+func (s *Store) commitGroup(group []*Pending) {
+	hooks := &s.opts.Hooks
+	var start time.Time
+	if hooks.GroupCommitDone != nil {
+		start = time.Now()
+	}
+	// Fast path: groups almost always cover a single log (one hot stream),
+	// and then the grouping is allocation-free.
+	single := true
+	for _, p := range group[1:] {
+		if p.l != group[0].l {
+			single = false
+			break
+		}
+	}
+	if single {
+		err := group[0].l.commitSync(hooks)
+		for _, p := range group {
+			s.finish(p, err, hooks)
+		}
+	} else {
+		byLog := make(map[*Log][]*Pending, 4)
+		order := make([]*Log, 0, 4)
+		for _, p := range group {
+			if _, ok := byLog[p.l]; !ok {
+				order = append(order, p.l)
+			}
+			byLog[p.l] = append(byLog[p.l], p)
+		}
+		for _, l := range order {
+			err := l.commitSync(hooks)
+			for _, p := range byLog[l] {
+				s.finish(p, err, hooks)
+			}
+		}
+	}
+	if hooks.GroupCommitDone != nil {
+		hooks.GroupCommitDone(len(group), time.Since(start))
+	}
+}
+
+// finish resolves one group member and fires its AppendDone hook (latency
+// measured begin-to-durable, queue wait included).
+func (s *Store) finish(p *Pending, err error, hooks *Hooks) {
+	if err == nil && hooks.AppendDone != nil {
+		hooks.AppendDone(p.op, p.bytes, time.Since(p.start))
+	}
+	p.resolve(err)
+}
+
+// commitSync fsyncs the log once on behalf of a commit group. The fsync runs
+// WITHOUT l.mu — that is the heart of group commit: while the disk flushes,
+// the next wave of appenders writes its frames, so the following cycle
+// covers a whole group instead of one. syncMu (acquired under l.mu, so the
+// lock order is fixed) pins the file descriptor: compaction's WAL swap and
+// Remove/Close block on it rather than closing the fd mid-fsync. Frames
+// written to the fd after the fsync starts may or may not hit the disk with
+// it — harmless, their own covering fsync comes next cycle; a frame carried
+// into a swapped WAL is durable via the swap's full-image sync before the
+// rename. A fsync failure poisons the log exactly like an inline fsync
+// failure would: the frames ARE fully written, so continuing to append would
+// make recovery truncate them as a torn tail.
+func (l *Log) commitSync(hooks *Hooks) error {
+	l.mu.Lock()
+	if l.removed || l.f == nil {
+		l.mu.Unlock()
+		return ErrLogRemoved
+	}
+	if l.failed != nil {
+		err := fmt.Errorf("persist: log is poisoned by an earlier write failure: %w", l.failed)
+		l.mu.Unlock()
+		return err
+	}
+	f := l.f
+	l.syncMu.Lock()
+	l.mu.Unlock()
+	var syncStart time.Time
+	if hooks.FsyncDone != nil {
+		syncStart = time.Now()
+	}
+	err := f.Sync()
+	l.syncMu.Unlock()
+	if err != nil {
+		l.mu.Lock()
+		l.failed = fmt.Errorf("fsync failed after a durable frame: %w", err)
+		l.mu.Unlock()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if hooks.FsyncDone != nil {
+		hooks.FsyncDone(time.Since(syncStart))
+	}
+	return nil
+}
+
+// syncInline is the post-shutdown fallback: the committer is gone, so the
+// appender fsyncs its own frame.
+func (l *Log) syncInline() error {
+	return l.commitSync(&l.store.opts.Hooks)
+}

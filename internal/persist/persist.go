@@ -239,6 +239,11 @@ type Hooks struct {
 	// into the snapshot (records carried over into the new WAL tail are not
 	// counted).
 	CompactionDone func(d time.Duration, foldedRecords int)
+	// GroupCommitDone fires after each group-commit cycle with the number of
+	// appends the covering fsync acknowledged together (the group depth) and
+	// the latency of the cycle (fsync plus fan-out). Only fired when group
+	// commit is active (Options.GroupCommit under FsyncAlways).
+	GroupCommitDone func(groupSize int, d time.Duration)
 	// TornTail fires during recovery when a WAL ends in a defective record,
 	// with the number of bytes truncated.
 	TornTail func(truncatedBytes int64)
@@ -258,6 +263,16 @@ type Options struct {
 	// CompactEvery is the number of appended records after which
 	// (*Log).ShouldCompact reports true (default 1024; negative disables).
 	CompactEvery int
+	// GroupCommit coalesces concurrent appends into shared fsyncs under
+	// FsyncAlways: each append writes its frame immediately (serialised per
+	// log, so sequence order is untouched) and then waits for a committer
+	// goroutine whose next fsync of that log covers every frame written
+	// before it — one disk flush acknowledges the whole group. Durability
+	// semantics are unchanged (an acknowledged append still survives power
+	// loss); only the cost is amortised across in-flight appends. Ignored
+	// under FsyncInterval/FsyncNever, which never fsync before
+	// acknowledging.
+	GroupCommit bool
 	// Hooks are optional instrumentation callbacks (see Hooks).
 	Hooks Hooks
 }

@@ -56,6 +56,14 @@ type Store struct {
 
 	stopFlush chan struct{}
 	flushDone chan struct{}
+
+	// Group-commit committer state (see groupcommit.go). commitMu guards the
+	// stopped flag against the queue close, so no append can race a send
+	// onto a closed channel.
+	commitMu      sync.Mutex
+	commitQ       chan *Pending
+	commitStopped bool
+	commitDone    chan struct{}
 }
 
 // Open creates (if needed) the root directory, sweeps leftovers of
@@ -101,6 +109,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.stopFlush = make(chan struct{})
 		s.flushDone = make(chan struct{})
 		go s.flushLoop()
+	}
+	if s.groupActive() {
+		s.commitQ = make(chan *Pending, 1024)
+		s.commitDone = make(chan struct{})
+		go s.commitLoop()
 	}
 	return s, nil
 }
@@ -149,6 +162,20 @@ func (s *Store) Close() error {
 	if s.stopFlush != nil {
 		close(s.stopFlush)
 		<-s.flushDone
+	}
+	if s.commitQ != nil {
+		// Stop order matters: flip the flag and close the queue under
+		// commitMu (so a concurrent append either made it into the queue or
+		// sees the flag and falls back to an inline fsync), then wait for
+		// the committer to drain — every outstanding Pending resolves before
+		// any log is closed underneath it.
+		s.commitMu.Lock()
+		if !s.commitStopped {
+			s.commitStopped = true
+			close(s.commitQ)
+		}
+		s.commitMu.Unlock()
+		<-s.commitDone
 	}
 	var first error
 	for _, l := range logs {
@@ -249,7 +276,13 @@ type Log struct {
 	dir   string
 	meta  Meta
 
-	mu          sync.Mutex
+	mu sync.Mutex
+	// syncMu pins l.f across a group-commit fsync that runs WITHOUT l.mu
+	// (so writers keep appending frames while the disk flushes; frames
+	// written mid-fsync are covered by the next cycle). Every site that
+	// closes or replaces l.f takes syncMu around doing so; lock order is
+	// always l.mu → syncMu.
+	syncMu      sync.Mutex
 	f           *os.File
 	size        int64 // current wal file size
 	seq         uint64
@@ -330,10 +363,12 @@ func (l *Log) swapWAL(img []byte, records, since int) error {
 			d.Close()
 		}
 	}
+	l.syncMu.Lock()
 	if l.f != nil {
 		l.f.Close()
 	}
 	l.f = f
+	l.syncMu.Unlock()
 	l.size = int64(len(img))
 	l.records = records
 	l.since = since
@@ -342,23 +377,30 @@ func (l *Log) swapWAL(img []byte, records, since int) error {
 	return nil
 }
 
-// append frames and writes one record, applying the fsync policy. It returns
-// the record's sequence number.
-func (l *Log) append(op Op, payload []byte) (uint64, error) {
+// begin frames and writes one record and starts its durability. On a
+// non-group-commit store it applies the fsync policy inline and returns an
+// already-resolved Pending (Wait is free). Under group commit the record's
+// write and sequence assignment still happen here, serialised on l.mu, but
+// the fsync is delegated to the store's committer: the returned Pending
+// resolves after the next fsync of this log, which covers the frame.
+func (l *Log) begin(op Op, payload []byte) (*Pending, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.removed {
-		return 0, ErrLogRemoved
+		l.mu.Unlock()
+		return nil, ErrLogRemoved
 	}
 	if l.failed != nil {
-		return 0, fmt.Errorf("persist: log is poisoned by an earlier write failure: %w", l.failed)
+		l.mu.Unlock()
+		return nil, fmt.Errorf("persist: log is poisoned by an earlier write failure: %w", l.failed)
 	}
 	if frameFixedLen+len(payload) > maxFrameLen {
-		return 0, fmt.Errorf("persist: record of %d bytes exceeds the size bound", len(payload))
+		l.mu.Unlock()
+		return nil, fmt.Errorf("persist: record of %d bytes exceeds the size bound", len(payload))
 	}
 	hooks := &l.store.opts.Hooks
+	group := l.store.groupActive()
 	var start time.Time
-	if hooks.AppendDone != nil || hooks.FsyncDone != nil {
+	if group || hooks.AppendDone != nil || hooks.FsyncDone != nil {
 		start = time.Now()
 	}
 	seq := l.seq + 1
@@ -370,7 +412,23 @@ func (l *Log) append(op Op, payload []byte) (uint64, error) {
 		if n > 0 {
 			l.failed = err
 		}
-		return 0, fmt.Errorf("persist: %w", err)
+		l.mu.Unlock()
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if group {
+		// The frame is fully written and the sequence number consumed, so
+		// the counters advance now; durability (and the ack) comes from the
+		// committer's next fsync of this log. A fsync failure there poisons
+		// the log just like the inline path below.
+		l.seq = seq
+		l.size += int64(len(frame))
+		l.records++
+		l.since++
+		l.publishStatsLocked()
+		l.mu.Unlock()
+		p := &Pending{l: l, seq: seq, op: op, bytes: len(frame), start: start, done: make(chan struct{})}
+		l.store.enqueueCommit(p)
+		return p, nil
 	}
 	if l.store.opts.Fsync == FsyncAlways {
 		var syncStart time.Time
@@ -384,7 +442,8 @@ func (l *Log) append(op Op, payload []byte) (uint64, error) {
 			// stream keeps answering reads, writes fail loudly until the
 			// next compaction or restart rebuilds the log.
 			l.failed = fmt.Errorf("fsync failed after a durable frame: %w", err)
-			return 0, fmt.Errorf("persist: %w", err)
+			l.mu.Unlock()
+			return nil, fmt.Errorf("persist: %w", err)
 		}
 		if hooks.FsyncDone != nil {
 			hooks.FsyncDone(time.Since(syncStart))
@@ -400,27 +459,64 @@ func (l *Log) append(op Op, payload []byte) (uint64, error) {
 	l.records++
 	l.since++
 	l.publishStatsLocked()
-	return seq, nil
+	l.mu.Unlock()
+	return &Pending{l: l, seq: seq, op: op}, nil
+}
+
+// append frames and writes one record and waits for durability. It returns
+// the record's sequence number.
+func (l *Log) append(op Op, payload []byte) (uint64, error) {
+	p, err := l.begin(op, payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.Wait(); err != nil {
+		return 0, err
+	}
+	return p.seq, nil
+}
+
+// BeginBatch journals one validated ingest batch (ts may be nil for untimed
+// batches) and returns a Pending the caller Waits on for durability. Under
+// group commit this lets the caller overlap its own work (applying the batch
+// to in-memory state) with the covering fsync; elsewhere the Pending is
+// already resolved. The record is sequenced when BeginBatch returns, so
+// per-stream WAL order always matches apply order when callers hold the
+// stream mutex across BeginBatch, as the daemon does.
+func (l *Log) BeginBatch(points metric.Dataset, ts []int64) (*Pending, error) {
+	payload, err := encodeBatch(points, ts)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return l.begin(OpBatch, payload)
+}
+
+// BeginAdvance journals a clock advance of a window stream and returns a
+// Pending the caller Waits on for durability (see BeginBatch).
+func (l *Log) BeginAdvance(ts int64) (*Pending, error) {
+	if ts < 0 {
+		return nil, fmt.Errorf("persist: advance to negative timestamp %d", ts)
+	}
+	return l.begin(OpAdvance, encodeAdvance(ts))
 }
 
 // AppendBatch journals one validated ingest batch (ts may be nil for untimed
 // batches). The append is durable per the store's fsync mode when it returns.
 func (l *Log) AppendBatch(points metric.Dataset, ts []int64) error {
-	payload, err := encodeBatch(points, ts)
+	p, err := l.BeginBatch(points, ts)
 	if err != nil {
-		return fmt.Errorf("persist: %w", err)
+		return err
 	}
-	_, err = l.append(OpBatch, payload)
-	return err
+	return p.Wait()
 }
 
 // AppendAdvance journals a clock advance of a window stream.
 func (l *Log) AppendAdvance(ts int64) error {
-	if ts < 0 {
-		return fmt.Errorf("persist: advance to negative timestamp %d", ts)
+	p, err := l.BeginAdvance(ts)
+	if err != nil {
+		return err
 	}
-	_, err := l.append(OpAdvance, encodeAdvance(ts))
-	return err
+	return p.Wait()
 }
 
 // flush syncs buffered appends (FsyncInterval mode).
@@ -623,8 +719,10 @@ func (l *Log) Remove() error {
 	}
 	l.removed = true
 	if l.f != nil {
+		l.syncMu.Lock()
 		l.f.Close()
 		l.f = nil
+		l.syncMu.Unlock()
 	}
 	l.store.unregister(l.name)
 	tomb := l.dir + tombSuffix
@@ -653,8 +751,10 @@ func (l *Log) SetAside() error {
 	}
 	l.removed = true
 	if l.f != nil {
+		l.syncMu.Lock()
 		l.f.Close()
 		l.f = nil
+		l.syncMu.Unlock()
 	}
 	l.store.unregister(l.name)
 	failed := l.dir + failedSuffix
@@ -677,10 +777,12 @@ func (l *Log) Close() error {
 	if l.dirty && l.store.opts.Fsync != FsyncNever {
 		err = l.f.Sync()
 	}
+	l.syncMu.Lock()
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
 	l.f = nil
+	l.syncMu.Unlock()
 	return err
 }
 
