@@ -95,9 +95,24 @@
 // memory, version) rendered from published query views — the scrape never
 // touches an ingest mutex. Per-stream series are capped at -obs-max-streams
 // streams (alphabetically; a kcenterd_streams_omitted gauge counts the
-// rest). -debug-addr starts a separate listener with net/http/pprof and
-// expvar; profiling is off unless that flag is set and never rides the
-// ingest port.
+// rest).
+//
+// Every request is also traced as a span tree — decode, validate, journal,
+// group-commit wait, apply and publish on the ingest path; extraction with
+// cache attribution on queries; background traces for compaction, recovery
+// and the interval flusher. An inbound W3C traceparent header joins the
+// caller's trace and every response echoes its trace ID as X-Trace-ID.
+// Traces are recorded always but retained selectively: a deterministic 1 in
+// -trace-sample requests (default 16), plus every slow or 5xx request
+// regardless of sampling, kept in a ring of -trace-buffer traces (default
+// 256; 0 disables tracing). The slow-request warn log carries the trace ID
+// and per-stage breakdown (stages="decode=… journal=…"), and retained
+// traces are served as JSON at /debug/traces (list, ?route= and ?minDur=
+// filters) and /debug/traces/{id} (full span tree) on the debug listener.
+//
+// -debug-addr starts a separate listener with net/http/pprof, expvar and
+// the /debug/traces surface; all three are off unless that flag is set and
+// never ride the ingest port.
 //
 // Usage:
 //
@@ -177,6 +192,8 @@ type config struct {
 	fsync         string        // fsync mode name, surfaced in durability stats
 	slowReq       time.Duration // slow-request log threshold (0 = disabled)
 	obsMaxStreams int           // per-stream /metrics series cap (0 = default, <0 = unlimited)
+	traceSample   int           // head-sample 1 in N requests (0 = default 16)
+	traceBuffer   int           // retained completed traces (0 = default 256, <0 = tracing off)
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
@@ -196,8 +213,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		groupCommit   = fs.Bool("group-commit", true, "coalesce concurrent WAL appends into shared fsyncs under -fsync=always")
 		logLevel      = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		slowReq       = fs.Duration("slow-request", time.Second, "log requests slower than this at warn level (0 disables)")
-		debugAddr     = fs.String("debug-addr", "", "separate listen address for pprof and expvar (empty = disabled)")
+		debugAddr     = fs.String("debug-addr", "", "separate listen address for pprof, expvar and /debug/traces (empty = disabled)")
 		obsMaxStreams = fs.Int("obs-max-streams", 64, "per-stream series cap on /metrics (negative = unlimited)")
+		traceSample   = fs.Int("trace-sample", 16, "head-sample 1 in N requests for tracing (slow and errored requests are always captured)")
+		traceBuffer   = fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces (0 disables tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -219,11 +238,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *slowReq < 0 {
 		return fmt.Errorf("-slow-request must be non-negative, got %v", *slowReq)
 	}
+	if *traceSample < 1 {
+		return fmt.Errorf("-trace-sample must be at least 1, got %d", *traceSample)
+	}
+	if *traceBuffer < 0 {
+		return fmt.Errorf("-trace-buffer must be non-negative, got %d", *traceBuffer)
+	}
+	buffer := *traceBuffer
+	if buffer == 0 {
+		buffer = -1 // flag 0 means "disabled"; config 0 means "default"
+	}
 	logger := obs.NewLogger(out, level)
 	srv := newServer(config{
 		k: *k, z: *z, budget: *budget, workers: *workers, dist: *dist,
 		maxBody: *maxBody, fsync: mode.String(),
 		slowReq: *slowReq, obsMaxStreams: *obsMaxStreams,
+		traceSample: *traceSample, traceBuffer: buffer,
 	})
 	srv.logger = logger
 
@@ -233,7 +263,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			FsyncInterval: *fsyncInterval,
 			CompactEvery:  *compactEvery,
 			GroupCommit:   *groupCommit,
-			Hooks:         srv.metrics.persistHooks(),
+			Hooks:         srv.persistHooks(),
 		})
 		if err != nil {
 			return err
@@ -258,15 +288,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	httpSrv := &http.Server{Handler: srv.routes(), ReadHeaderTimeout: 10 * time.Second}
 
-	// The debug surface (pprof, expvar) binds its own listener so profiling
-	// endpoints are never reachable through the ingest port.
+	// The debug surface (pprof, expvar, /debug/traces) binds its own listener
+	// so profiling endpoints and trace data are never reachable through the
+	// ingest port.
 	var debugSrv *http.Server
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			return fmt.Errorf("-debug-addr: %w", err)
 		}
-		debugSrv = &http.Server{Handler: debugRoutes(), ReadHeaderTimeout: 10 * time.Second}
+		debugSrv = &http.Server{Handler: debugRoutes(srv.tracer), ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("debug server", "err", err)
@@ -400,15 +431,17 @@ func (v *queryView) centers(key extractKey) (centers kcenter.Dataset, hit bool, 
 	return c, false, err
 }
 
-// snapshot returns the view's serialized sketch, memoised.
-func (v *queryView) snapshot() ([]byte, error) {
+// snapshot returns the view's serialized sketch, memoised; hit reports
+// whether the cache already held it.
+func (v *queryView) snapshot() (snap []byte, hit bool, err error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if !v.snapDone {
 		v.snap, v.snapErr = v.core.Snapshot()
 		v.snapDone = true
+		return v.snap, false, v.snapErr
 	}
-	return v.snap, v.snapErr
+	return v.snap, true, v.snapErr
 }
 
 // namedStream is one hosted stream, split into a mutable ingest side and an
@@ -502,6 +535,7 @@ type server struct {
 	store   *persist.Store // nil = in-memory only
 	logger  *obs.Logger    // nil-safe; nil drops everything
 	metrics *daemonMetrics // nil disables instrumentation entirely
+	tracer  *obs.Tracer    // nil disables tracing; every recording site is nil-safe
 
 	mu      sync.RWMutex
 	streams map[string]*namedStream
@@ -529,7 +563,18 @@ func newServer(cfg config) *server {
 	if cfg.obsMaxStreams == 0 {
 		cfg.obsMaxStreams = 64
 	}
-	return &server{cfg: cfg, streams: make(map[string]*namedStream), metrics: newDaemonMetrics()}
+	if cfg.traceSample <= 0 {
+		cfg.traceSample = 16
+	}
+	if cfg.traceBuffer == 0 {
+		cfg.traceBuffer = 256 // negative = tracing disabled (NewTracer returns nil)
+	}
+	return &server{
+		cfg:     cfg,
+		streams: make(map[string]*namedStream),
+		metrics: newDaemonMetrics(),
+		tracer:  obs.NewTracer(cfg.traceSample, cfg.traceBuffer),
+	}
 }
 
 // handleHealthz is the liveness probe. It degrades to 503 when any stream
@@ -709,15 +754,29 @@ func streamMeta(st *namedStream) persist.Meta {
 // metadata), verify the snapshot against the metadata, replay the log tail,
 // and surface the recovery stats. Streams that fail above the persistence
 // layer are set aside (directory renamed *.failed) so the name stays usable.
+// Boot recovery records a background trace with one child span per stream,
+// always retained, so a slow boot is attributable after the fact.
 func (s *server) adoptRecovered(recovered []*persist.Recovered) {
+	if len(recovered) == 0 {
+		return
+	}
+	ctx, root := s.tracer.StartBackground(context.Background(), "recovery")
+	root.SetAttr("streams", strconv.Itoa(len(recovered)))
+	defer root.End()
 	for _, rec := range recovered {
+		_, sp := obs.StartSpan(ctx, "recover.stream")
+		sp.SetAttr("stream", rec.Name)
 		if rec.Err != nil {
+			sp.SetAttr("status", "failed")
+			sp.End()
 			s.logger.Error("recovery failed, stream set aside", "stream", rec.Name, "err", rec.Err)
 			s.markFailed(rec.Name, rec.Err.Error())
 			continue
 		}
 		st, err := s.rebuildStream(rec)
 		if err != nil {
+			sp.SetAttr("status", "failed")
+			sp.End()
 			s.logger.Error("recovery failed, stream set aside", "stream", rec.Name, "err", err)
 			if saErr := rec.Log.SetAside(); saErr != nil {
 				s.logger.Error("setting stream aside failed", "stream", rec.Name, "err", saErr)
@@ -728,6 +787,8 @@ func (s *server) adoptRecovered(recovered []*persist.Recovered) {
 		s.mu.Lock()
 		s.streams[rec.Name] = st
 		s.mu.Unlock()
+		sp.SetAttr("status", "ok")
+		sp.End()
 		s.logger.Info("recovered stream", "stream", rec.Name,
 			"snapshot", rec.Stats.SnapshotLoaded, "records", rec.Stats.RecordsReplayed,
 			"points", rec.Stats.PointsReplayed, "tornTail", rec.Stats.TornTail)
@@ -1003,16 +1064,23 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleIngestJSON(w http.ResponseWriter, r *http.Request) {
 	c := ingestPool.Get().(*ingestCarrier)
 	defer ingestPool.Put(c)
-	if !c.readIngestJSON(w, r) {
+	_, decode := obs.StartSpan(r.Context(), "decode")
+	decode.SetAttr("proto", "json")
+	ok := c.readIngestJSON(w, r)
+	decode.End()
+	if !ok {
 		return
 	}
+	_, validate := obs.StartSpan(r.Context(), "validate")
 	if status, code, err := validateBatch(&c.req); err != nil {
+		validate.End()
 		httpError(w, status, code, err)
 		return
 	}
 	// The pooled points are about to be reused by another request; what the
 	// stream keeps must be a private contiguous copy.
 	batch, err := compactBatch(c.req.Points)
+	validate.End()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, codeInternal, err)
 		return
@@ -1024,8 +1092,11 @@ func (s *server) handleIngestJSON(w http.ResponseWriter, r *http.Request) {
 // frame (plus optional timestamp trailer), decoded straight into contiguous
 // storage with zero per-point allocations and no JSON anywhere.
 func (s *server) handleIngestBinary(w http.ResponseWriter, r *http.Request) {
+	_, decode := obs.StartSpan(r.Context(), "decode")
+	decode.SetAttr("proto", "binary")
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
+		decode.End()
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			httpError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
@@ -1036,6 +1107,7 @@ func (s *server) handleIngestBinary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f, ts, code, err := decodeBinaryIngest(body)
+	decode.End()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, code, err)
 		return
@@ -1128,7 +1200,9 @@ func (s *server) ingestBatch(w http.ResponseWriter, r *http.Request, batch metri
 	// batches on this and other streams share disk flushes.
 	var pending *persist.Pending
 	if lg := st.log.Load(); lg != nil {
+		_, journal := obs.StartSpan(r.Context(), "journal")
 		p, err := lg.BeginBatch(batch, timestamps)
+		journal.End()
 		if err != nil {
 			st.mu.Unlock()
 			httpError(w, http.StatusInternalServerError, codeInternal, err)
@@ -1136,6 +1210,8 @@ func (s *server) ingestBatch(w http.ResponseWriter, r *http.Request, batch metri
 		}
 		pending = p
 	}
+	_, apply := obs.StartSpan(r.Context(), "apply")
+	apply.SetAttr("points", strconv.Itoa(len(batch)))
 	var applyErr error
 	if timestamps != nil {
 		wc := st.core.(windowCore)
@@ -1157,6 +1233,7 @@ func (s *server) ingestBatch(w http.ResponseWriter, r *http.Request, batch metri
 			}
 		}
 	}
+	apply.End()
 	if applyErr != nil {
 		// The journal acknowledged records the in-memory state no longer
 		// reflects (the batch was only partially applied): every later answer
@@ -1173,8 +1250,10 @@ func (s *server) ingestBatch(w http.ResponseWriter, r *http.Request, batch metri
 	}
 	st.dim = batch.Dim()
 	st.version++
+	_, publish := obs.StartSpan(r.Context(), "publish")
 	st.publishLocked(s.metrics)
-	s.maybeCompactLocked(st)
+	publish.End()
+	s.maybeCompactLocked(name, st)
 	stats := s.statsFromView(name, st, st.view.Load())
 	st.mu.Unlock()
 	// Block for durability OUTSIDE the stream mutex: this is the group-commit
@@ -1184,8 +1263,10 @@ func (s *server) ingestBatch(w http.ResponseWriter, r *http.Request, batch metri
 	// and the outcome is indeterminate (the frame may or may not survive
 	// recovery), so the client gets a 500, never a 200. The applied-but-
 	// unacked view state is the same transient recovery would produce.
+	// WaitCtx attributes the enqueue→ack time to this request's trace as a
+	// wal.wait span.
 	if pending != nil {
-		if err := pending.Wait(); err != nil {
+		if err := pending.WaitCtx(r.Context()); err != nil {
 			httpError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
@@ -1258,8 +1339,9 @@ var compactStartHook = func() {}
 // stream lock at all — serialization and the disk I/O (snapshot write, WAL
 // rewrite, fsyncs) happen entirely off the ingest path, and records appended
 // meanwhile are preserved by CompactAt. At most one compaction per stream is
-// in flight.
-func (s *server) maybeCompactLocked(st *namedStream) {
+// in flight. Each compaction records a background trace of its own
+// (serialize + wal.compact stages), always retained.
+func (s *server) maybeCompactLocked(name string, st *namedStream) {
 	lg := st.log.Load()
 	if lg == nil || !lg.ShouldCompact() {
 		return
@@ -1274,12 +1356,22 @@ func (s *server) maybeCompactLocked(st *namedStream) {
 		if st.gone.Load() {
 			return
 		}
-		snap, err := v.snapshot()
+		ctx, root := s.tracer.StartBackground(context.Background(), "compact")
+		root.SetAttr("stream", name)
+		defer root.End()
+		_, serialize := obs.StartSpan(ctx, "serialize")
+		snap, _, err := v.snapshot()
+		serialize.End()
 		if err != nil {
+			root.SetAttr("error", err.Error())
 			s.logger.Error("compaction: serializing the view failed", "err", err)
 			return
 		}
-		if err := lg.CompactAt(v.walSeq, snap); err != nil && !errors.Is(err, persist.ErrLogRemoved) {
+		_, compact := obs.StartSpan(ctx, "wal.compact")
+		err = lg.CompactAt(v.walSeq, snap)
+		compact.End()
+		if err != nil && !errors.Is(err, persist.ErrLogRemoved) {
+			root.SetAttr("error", err.Error())
 			s.logger.Error("compaction failed", "err", err)
 		}
 	}()
@@ -1330,7 +1422,9 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	}
 	var pending *persist.Pending
 	if lg := st.log.Load(); lg != nil {
+		_, journal := obs.StartSpan(r.Context(), "journal")
 		p, err := lg.BeginAdvance(req.To)
+		journal.End()
 		if err != nil {
 			st.mu.Unlock()
 			httpError(w, http.StatusInternalServerError, codeInternal, err)
@@ -1338,7 +1432,9 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		}
 		pending = p
 	}
+	_, apply := obs.StartSpan(r.Context(), "apply")
 	if err := wc.Advance(req.To); err != nil {
+		apply.End()
 		// Same divergence as a mid-batch apply failure: the journal holds a
 		// record the in-memory state rejected.
 		st.failed.Store(true)
@@ -1349,15 +1445,18 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("advance failed to apply after it was journaled; %w: %v", errFailed, err))
 		return
 	}
+	apply.End()
 	st.version++
+	_, publish := obs.StartSpan(r.Context(), "publish")
 	st.publishLocked(s.metrics)
-	s.maybeCompactLocked(st)
+	publish.End()
+	s.maybeCompactLocked(name, st)
 	stats := s.statsFromView(name, st, st.view.Load())
 	st.mu.Unlock()
 	// Same ordering as ingestBatch: durability is awaited outside st.mu so
 	// concurrent writers share the covering fsync.
 	if pending != nil {
-		if err := pending.Wait(); err != nil {
+		if err := pending.WaitCtx(r.Context()); err != nil {
 			httpError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
@@ -1404,7 +1503,14 @@ func (s *server) handleCenters(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := st.view.Load()
+	_, extract := obs.StartSpan(r.Context(), "extract")
 	centers, hit, err := v.centers(extractKey{k: st.k, z: st.z})
+	if hit {
+		extract.SetAttr("cache", "hit")
+	} else {
+		extract.SetAttr("cache", "miss")
+	}
+	extract.End()
 	if hit {
 		st.cacheHits.Add(1)
 	} else {
@@ -1443,7 +1549,14 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusForGate(code), code, err)
 		return
 	}
-	snap, err := st.view.Load().snapshot()
+	_, serialize := obs.StartSpan(r.Context(), "snapshot")
+	snap, hit, err := st.view.Load().snapshot()
+	if hit {
+		serialize.SetAttr("cache", "hit")
+	} else {
+		serialize.SetAttr("cache", "miss")
+	}
+	serialize.End()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, codeInternal, err)
 		return

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"coresetclustering/internal/obs"
@@ -180,6 +183,23 @@ func (m *daemonMetrics) persistHooks() persist.Hooks {
 	}
 }
 
+// persistHooks is the full instrumentation seam handed to the persistence
+// layer: the metric set's hooks plus, when tracing is enabled, the
+// trace-attribution callbacks (group-commit wait as a span on the waiting
+// request's trace, flusher cycles as sampled background traces).
+func (s *server) persistHooks() persist.Hooks {
+	hooks := s.metrics.persistHooks()
+	if t := s.tracer; t != nil {
+		hooks.AppendWait = func(ctx context.Context, op persist.Op, wait time.Duration) {
+			obs.RecordSpan(ctx, "wal.wait", wait, "op", op.String())
+		}
+		hooks.FlushCycleDone = func(d time.Duration, flushed int) {
+			t.RecordBackground("wal.flush", d, "logs", strconv.Itoa(flushed))
+		}
+	}
+	return hooks
+}
+
 // statusWriter records the status code a handler sent (200 when the handler
 // wrote a body without an explicit WriteHeader).
 type statusWriter struct {
@@ -220,10 +240,13 @@ func requestIDOK(id string) bool {
 // withObs wraps the route mux with the daemon's request instrumentation:
 // every request gets an X-Request-ID (the caller's, when well-formed, so IDs
 // propagate through shard fan-outs; a fresh one otherwise) echoed on the
-// response, per-route counters and latency histograms keyed by the mux
-// pattern that matched, and a warn-level log line when the request exceeds
-// the -slow-request threshold. Runs inside MaxBytesHandler so the mux
-// populates r.Pattern on the very request this wrapper holds.
+// response, a root span honoring an inbound traceparent header (the trace ID
+// echoed as X-Trace-ID, so a load run or a router fan-out can pull the exact
+// trace from /debug/traces/{id}), per-route counters and latency histograms
+// keyed by the mux pattern that matched, and a warn-level log line — now
+// carrying the trace ID and the per-stage breakdown — when the request
+// exceeds the -slow-request threshold. Runs inside MaxBytesHandler so the
+// mux populates r.Pattern on the very request this wrapper holds.
 func (s *server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		reqID := r.Header.Get("X-Request-ID")
@@ -231,13 +254,22 @@ func (s *server) withObs(next http.Handler) http.Handler {
 			reqID = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", reqID)
-		m := s.metrics
-		if m == nil {
+		m, t := s.metrics, s.tracer
+		if m == nil && t == nil {
 			next.ServeHTTP(w, r)
 			return
 		}
-		m.httpInFlight.Add(1)
-		defer m.httpInFlight.Add(-1)
+		var root *obs.Span
+		if t != nil {
+			var ctx context.Context
+			ctx, root = t.StartRoot(r.Context(), r.Method, r.Header.Get("traceparent"))
+			w.Header().Set("X-Trace-ID", root.TraceID())
+			r = r.WithContext(ctx)
+		}
+		if m != nil {
+			m.httpInFlight.Add(1)
+			defer m.httpInFlight.Add(-1)
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
@@ -250,13 +282,38 @@ func (s *server) withObs(next http.Handler) http.Handler {
 		if status == 0 {
 			status = http.StatusOK
 		}
-		m.httpRequests.With(route, r.Method, fmt.Sprintf("%d", status)).Add(1)
-		m.httpDuration.With(route).ObserveDuration(elapsed)
-		if s.cfg.slowReq > 0 && elapsed >= s.cfg.slowReq {
-			m.httpSlow.Add(1)
+		slow := s.cfg.slowReq > 0 && elapsed >= s.cfg.slowReq
+		if root != nil {
+			// A matched mux pattern already carries the method ("POST /x");
+			// only the "unmatched" fallback needs it prefixed.
+			if strings.Contains(route, " ") {
+				root.SetName(route)
+			} else {
+				root.SetName(r.Method + " " + route)
+			}
+			root.SetAttr("status", strconv.Itoa(status))
+			root.SetAttr("requestId", reqID)
+			if status >= http.StatusInternalServerError {
+				root.Force("error")
+			}
+			if slow {
+				root.Force("slow")
+			}
+			root.End()
+		}
+		if m != nil {
+			m.httpRequests.With(route, r.Method, fmt.Sprintf("%d", status)).Add(1)
+			m.httpDuration.With(route).ObserveDuration(elapsed)
+		}
+		if slow {
+			if m != nil {
+				m.httpSlow.Add(1)
+			}
 			s.logger.Warn("slow request",
-				"requestId", reqID, "method", r.Method, "route", route,
-				"status", status, "duration", elapsed)
+				"requestId", reqID, "traceId", root.TraceID(),
+				"method", r.Method, "route", route,
+				"status", status, "duration", elapsed,
+				"stages", root.Breakdown())
 		} else if s.logger.Enabled(obs.LevelDebug) {
 			s.logger.Debug("request",
 				"requestId", reqID, "method", r.Method, "route", route,
@@ -278,6 +335,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics
 	if m == nil {
 		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	if r.Method == http.MethodHead {
+		// Probes want the headers, not a full render of every series.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
 		return
 	}
 	s.mu.RLock()
@@ -333,13 +396,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := m.reg.WritePrometheus(w); err != nil {
 		return // client went away; nothing sensible left to send
 	}
-	scrape.WritePrometheus(w)
+	if err := scrape.WritePrometheus(w); err != nil && s.logger.Enabled(obs.LevelDebug) {
+		s.logger.Debug("metrics scrape write failed", "error", err)
+	}
 }
 
-// debugRoutes builds the opt-in -debug-addr surface: pprof and expvar on
-// their own mux, so profiling endpoints are reachable only via the separate
-// debug listener, never on the ingest port.
-func debugRoutes() http.Handler {
+// debugRoutes builds the opt-in -debug-addr surface: pprof, expvar and the
+// retained-trace endpoints on their own mux, so profiling and trace data are
+// reachable only via the separate debug listener, never on the ingest port.
+func debugRoutes(t *obs.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -347,7 +412,54 @@ func debugRoutes() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) { handleTraceList(w, r, t) })
+	mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) { handleTraceByID(w, r, t) })
 	return mux
+}
+
+// handleTraceList serves the retained traces newest first, optionally
+// filtered by ?route= (substring of the trace name, i.e. "METHOD /pattern")
+// and ?minDur= (a Go duration; traces at least this long).
+func handleTraceList(w http.ResponseWriter, r *http.Request, t *obs.Tracer) {
+	if t == nil {
+		httpError(w, http.StatusNotFound, "tracing_disabled", fmt.Errorf("tracing is disabled (-trace-buffer 0)"))
+		return
+	}
+	var minDur time.Duration
+	if v := r.URL.Query().Get("minDur"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad_min_dur", fmt.Errorf("minDur: %w", err))
+			return
+		}
+		minDur = d
+	}
+	route := r.URL.Query().Get("route")
+	out := make([]obs.TraceSummary, 0, 32)
+	for _, tr := range t.Recent() {
+		if route != "" && !strings.Contains(tr.Name(), route) {
+			continue
+		}
+		if tr.Duration() < minDur {
+			continue
+		}
+		out = append(out, tr.Summary())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+// handleTraceByID serves one retained trace's full span tree.
+func handleTraceByID(w http.ResponseWriter, r *http.Request, t *obs.Tracer) {
+	if t == nil {
+		httpError(w, http.StatusNotFound, "tracing_disabled", fmt.Errorf("tracing is disabled (-trace-buffer 0)"))
+		return
+	}
+	tr := t.Find(r.PathValue("id"))
+	if tr == nil {
+		httpError(w, http.StatusNotFound, "trace_not_found", fmt.Errorf("no retained trace %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Detail())
 }
 
 // markFailed records a stream set aside as failed, for /healthz and /streams.

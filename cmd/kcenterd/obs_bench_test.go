@@ -9,16 +9,19 @@ import (
 )
 
 // benchIngestHandler builds a routed server with the instrumentation either
-// live or stripped (srv.metrics = nil turns every recording site into one
-// nil check) and returns a closure that drives one full ingest request —
-// middleware, decode, validate, apply, publish — through ServeHTTP
-// in-process. A loopback socket would add TCP/scheduler noise an order of
-// magnitude larger than the instrumentation cost these benchmarks exist to
-// measure.
-func benchIngestHandler(b *testing.B, instrumented bool) func() {
+// live or stripped (srv.metrics = nil turns every metric site into one nil
+// check; srv.tracer = nil does the same for every span site) and returns a
+// closure that drives one full ingest request — middleware, decode, validate,
+// apply, publish — through ServeHTTP in-process. A loopback socket would add
+// TCP/scheduler noise an order of magnitude larger than the instrumentation
+// cost these benchmarks exist to measure.
+func benchIngestHandler(b *testing.B, metrics, traced bool) func() {
 	srv := newServer(config{k: 8, budget: 64, workers: 1})
-	if !instrumented {
+	if !metrics {
 		srv.metrics = nil
+	}
+	if !traced {
+		srv.tracer = nil
 	}
 	handler := srv.routes()
 	body := benchIngestBody(b, 100, 8, 1)
@@ -36,7 +39,7 @@ func benchIngestHandler(b *testing.B, instrumented bool) func() {
 }
 
 func BenchmarkObsIngestInstrumented(b *testing.B) {
-	post := benchIngestHandler(b, true)
+	post := benchIngestHandler(b, true, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		post()
@@ -44,7 +47,7 @@ func BenchmarkObsIngestInstrumented(b *testing.B) {
 }
 
 func BenchmarkObsIngestBare(b *testing.B) {
-	post := benchIngestHandler(b, false)
+	post := benchIngestHandler(b, false, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		post()
@@ -60,8 +63,8 @@ func BenchmarkObsIngestBare(b *testing.B) {
 // drift hits both sides equally, and the paired totals are exported as
 // inst-ns/op and bare-ns/op custom metrics for the gate to ratio.
 func BenchmarkObsIngestOverhead(b *testing.B) {
-	instrumented := benchIngestHandler(b, true)
-	bare := benchIngestHandler(b, false)
+	instrumented := benchIngestHandler(b, true, false)
+	bare := benchIngestHandler(b, false, false)
 	var instNS, bareNS time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -75,4 +78,27 @@ func BenchmarkObsIngestOverhead(b *testing.B) {
 	}
 	b.ReportMetric(float64(instNS.Nanoseconds())/float64(b.N), "inst-ns/op")
 	b.ReportMetric(float64(bareNS.Nanoseconds())/float64(b.N), "bare-ns/op")
+}
+
+// BenchmarkObsIngestTraced is the tracing-overhead pair the CI gate also
+// reads: metrics AND the span tracer live at the default 1-in-16 sampling
+// rate versus a fully stripped server, paired per iteration like Overhead.
+// Every request records its spans (keep is decided at root end), so this
+// measures the real per-request recording cost, not just the sampled keeps.
+func BenchmarkObsIngestTraced(b *testing.B) {
+	traced := benchIngestHandler(b, true, true)
+	plain := benchIngestHandler(b, false, false)
+	var tracedNS, plainNS time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		traced()
+		t1 := time.Now()
+		plain()
+		t2 := time.Now()
+		tracedNS += t1.Sub(t0)
+		plainNS += t2.Sub(t1)
+	}
+	b.ReportMetric(float64(tracedNS.Nanoseconds())/float64(b.N), "traced-ns/op")
+	b.ReportMetric(float64(plainNS.Nanoseconds())/float64(b.N), "plain-ns/op")
 }

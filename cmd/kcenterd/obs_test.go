@@ -332,7 +332,7 @@ func TestHealthzDegradedOnFailedStream(t *testing.T) {
 // the ingest-port routes must not expose them.
 func TestDebugSurfaceIsSeparate(t *testing.T) {
 	ts := newTestServer(t, config{k: 2, budget: 16})
-	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+	for _, path := range []string{"/debug/pprof/", "/debug/vars", "/debug/traces"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -343,7 +343,7 @@ func TestDebugSurfaceIsSeparate(t *testing.T) {
 			t.Errorf("GET %s on the ingest port: status %d, want 404", path, resp.StatusCode)
 		}
 	}
-	debug := httptest.NewServer(debugRoutes())
+	debug := httptest.NewServer(debugRoutes(nil))
 	t.Cleanup(debug.Close)
 	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/vars"} {
 		resp, err := http.Get(debug.URL + path)
@@ -382,6 +382,7 @@ func TestSlowRequestLog(t *testing.T) {
 	for _, want := range []string{
 		`msg="slow request"`, "requestId=slowtest-1",
 		`route="POST /streams/{name}/points"`, "status=200", "duration=",
+		"traceId=" + resp.Header.Get("X-Trace-ID"), "stages=",
 	} {
 		if !strings.Contains(line, want) {
 			t.Errorf("slow-request log %q missing %q", line, want)

@@ -87,7 +87,21 @@ type report struct {
 	LatencyMsP50  float64 `json:"latencyMsP50"`
 	LatencyMsP95  float64 `json:"latencyMsP95"`
 	LatencyMsP99  float64 `json:"latencyMsP99"`
+	// Slowest holds the slowest acknowledged requests that carried an
+	// X-Trace-ID response header, worst first — the exact traces to pull
+	// from the daemon's /debug/traces/{id} after a run.
+	Slowest []slowSample `json:"slowest,omitempty"`
 }
+
+// slowSample pairs one slow request's ack latency with the daemon-side trace
+// that attributes it.
+type slowSample struct {
+	LatencyMs float64 `json:"latencyMs"`
+	TraceID   string  `json:"traceId"`
+}
+
+// topSlow bounds how many slow samples each worker keeps and the report prints.
+const topSlow = 3
 
 func parseFlags(args []string) (*loadConfig, error) {
 	cfg := &loadConfig{}
@@ -168,11 +182,34 @@ type worker struct {
 	buf      []byte
 	flat     *metric.Flat
 	lat      []time.Duration
+	slow     []slowSample // worker-local slowest traced acks, worst first
 	batches  int64
 	points   int64
 	rejected int64
 	errors   int64
 	firstErr string
+}
+
+// noteSlow keeps the worker's topSlow slowest acks that carried a trace ID
+// (insertion into a tiny sorted slice; the hot path cost is one comparison).
+func (w *worker) noteSlow(ack time.Duration, traceID string) {
+	if traceID == "" {
+		return
+	}
+	ms := float64(ack) / float64(time.Millisecond)
+	if len(w.slow) == topSlow && ms <= w.slow[topSlow-1].LatencyMs {
+		return
+	}
+	i := len(w.slow)
+	for i > 0 && w.slow[i-1].LatencyMs < ms {
+		i--
+	}
+	w.slow = append(w.slow, slowSample{})
+	copy(w.slow[i+1:], w.slow[i:])
+	w.slow[i] = slowSample{LatencyMs: ms, TraceID: traceID}
+	if len(w.slow) > topSlow {
+		w.slow = w.slow[:topSlow]
+	}
 }
 
 // makeBatch regenerates the worker's flat batch in place.
@@ -304,6 +341,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ElapsedSec:  elapsed.Seconds(),
 	}
 	var all []time.Duration
+	var slow []slowSample
 	for _, w := range workers {
 		rep.Batches += w.batches
 		rep.Points += w.points
@@ -313,7 +351,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			rep.FirstError = w.firstErr
 		}
 		all = append(all, w.lat...)
+		slow = append(slow, w.slow...)
 	}
+	sort.Slice(slow, func(i, j int) bool { return slow[i].LatencyMs > slow[j].LatencyMs })
+	if len(slow) > topSlow {
+		slow = slow[:topSlow]
+	}
+	rep.Slowest = slow
 	if elapsed > 0 {
 		rep.PointsPerSec = float64(rep.Points) / elapsed.Seconds()
 		rep.BatchesPerSec = float64(rep.Batches) / elapsed.Seconds()
@@ -337,6 +381,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			rep.PointsPerSec, rep.BatchesPerSec)
 		fmt.Fprintf(out, "ack latency: p50=%.2fms p95=%.2fms p99=%.2fms\n",
 			rep.LatencyMsP50, rep.LatencyMsP95, rep.LatencyMsP99)
+		for i, s := range rep.Slowest {
+			fmt.Fprintf(out, "slowest[%d]: %.2fms trace=%s\n", i, s.LatencyMs, s.TraceID)
+		}
 	}
 	if rep.Batches == 0 {
 		if rep.FirstError != "" {
@@ -401,6 +448,7 @@ func (w *worker) drive(ctx context.Context, cfg *loadConfig, sent *atomic.Int64,
 			w.batches++
 			w.points += int64(cfg.batch)
 			w.lat = append(w.lat, ack)
+			w.noteSlow(ack, resp.Header.Get("X-Trace-ID"))
 		case resp.StatusCode == http.StatusBadRequest && w.windowed():
 			// Expected under concurrent windowed load: this batch's tick
 			// lost the race against the stream clock.

@@ -52,6 +52,7 @@ func (f *fakeDaemon) handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Trace-ID", "0af7651916cd43dd8448eb211c80319c")
 		w.Write([]byte(`{"observed": 1}`))
 	})
 }
@@ -84,6 +85,23 @@ func TestLoadRunBothProtocols(t *testing.T) {
 			}
 			if rep.LatencyMsP50 <= 0 || rep.LatencyMsP99 < rep.LatencyMsP50 {
 				t.Errorf("latency percentiles inconsistent: p50=%f p99=%f", rep.LatencyMsP50, rep.LatencyMsP99)
+			}
+			// Every ack carried an X-Trace-ID, so the slowest-traces table
+			// must be full and sorted worst-first.
+			if len(rep.Slowest) != topSlow {
+				t.Errorf("slowest table has %d entries, want %d", len(rep.Slowest), topSlow)
+			}
+			for i, s := range rep.Slowest {
+				if len(s.TraceID) != 32 {
+					t.Errorf("slowest[%d] trace ID %q is not 32 hex chars", i, s.TraceID)
+				}
+				if s.LatencyMs <= 0 {
+					t.Errorf("slowest[%d] latency %f not positive", i, s.LatencyMs)
+				}
+				if i > 0 && s.LatencyMs > rep.Slowest[i-1].LatencyMs {
+					t.Errorf("slowest not sorted worst-first: [%d]=%f after [%d]=%f",
+						i, s.LatencyMs, i-1, rep.Slowest[i-1].LatencyMs)
+				}
 			}
 			got := fake.jsonBatches.Load() + fake.binaryBatches.Load()
 			if got != 20 || fake.badBodies.Load() != 0 {

@@ -254,12 +254,22 @@
 // ingest/eviction/view-publish/cache counters — and serves the result on
 // GET /metrics, with per-stream gauges rendered from published query views
 // (never the ingest mutex) under an -obs-max-streams cardinality cap.
-// Profiling (net/http/pprof, expvar) is opt-in on a separate -debug-addr
-// listener so it never rides the ingest port. CI keeps instrumentation
-// honest: a smoke job boots a daemon and fails on missing series, and
-// BENCH_obs.json gates the instrumented ingest path within 5% of a build
-// with metrics stripped. See the README's Observability section for the
-// metric name table and operational details.
+// internal/obs also carries a span tracer: every daemon request is recorded
+// as a span tree (ingest decode/validate/journal/group-commit wait/apply/
+// publish, query extraction with cache attribution, plus background
+// compaction/recovery/flush traces), joined to inbound W3C traceparent
+// headers and echoed as X-Trace-ID. Retention is deterministic 1-in-N head
+// sampling (-trace-sample) with forced capture of slow and 5xx requests
+// into a bounded ring (-trace-buffer), browsable as JSON span trees at
+// /debug/traces on the debug listener; the slow-request warn log carries
+// the trace ID and per-stage breakdown inline.
+// Profiling (net/http/pprof, expvar) and the trace surface are opt-in on a
+// separate -debug-addr listener so they never ride the ingest port. CI
+// keeps instrumentation honest: a smoke job boots a daemon, fails on
+// missing series, and walks a traced request end to end, and BENCH_obs.json
+// gates both the metrics-instrumented and tracer-instrumented ingest paths
+// within 5% of stripped builds. See the README's Observability and Tracing
+// sections for the metric name table and operational details.
 //
 // The cmd/ directory provides a clustering CLI, a dataset generator, and a
 // driver that reproduces every figure of the paper's evaluation; the

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -38,6 +39,23 @@ func (p *Pending) Seq() uint64 { return p.seq }
 func (p *Pending) Wait() error {
 	if p.done != nil {
 		<-p.done
+	}
+	return p.err
+}
+
+// WaitCtx is Wait plus latency attribution: after the append is durable it
+// fires the store's AppendWait hook (when set) with ctx and the waiter's
+// enqueue→ack time, so a traced request can record how long it sat in the
+// group-commit queue. The wait itself is not cancellable — durability was
+// already promised when the frame was written — so ctx is carried, not
+// watched. Resolved-synchronously Pendings (non-group stores) fire nothing.
+func (p *Pending) WaitCtx(ctx context.Context) error {
+	if p.done == nil {
+		return p.err
+	}
+	<-p.done
+	if hook := p.l.store.opts.Hooks.AppendWait; hook != nil && !p.start.IsZero() {
+		hook(ctx, p.op, time.Since(p.start))
 	}
 	return p.err
 }

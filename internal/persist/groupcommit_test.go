@@ -102,43 +102,65 @@ func TestGroupCommitDurableAndOrdered(t *testing.T) {
 
 // TestGroupCommitCoalesces proves grouping actually happens: with many
 // concurrent waiters the committer must cover more than one append per fsync
-// at least once (fsync count strictly below append count).
+// at least once (fsync count strictly below append count). Whether any two
+// appends actually overlap in one cycle is a scheduling race — on a
+// filesystem where fsync is nearly free (tmpfs CI runners) the committer can
+// legitimately keep up 1:1 — so the race is retried a few times and the test
+// only fails if coalescing NEVER happens.
 func TestGroupCommitCoalesces(t *testing.T) {
-	var fsyncs, appends atomic.Int64
-	s, err := Open(t.TempDir(), Options{Fsync: FsyncAlways, GroupCommit: true, Hooks: Hooks{
-		FsyncDone:  func(time.Duration) { fsyncs.Add(1) },
-		AppendDone: func(Op, int, time.Duration) { appends.Add(1) },
-	}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s.Close()
-	l, err := s.Create("s", testMeta())
-	if err != nil {
-		t.Fatal(err)
-	}
-	const writers, perWriter = 16, 10
-	var wg sync.WaitGroup
-	for w := 0; w < writers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < perWriter; i++ {
-				if err := l.AppendBatch(testBatch(1, 2, int64(w*100+i)), nil); err != nil {
-					t.Error(err)
-					return
+	const attempts = 10
+	for attempt := 1; attempt <= attempts; attempt++ {
+		var fsyncs, appends atomic.Int64
+		s, err := Open(t.TempDir(), Options{Fsync: FsyncAlways, GroupCommit: true, Hooks: Hooks{
+			FsyncDone:  func(time.Duration) { fsyncs.Add(1) },
+			AppendDone: func(Op, int, time.Duration) { appends.Add(1) },
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := s.Create("s", testMeta())
+		if err != nil {
+			s.Close()
+			t.Fatal(err)
+		}
+		// Begin every append before waiting on any: queue depth builds while
+		// the committer fsyncs, which is the condition coalescing needs.
+		const writers, perWriter = 16, 10
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				pendings := make([]*Pending, 0, perWriter)
+				for i := 0; i < perWriter; i++ {
+					p, err := l.BeginBatch(testBatch(1, 2, int64(w*100+i)), nil)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					pendings = append(pendings, p)
 				}
-			}
-		}(w)
+				for _, p := range pendings {
+					if err := p.Wait(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		s.Close()
+		if t.Failed() {
+			return
+		}
+		// Create's resetWAL syncs the file image too, but via swapWAL, not
+		// FsyncDone — so FsyncDone counts exactly the commit-cycle fsyncs.
+		if a, f := appends.Load(), fsyncs.Load(); f < a {
+			t.Logf("attempt %d: %d appends covered by %d fsyncs", attempt, a, f)
+			return
+		}
 	}
-	wg.Wait()
-	// Create's resetWAL syncs the file image too, but via swapWAL, not
-	// FsyncDone — so FsyncDone counts exactly the commit-cycle fsyncs.
-	if a, f := appends.Load(), fsyncs.Load(); f >= a {
-		t.Fatalf("no coalescing: %d fsyncs for %d appends", f, a)
-	} else {
-		t.Logf("%d appends covered by %d fsyncs", a, f)
-	}
+	t.Fatalf("no coalescing in %d attempts: every append got its own fsync", attempts)
 }
 
 // TestGroupCommitSequentialDepthOne pins the deterministic case the daemon's

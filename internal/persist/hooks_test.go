@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -20,6 +21,7 @@ type hookCounts struct {
 	tornTails, tornBytes   atomic.Int64
 	recoveries, recPoints  atomic.Int64
 	recRecords             atomic.Int64
+	flushCycles, flushed   atomic.Int64
 	negativeDurationSeen   atomic.Bool
 	zeroAppendSizeObserved atomic.Bool
 }
@@ -55,6 +57,13 @@ func (h *hookCounts) hooks() Hooks {
 			h.recoveries.Add(1)
 			h.recRecords.Add(int64(records))
 			h.recPoints.Add(points)
+		},
+		FlushCycleDone: func(d time.Duration, flushed int) {
+			h.flushCycles.Add(1)
+			h.flushed.Add(int64(flushed))
+			if d < 0 {
+				h.negativeDurationSeen.Store(true)
+			}
 		},
 	}
 }
@@ -204,5 +213,95 @@ func TestHooksIntervalFlush(t *testing.T) {
 	}
 	if hc.flushErrors.Load() != 0 {
 		t.Fatalf("unexpected flush errors: %d", hc.flushErrors.Load())
+	}
+	if hc.flushCycles.Load() == 0 || hc.flushed.Load() == 0 {
+		t.Fatalf("FlushCycleDone fired %d times covering %d logs, want at least one non-empty cycle",
+			hc.flushCycles.Load(), hc.flushed.Load())
+	}
+}
+
+// TestHooksAppendWait: WaitCtx on a group-commit store fires AppendWait on
+// the waiter's goroutine with the caller's context and a positive
+// enqueue→ack latency; plain Wait and non-group stores never fire it.
+func TestHooksAppendWait(t *testing.T) {
+	type ctxKey struct{}
+	var (
+		fires   atomic.Int64
+		badOp   atomic.Bool
+		badWait atomic.Bool
+		ctxSeen atomic.Bool
+	)
+	hooks := Hooks{
+		AppendWait: func(ctx context.Context, op Op, wait time.Duration) {
+			fires.Add(1)
+			if op != OpBatch {
+				badOp.Store(true)
+			}
+			if wait <= 0 {
+				badWait.Store(true)
+			}
+			if v, _ := ctx.Value(ctxKey{}).(string); v == "req-1" {
+				ctxSeen.Store(true)
+			}
+		},
+	}
+
+	s, err := Open(t.TempDir(), Options{Fsync: FsyncAlways, GroupCommit: true, Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	l, err := s.Create("gw", Meta{K: 2, Budget: 16, Space: "euclidean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.WithValue(context.Background(), ctxKey{}, "req-1")
+	p, err := l.BeginBatch(hookBatch(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WaitCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if fires.Load() != 1 {
+		t.Fatalf("AppendWait fired %d times, want 1", fires.Load())
+	}
+	if badOp.Load() || badWait.Load() {
+		t.Fatal("AppendWait got wrong op or non-positive wait")
+	}
+	if !ctxSeen.Load() {
+		t.Fatal("AppendWait did not receive the waiter's context")
+	}
+	// Context-free Wait must not fire the hook.
+	p2, err := l.BeginBatch(hookBatch(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if fires.Load() != 1 {
+		t.Fatalf("plain Wait fired AppendWait (now %d fires)", fires.Load())
+	}
+
+	// A non-group store resolves synchronously: WaitCtx is free and silent.
+	s2, err := Open(t.TempDir(), Options{Fsync: FsyncAlways, Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	l2, err := s2.Create("ng", Meta{K: 2, Budget: 16, Space: "euclidean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := l2.BeginBatch(hookBatch(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.WaitCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if fires.Load() != 1 {
+		t.Fatalf("non-group WaitCtx fired AppendWait (now %d fires)", fires.Load())
 	}
 }

@@ -67,6 +67,7 @@
 package persist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -244,6 +245,18 @@ type Hooks struct {
 	// the latency of the cycle (fsync plus fan-out). Only fired when group
 	// commit is active (Options.GroupCommit under FsyncAlways).
 	GroupCommitDone func(groupSize int, d time.Duration)
+	// AppendWait fires after a group-commit waiter is released via
+	// (*Pending).WaitCtx, with the waiter's context and its enqueue→ack
+	// latency (frame written to fsync acknowledged). Unlike the other
+	// callbacks it runs on the waiter's own goroutine, outside any log
+	// lock, and receives the caller's context so per-request tracing can
+	// attribute the wait to the request that paid it. Never fired when
+	// group commit is inactive or when Wait (context-free) is used.
+	AppendWait func(ctx context.Context, op Op, wait time.Duration)
+	// FlushCycleDone fires after each background flush tick that synced at
+	// least one dirty log, with the tick's total latency and the number of
+	// logs flushed. Only fired under FsyncInterval.
+	FlushCycleDone func(d time.Duration, flushed int)
 	// TornTail fires during recovery when a WAL ends in a defective record,
 	// with the number of bytes truncated.
 	TornTail func(truncatedBytes int64)

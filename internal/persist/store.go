@@ -137,8 +137,19 @@ func (s *Store) flushLoop() {
 				logs = append(logs, l)
 			}
 			s.mu.Unlock()
+			cycleHook := s.opts.Hooks.FlushCycleDone
+			var start time.Time
+			if cycleHook != nil {
+				start = time.Now()
+			}
+			flushed := 0
 			for _, l := range logs {
-				l.flush()
+				if l.flush() {
+					flushed++
+				}
+			}
+			if cycleHook != nil && flushed > 0 {
+				cycleHook(time.Since(start), flushed)
 			}
 		}
 	}
@@ -519,8 +530,10 @@ func (l *Log) AppendAdvance(ts int64) error {
 	return p.Wait()
 }
 
-// flush syncs buffered appends (FsyncInterval mode).
-func (l *Log) flush() {
+// flush syncs buffered appends (FsyncInterval mode) and reports whether a
+// sync actually happened, so the flusher can attribute tick latency to the
+// logs it flushed.
+func (l *Log) flush() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.dirty && !l.removed && l.f != nil {
@@ -534,12 +547,14 @@ func (l *Log) flush() {
 			if hooks.FsyncDone != nil {
 				hooks.FsyncDone(time.Since(start))
 			}
+			return true
 		} else if hooks.FlushError != nil {
 			// The log stays dirty and is retried next tick; appends keep
 			// succeeding meanwhile, so this callback is the only signal.
 			hooks.FlushError(err)
 		}
 	}
+	return false
 }
 
 // ShouldCompact reports whether enough records accumulated since the last
