@@ -1,177 +1,15 @@
-// Command kcenterd is a sharded-ingest daemon for streaming k-center
-// clustering: it hosts named streams, each backed by the library's
-// fixed-memory streaming clusterer, and exposes the sketch subsystem over
-// HTTP so that independent shard daemons can snapshot their state and a
-// coordinator can merge the sketches into a global summary.
-//
-// Endpoints:
-//
-//	GET    /healthz                      liveness probe (503 + failed-stream list when degraded)
-//	GET    /metrics                      Prometheus text exposition (global + per-stream series)
-//	GET    /streams                      list streams and their stats (including failed ones)
-//	GET    /streams/{name}/stats         introspect one stream (counts, memory, window, durability)
-//	POST   /streams/{name}/points        batch ingest, JSON or binary (negotiated by Content-Type)
-//	POST   /streams/{name}/ingest        alias for /points (same negotiated handler)
-//	POST   /streams/{name}/advance       move a window stream's clock: {"to": ts}
-//	GET    /streams/{name}/centers       extract the current k centers
-//	POST   /streams/{name}/snapshot      serialize the stream (octet-stream)
-//	POST   /streams/{name}/restore       recreate the stream from a sketch body
-//	DELETE /streams/{name}               drop the stream
-//	POST   /merge                        merge base64 sketches {"sketches": [...]}
-//
-// Streams are created on first ingest with the daemon's default parameters;
-// ?k= &z= &budget= query parameters on that first request override them.
-// ?window=N and/or ?windowDur=D make the stream a sliding-window one: it
-// summarises only the last N points and/or the last D timestamp ticks, with
-// whole buckets evicted automatically as they age out. Window streams accept
-// an optional "timestamps" array alongside "points" (one non-negative,
-// non-decreasing int64 per point, in the same caller-defined units as
-// ?windowDur=); batches without timestamps reuse the newest observed one.
-// Snapshots of window streams carry the full window state (magic KCWN) and
-// restore to live window streams; window sketches cannot be merged.
-//
-// Ingest speaks two wire encodings, negotiated by Content-Type. JSON
-// ({"points": [[...], ...], "timestamps": [...]}) is the default; a
-// Content-Type of application/x-kcenter-flat switches the body to the KCFL
-// binary flat frame — a 20-byte header (magic, version, dimension, count)
-// followed by big-endian float64 coordinates, optionally trailed by a KCTS
-// block of per-point int64 timestamps for window streams. A .kcf dataset
-// file is a valid frame body verbatim. Binary frames decode directly into
-// the clusterer's flat point layout with no per-point allocation and are
-// validated as strictly as JSON (a malformed frame is a 400 invalid_frame,
-// an unrecognised Content-Type a 415 unsupported_media_type); the two
-// encodings are state-equivalent — the same points yield byte-identical
-// snapshots either way. cmd/kcenterload generates load in both encodings
-// and reports measured throughput and ack latency.
-//
-// With -persist-dir set, every stream is durable: stream creation, ingest
-// batches and clock advances are journaled to a per-stream write-ahead log
-// (fsynced per -fsync) before they are acknowledged — under -fsync=always,
-// concurrent appends coalesce into shared group-commit fsyncs (-group-commit,
-// on by default) without weakening the guarantee — the stream state is
-// periodically compacted into a snapshot via the sketch codecs (-compact-every
-// journaled records), and on boot the daemon recovers every stream by loading
-// its newest valid snapshot and replaying the log tail — a recovered stream's
-// re-snapshot is byte-identical to an uninterrupted run's. DELETE tombstones
-// the stream's directory; restore replaces it atomically. Per-stream recovery
-// and journal statistics are surfaced on GET /streams/{name}/stats.
-//
-// Error responses are typed: {"error": ..., "code": ...} where code is a
-// stable machine-readable identifier (invalid_point, dimension_mismatch,
-// invalid_timestamps, unknown_stream, invalid_frame, unsupported_media_type,
-// body_too_large, ...). Batches are
-// validated before any point is applied, so a rejected batch (NaN/Inf
-// coordinates, ragged or mismatched dimensions, bad timestamps) never
-// perturbs stream state. JSON bodies are decoded strictly: unknown fields
-// and trailing data are invalid_json, and a body over -max-body bytes is a
-// 413 body_too_large.
-//
-// Writes to one stream (ingest, advance) serialise on the stream's ingest
-// mutex, while reads are wait-free: every acknowledged write publishes an
-// immutable copy-on-write query view (cloning the clusterer costs O(budget)
-// for insertion-only streams and O(log window) shared bucket pointers for
-// window streams), and GET /centers, /stats and /snapshot answer from the
-// newest published view without ever touching the ingest mutex — a query
-// never stalls behind an in-flight batch, fsync or compaction. Reads are
-// snapshot-isolated: a reader always observes the state exactly as of some
-// acknowledged batch boundary (the view's "version", a per-process counter of
-// applied mutations surfaced in stats), never a torn mid-batch state. Each
-// view memoises its extraction and snapshot, so repeated queries at an
-// unchanged version are cache hits — byte-identical to a fresh extraction,
-// with hit/miss counters in stats — and the cache dies with the view, so
-// invalidation is automatic. Distinct streams ingest in parallel.
-// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight requests
-// and flushes the journals.
-//
-// The daemon is observable end to end. Every request carries an
-// X-Request-ID (assigned if the client did not send a well-formed one, and
-// echoed back) that tags its structured log lines; logs are levelled
-// key=value records on stderr, filtered by -log-level, and any request
-// slower than -slow-request (default 1s, 0 disables) is logged at warn
-// with its route, status and duration. GET /metrics serves Prometheus
-// text exposition: per-route×status HTTP counters and latency histograms,
-// ingest/eviction/view-publish/cache counters, WAL append/fsync/compaction/
-// recovery timings, plus per-stream gauges (observed points, working
-// memory, version) rendered from published query views — the scrape never
-// touches an ingest mutex. Per-stream series are capped at -obs-max-streams
-// streams (alphabetically; a kcenterd_streams_omitted gauge counts the
-// rest).
-//
-// Every request is also traced as a span tree — decode, validate, journal,
-// group-commit wait, apply and publish on the ingest path; extraction with
-// cache attribution on queries; background traces for compaction, recovery
-// and the interval flusher. An inbound W3C traceparent header joins the
-// caller's trace and every response echoes its trace ID as X-Trace-ID.
-// Traces are recorded always but retained selectively: a deterministic 1 in
-// -trace-sample requests (default 16), plus every slow or 5xx request
-// regardless of sampling, kept in a ring of -trace-buffer traces (default
-// 256; 0 disables tracing). The slow-request warn log carries the trace ID
-// and per-stage breakdown (stages="decode=… journal=…"), and retained
-// traces are served as JSON at /debug/traces (list, ?route= and ?minDur=
-// filters) and /debug/traces/{id} (full span tree) on the debug listener.
-//
-// -debug-addr starts a separate listener with net/http/pprof, expvar and
-// the /debug/traces surface; all three are off unless that flag is set and
-// never ride the ingest port.
-//
-// Usage:
-//
-//	kcenterd -addr :8080 -k 20 -budget 320
-//	kcenterd -addr :8080 -k 20 -z 100 -distance manhattan
-//	kcenterd -addr :8080 -persist-dir /var/lib/kcenterd -fsync always
-//	kcenterd -addr :8080 -debug-addr 127.0.0.1:6060 -slow-request 250ms -log-level debug
 package main
 
 import (
 	"context"
-	"encoding/base64"
-	"encoding/json"
-	"errors"
-	"flag"
 	"fmt"
 	"io"
-	"math"
-	"net"
-	"net/http"
 	"os"
-	"os/signal"
-	"sort"
-	"strconv"
-	"sync"
-	"sync/atomic"
-	"syscall"
-	"time"
+	"strings"
 
-	kcenter "coresetclustering"
-	"coresetclustering/internal/metric"
-	"coresetclustering/internal/obs"
-	"coresetclustering/internal/persist"
-	"coresetclustering/internal/sketch"
+	"coresetclustering/internal/server/httpapi"
+	"coresetclustering/internal/server/router"
 )
-
-// Stable machine-readable error codes carried by every error response.
-const (
-	codeInvalidJSON       = "invalid_json"
-	codeEmptyBatch        = "empty_batch"
-	codeInvalidPoint      = "invalid_point"
-	codeDimensionMismatch = "dimension_mismatch"
-	codeInvalidParam      = "invalid_param"
-	codeInvalidTimestamps = "invalid_timestamps"
-	codeNotWindowed       = "not_windowed"
-	codeUnknownStream     = "unknown_stream"
-	codeStreamGone        = "stream_gone"
-	codeStreamFailed      = "stream_failed"
-	codeBadSketch         = "bad_sketch"
-	codeEmptyStream       = "empty_stream"
-	codeBodyTooLarge      = "body_too_large"
-	codeInvalidFrame      = "invalid_frame"
-	codeUnsupportedMedia  = "unsupported_media_type"
-	codeInternal          = "internal"
-)
-
-// maxBodyBytes is the default bound on every request body (batches and
-// sketches alike); -max-body overrides it.
-const maxBodyBytes = 64 << 20
 
 func main() {
 	if err := run(context.Background(), os.Args[1:], os.Stderr); err != nil {
@@ -180,1647 +18,46 @@ func main() {
 	}
 }
 
-// config carries the daemon defaults applied to implicitly created streams,
-// plus the observability knobs.
-type config struct {
-	k             int
-	z             int
-	budget        int
-	workers       int
-	dist          string
-	maxBody       int64         // request-body cap in bytes (0 = maxBodyBytes)
-	fsync         string        // fsync mode name, surfaced in durability stats
-	slowReq       time.Duration // slow-request log threshold (0 = disabled)
-	obsMaxStreams int           // per-stream /metrics series cap (0 = default, <0 = unlimited)
-	traceSample   int           // head-sample 1 in N requests (0 = default 16)
-	traceBuffer   int           // retained completed traces (0 = default 256, <0 = tracing off)
-}
-
+// run extracts -role from the argument list before flag parsing (each role
+// owns its own flag set, so the dispatcher cannot use a shared one) and hands
+// the remaining arguments to the selected role.
 func run(ctx context.Context, args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("kcenterd", flag.ContinueOnError)
-	var (
-		addr          = fs.String("addr", ":8080", "listen address")
-		k             = fs.Int("k", 10, "default number of centers for new streams")
-		z             = fs.Int("z", 0, "default number of outliers for new streams (0 = plain k-center)")
-		budget        = fs.Int("budget", 0, "default working-memory budget in points (0 = 8*(k+z))")
-		workers       = fs.Int("workers", 0, "distance-engine parallelism for extraction (0 = one per CPU)")
-		dist          = fs.String("distance", "euclidean", fmt.Sprintf("metric space %v", sketch.DistanceNames()))
-		maxBody       = fs.Int64("max-body", maxBodyBytes, "request body size cap in bytes")
-		persistDir    = fs.String("persist-dir", "", "root directory for per-stream durability (WAL + snapshots); empty = in-memory only")
-		fsyncMode     = fs.String("fsync", "always", "WAL flush policy: always, interval or never")
-		fsyncInterval = fs.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync=interval")
-		compactEvery  = fs.Int("compact-every", 1024, "journaled records per stream that trigger snapshot compaction (negative disables)")
-		groupCommit   = fs.Bool("group-commit", true, "coalesce concurrent WAL appends into shared fsyncs under -fsync=always")
-		logLevel      = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
-		slowReq       = fs.Duration("slow-request", time.Second, "log requests slower than this at warn level (0 disables)")
-		debugAddr     = fs.String("debug-addr", "", "separate listen address for pprof, expvar and /debug/traces (empty = disabled)")
-		obsMaxStreams = fs.Int("obs-max-streams", 64, "per-stream series cap on /metrics (negative = unlimited)")
-		traceSample   = fs.Int("trace-sample", 16, "head-sample 1 in N requests for tracing (slow and errored requests are always captured)")
-		traceBuffer   = fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces (0 disables tracing)")
-	)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if _, _, err := sketch.DistanceByName(*dist); err != nil {
-		return err
-	}
-	mode, err := persist.ParseFsyncMode(*fsyncMode)
+	role, rest, err := splitRole(args)
 	if err != nil {
 		return err
 	}
-	level, err := obs.ParseLevel(*logLevel)
-	if err != nil {
-		return err
-	}
-	if *maxBody <= 0 {
-		return fmt.Errorf("-max-body must be positive, got %d", *maxBody)
-	}
-	if *slowReq < 0 {
-		return fmt.Errorf("-slow-request must be non-negative, got %v", *slowReq)
-	}
-	if *traceSample < 1 {
-		return fmt.Errorf("-trace-sample must be at least 1, got %d", *traceSample)
-	}
-	if *traceBuffer < 0 {
-		return fmt.Errorf("-trace-buffer must be non-negative, got %d", *traceBuffer)
-	}
-	buffer := *traceBuffer
-	if buffer == 0 {
-		buffer = -1 // flag 0 means "disabled"; config 0 means "default"
-	}
-	logger := obs.NewLogger(out, level)
-	srv := newServer(config{
-		k: *k, z: *z, budget: *budget, workers: *workers, dist: *dist,
-		maxBody: *maxBody, fsync: mode.String(),
-		slowReq: *slowReq, obsMaxStreams: *obsMaxStreams,
-		traceSample: *traceSample, traceBuffer: buffer,
-	})
-	srv.logger = logger
-
-	if *persistDir != "" {
-		store, err := persist.Open(*persistDir, persist.Options{
-			Fsync:         mode,
-			FsyncInterval: *fsyncInterval,
-			CompactEvery:  *compactEvery,
-			GroupCommit:   *groupCommit,
-			Hooks:         srv.persistHooks(),
-		})
-		if err != nil {
-			return err
-		}
-		defer func() {
-			if err := store.Close(); err != nil {
-				logger.Error("closing the store", "err", err)
-			}
-		}()
-		srv.store = store
-		recovered, err := store.Recover()
-		if err != nil {
-			return err
-		}
-		srv.adoptRecovered(recovered)
-		logger.Info("durability on", "dir", store.Dir(), "fsync", mode, "compactEvery", *compactEvery)
-	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
-	httpSrv := &http.Server{Handler: srv.routes(), ReadHeaderTimeout: 10 * time.Second}
-
-	// The debug surface (pprof, expvar, /debug/traces) binds its own listener
-	// so profiling endpoints and trace data are never reachable through the
-	// ingest port.
-	var debugSrv *http.Server
-	if *debugAddr != "" {
-		dln, err := net.Listen("tcp", *debugAddr)
-		if err != nil {
-			return fmt.Errorf("-debug-addr: %w", err)
-		}
-		debugSrv = &http.Server{Handler: debugRoutes(srv.tracer), ReadHeaderTimeout: 10 * time.Second}
-		go func() {
-			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Error("debug server", "err", err)
-			}
-		}()
-		logger.Info("debug server listening", "addr", dln.Addr())
-	}
-
-	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.Serve(ln) }()
-	logger.Info("listening", "addr", ln.Addr(), "k", *k, "z", *z, "budget", *budget, "distance", *dist)
-
-	select {
-	case err := <-errCh:
-		return err
-	case <-ctx.Done():
-	}
-	logger.Info("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if debugSrv != nil {
-		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
-			logger.Error("debug server shutdown", "err", err)
-		}
-	}
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		return err
-	}
-	return nil
-}
-
-// streamCore is the surface shared by the plain and the outlier-aware
-// streaming clusterers, windowed or not.
-type streamCore interface {
-	Observe(p kcenter.Point) error
-	Centers() (kcenter.Dataset, error)
-	Snapshot() ([]byte, error)
-	Observed() int64
-	WorkingMemory() int
-}
-
-// windowCore is the additional surface of sliding-window streams: timestamped
-// ingest, explicit clock advances and live-window introspection.
-type windowCore interface {
-	streamCore
-	ObserveAt(p kcenter.Point, ts int64) error
-	Advance(ts int64) error
-	LastTimestamp() int64
-	LiveBuckets() int
-	LivePoints() int64
-	EvictedBuckets() int64
-	EvictedPoints() int64
-}
-
-// cloneCore returns an independent copy-on-write copy of a core: the clone
-// answers Centers and Snapshot without touching the original, so it can be
-// published as an immutable query view while ingest keeps mutating the
-// original under the stream mutex.
-func cloneCore(c streamCore) streamCore {
-	switch v := c.(type) {
-	case *kcenter.StreamingKCenter:
-		return v.Clone()
-	case *kcenter.StreamingOutliers:
-		return v.Clone()
-	case *kcenter.WindowedKCenter:
-		return v.Clone()
-	case *kcenter.WindowedOutliers:
-		return v.Clone()
+	switch role {
+	case "", "shard":
+		return httpapi.Run(ctx, rest, out)
+	case "router":
+		return router.Run(ctx, rest, out)
 	default:
-		panic(fmt.Sprintf("unclonable stream core %T", c))
+		return fmt.Errorf("unknown -role %q (want shard or router)", role)
 	}
 }
 
-// extractKey identifies one cached extraction within a view. Today the only
-// key in play is the stream's own (k, z) — the version axis of the cache is
-// the view itself, which dies on the next publish.
-type extractKey struct{ k, z int }
-
-type extractResult struct {
-	centers kcenter.Dataset
-	err     error
-}
-
-// queryView is the immutable published read side of a stream: a point-in-time
-// clone of the clusterer plus the scalar stats that describe it, swapped in
-// atomically after every acknowledged mutation. GET handlers answer from the
-// newest view without ever taking the stream's ingest mutex, so a query
-// observes the state exactly as of an acknowledged batch boundary (snapshot
-// isolation) and never stalls behind an in-flight append, fsync or
-// compaction.
-//
-// Extraction and serialization are memoised per view under the view's own
-// mutex (the clone's query paths share internal memos, so concurrent readers
-// of ONE view serialise on that short critical section — readers of different
-// views, and readers vs the writer, share nothing). A repeated query at an
-// unchanged version is therefore a cache hit, byte-identical to the first
-// answer; publishing a new view is the whole invalidation story.
-type queryView struct {
-	core    streamCore
-	version int64  // mutations applied in-process when this view was published
-	walSeq  uint64 // newest journaled sequence folded into the view (0 without a log)
-
-	observed      int64
-	workingMemory int
-	dim           int
-	window        *windowStats // nil for insertion-only streams
-
-	mu          sync.Mutex
-	extractions map[extractKey]*extractResult
-	snap        []byte
-	snapErr     error
-	snapDone    bool
-}
-
-// centers returns the view's extraction for the given parameters, memoised;
-// hit reports whether the cache already held it.
-func (v *queryView) centers(key extractKey) (centers kcenter.Dataset, hit bool, err error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if r, ok := v.extractions[key]; ok {
-		return r.centers, true, r.err
-	}
-	c, err := v.core.Centers()
-	if v.extractions == nil {
-		v.extractions = make(map[extractKey]*extractResult, 1)
-	}
-	v.extractions[key] = &extractResult{centers: c, err: err}
-	return c, false, err
-}
-
-// snapshot returns the view's serialized sketch, memoised; hit reports
-// whether the cache already held it.
-func (v *queryView) snapshot() (snap []byte, hit bool, err error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if !v.snapDone {
-		v.snap, v.snapErr = v.core.Snapshot()
-		v.snapDone = true
-		return v.snap, false, v.snapErr
-	}
-	return v.snap, true, v.snapErr
-}
-
-// namedStream is one hosted stream, split into a mutable ingest side and an
-// immutable published read side. The mutex serialises mutations only (the
-// clusterers are not safe for concurrent use): ingest and advance append
-// under mu, bump version, and publish a fresh queryView. Readers load the
-// view pointer and never touch mu. gone flips when the stream is deleted or
-// replaced by a restore; failed flips when an applied batch diverged from the
-// journal — either way a handler that looked the stream up just before the
-// swap fails loudly instead of acknowledging a write into an orphaned object.
-type namedStream struct {
-	mu      sync.Mutex
-	core    streamCore // mutable ingest side; only touched under mu
-	version int64      // mutations applied in-process; under mu
-	dim     int        // fixed by the first batch (0 = not yet known); under mu
-
-	// Stream parameters, immutable after creation: safe to read lock-free.
-	k, z    int
-	budget  int
-	space   string
-	winSize int64 // count window (0 = none)
-	winDur  int64 // duration window (0 = none)
-
-	view   atomic.Pointer[queryView]
-	gone   atomic.Bool
-	failed atomic.Bool
-
-	// log is the stream's durability handle (nil without -persist-dir);
-	// recovery carries the boot-time recovery stats of a recovered stream,
-	// and compacting guards the single in-flight background compaction.
-	log        atomic.Pointer[persist.Log]
-	recovery   *persist.RecoveryStats
-	compacting atomic.Bool
-
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-
-	// Last published lifetime eviction counters, for per-publish deltas into
-	// the daemon metrics; under mu.
-	lastEvictedBuckets int64
-	lastEvictedPoints  int64
-}
-
-// publishLocked snapshots the ingest side into a fresh immutable queryView
-// and swaps it in for readers, crediting the publish (and, for window
-// streams, the evictions since the last publish) to the daemon metrics.
-// Caller holds st.mu (or has exclusive access during construction); m may be
-// nil for an uninstrumented server.
-func (st *namedStream) publishLocked(m *daemonMetrics) {
-	v := &queryView{
-		core:          cloneCore(st.core),
-		version:       st.version,
-		observed:      st.core.Observed(),
-		workingMemory: st.core.WorkingMemory(),
-		dim:           st.dim,
-	}
-	if wc, ok := st.core.(windowCore); ok {
-		v.window = &windowStats{
-			Size:        st.winSize,
-			Duration:    st.winDur,
-			LiveBuckets: wc.LiveBuckets(),
-			LivePoints:  wc.LivePoints(),
-		}
-		eb, ep := wc.EvictedBuckets(), wc.EvictedPoints()
-		if m != nil {
-			m.evictedBuckets.Add(eb - st.lastEvictedBuckets)
-			m.evictedPoints.Add(ep - st.lastEvictedPoints)
-		}
-		st.lastEvictedBuckets, st.lastEvictedPoints = eb, ep
-	}
-	if lg := st.log.Load(); lg != nil {
-		v.walSeq = lg.LastSeq()
-	}
-	st.view.Store(v)
-	if m != nil {
-		m.viewPublishes.Add(1)
-	}
-}
-
-// errGone is returned to clients whose request lost a race with a delete or
-// restore of the same stream; retrying observes the new state.
-var errGone = errors.New("stream was deleted or replaced concurrently; retry")
-
-// errFailed is returned for a stream whose in-memory state diverged from its
-// journal (an apply failure after the WAL acknowledged the batch): the stream
-// was set aside and the name is free again.
-var errFailed = errors.New("stream diverged from its journal and was set aside; recreate it")
-
-type server struct {
-	cfg     config
-	store   *persist.Store // nil = in-memory only
-	logger  *obs.Logger    // nil-safe; nil drops everything
-	metrics *daemonMetrics // nil disables instrumentation entirely
-	tracer  *obs.Tracer    // nil disables tracing; every recording site is nil-safe
-
-	mu      sync.RWMutex
-	streams map[string]*namedStream
-
-	// failed records streams set aside after diverging from their journal
-	// (at boot or mid-flight), keyed by name, until the name is reused.
-	// Drives the degraded /healthz answer and the /streams status entries.
-	failedMu sync.Mutex
-	failed   map[string]string
-}
-
-func newServer(cfg config) *server {
-	if cfg.budget <= 0 {
-		cfg.budget = 8 * (cfg.k + cfg.z)
-	}
-	if cfg.dist == "" {
-		cfg.dist = "euclidean"
-	}
-	if cfg.maxBody <= 0 {
-		cfg.maxBody = maxBodyBytes
-	}
-	if cfg.fsync == "" {
-		cfg.fsync = persist.FsyncAlways.String()
-	}
-	if cfg.obsMaxStreams == 0 {
-		cfg.obsMaxStreams = 64
-	}
-	if cfg.traceSample <= 0 {
-		cfg.traceSample = 16
-	}
-	if cfg.traceBuffer == 0 {
-		cfg.traceBuffer = 256 // negative = tracing disabled (NewTracer returns nil)
-	}
-	return &server{
-		cfg:     cfg,
-		streams: make(map[string]*namedStream),
-		metrics: newDaemonMetrics(),
-		tracer:  obs.NewTracer(cfg.traceSample, cfg.traceBuffer),
-	}
-}
-
-// handleHealthz is the liveness probe. It degrades to 503 when any stream
-// has been set aside as failed: the daemon is still serving, but state a
-// client acknowledged has been lost, which an orchestrator should surface
-// rather than round-robin past.
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if failed := s.failedStreams(); len(failed) > 0 {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status":        "degraded",
-			"failedStreams": failed,
-		})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-func (s *server) routes() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /streams", s.handleList)
-	mux.HandleFunc("GET /streams/{name}/stats", s.handleStats)
-	mux.HandleFunc("POST /streams/{name}/points", s.handleIngest)
-	mux.HandleFunc("POST /streams/{name}/ingest", s.handleIngest)
-	mux.HandleFunc("POST /streams/{name}/advance", s.handleAdvance)
-	mux.HandleFunc("GET /streams/{name}/centers", s.handleCenters)
-	mux.HandleFunc("POST /streams/{name}/snapshot", s.handleSnapshot)
-	mux.HandleFunc("POST /streams/{name}/restore", s.handleRestore)
-	mux.HandleFunc("DELETE /streams/{name}", s.handleDelete)
-	mux.HandleFunc("POST /merge", s.handleMerge)
-	// withObs sits INSIDE MaxBytesHandler: MaxBytesHandler forwards a shallow
-	// copy of the request, and the mux populates Pattern in place on the
-	// request it receives — the middleware must hold that same copy to read
-	// the route label afterwards.
-	return http.MaxBytesHandler(s.withObs(mux), s.cfg.maxBody)
-}
-
-// newCore builds a streaming clusterer for the given parameters. The space
-// name resolves to a full metric Space (batched kernels + surrogate), so
-// ingest runs on the native hot path. Positive winSize/winDur select the
-// sliding-window flavour.
-func (s *server) newCore(spaceName string, k, z, budget int, winSize, winDur int64) (streamCore, error) {
-	space, _, err := sketch.SpaceByName(spaceName)
-	if err != nil {
-		return nil, err
-	}
-	opts := []kcenter.Option{kcenter.WithSpace(space), kcenter.WithWorkers(s.cfg.workers)}
-	if winSize > 0 || winDur > 0 {
-		opts = append(opts, kcenter.WithWindowSize(int(winSize)), kcenter.WithWindowDuration(winDur))
-		if z > 0 {
-			return kcenter.NewWindowedOutliers(k, z, budget, opts...)
-		}
-		return kcenter.NewWindowedKCenter(k, budget, opts...)
-	}
-	if z > 0 {
-		return kcenter.NewStreamingOutliers(k, z, budget, opts...)
-	}
-	return kcenter.NewStreamingKCenter(k, budget, opts...)
-}
-
-// flavourMismatch rejects window query parameters aimed at an existing
-// insertion-only stream: silently dropping them would acknowledge ingest into
-// a stream that never evicts, permanently locking the name to the wrong
-// flavour. (winSize/winDur are set once at creation and never mutated, so
-// reading them without the stream mutex is safe.)
-func flavourMismatch(st *namedStream, r *http.Request) error {
-	winSize, err := queryInt64(r, "window", 0)
-	if err != nil {
-		return err
-	}
-	winDur, err := queryInt64(r, "windowDur", 0)
-	if err != nil {
-		return err
-	}
-	if (winSize > 0 || winDur > 0) && st.winSize == 0 && st.winDur == 0 {
-		return errors.New("stream already exists as insertion-only; ?window=/?windowDur= cannot convert it (delete and recreate)")
-	}
-	return nil
-}
-
-// getOrCreate returns the named stream, creating it with the request's (or
-// the daemon's) parameters on first touch.
-func (s *server) getOrCreate(name string, r *http.Request) (*namedStream, error) {
-	s.mu.RLock()
-	st, ok := s.streams[name]
-	s.mu.RUnlock()
-	if ok {
-		if err := flavourMismatch(st, r); err != nil {
-			return nil, err
-		}
-		return st, nil
-	}
-	k, err := queryInt(r, "k", s.cfg.k)
-	if err != nil {
-		return nil, err
-	}
-	z, err := queryInt(r, "z", s.cfg.z)
-	if err != nil {
-		return nil, err
-	}
-	budget, err := queryInt(r, "budget", 0)
-	if err != nil {
-		return nil, err
-	}
-	winSize, err := queryInt64(r, "window", 0)
-	if err != nil {
-		return nil, err
-	}
-	winDur, err := queryInt64(r, "windowDur", 0)
-	if err != nil {
-		return nil, err
-	}
-	if winSize < 0 || winDur < 0 {
-		return nil, fmt.Errorf("window bounds must be non-negative (window=%d windowDur=%d)", winSize, winDur)
-	}
-	if budget <= 0 {
-		if k == s.cfg.k && z == s.cfg.z {
-			budget = s.cfg.budget
-		} else {
-			budget = 8 * (k + z)
-		}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if st, ok := s.streams[name]; ok {
-		// Lost the creation race; use the winner's stream (unless the window
-		// parameters conflict with its flavour).
-		if err := flavourMismatch(st, r); err != nil {
-			return nil, err
-		}
-		return st, nil
-	}
-	core, err := s.newCore(s.cfg.dist, k, z, budget, winSize, winDur)
-	if err != nil {
-		return nil, err
-	}
-	st = &namedStream{core: core, k: k, z: z, budget: budget, space: s.cfg.dist, winSize: winSize, winDur: winDur}
-	if s.store != nil {
-		// Journal the creation before the name becomes visible. Holding s.mu
-		// across the disk write serialises creation against a concurrent
-		// DELETE of the same name (which tombstones the directory under
-		// s.mu), so a re-create can never collide with a half-removed
-		// directory. The cost — a couple of fsyncs under the server lock —
-		// is paid once per stream NAME, never on the steady-state ingest
-		// path, which only takes the read lock.
-		lg, err := s.store.Create(name, streamMeta(st))
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", errPersistFailed, err)
-		}
-		st.log.Store(lg)
-	}
-	st.publishLocked(s.metrics)
-	s.streams[name] = st
-	s.clearFailed(name)
-	return st, nil
-}
-
-// errPersistFailed marks stream-creation failures of the durability layer,
-// so handlers report 500 internal instead of blaming the client's params.
-var errPersistFailed = errors.New("durability layer failure")
-
-// streamMeta derives the journaled metadata from a stream's parameters.
-func streamMeta(st *namedStream) persist.Meta {
-	return persist.Meta{
-		K:              st.k,
-		Z:              st.z,
-		Budget:         st.budget,
-		Space:          st.space,
-		WindowSize:     st.winSize,
-		WindowDuration: st.winDur,
-	}
-}
-
-// adoptRecovered installs the streams the durability layer recovered at
-// boot: restore the snapshot (or rebuild an empty core from the journaled
-// metadata), verify the snapshot against the metadata, replay the log tail,
-// and surface the recovery stats. Streams that fail above the persistence
-// layer are set aside (directory renamed *.failed) so the name stays usable.
-// Boot recovery records a background trace with one child span per stream,
-// always retained, so a slow boot is attributable after the fact.
-func (s *server) adoptRecovered(recovered []*persist.Recovered) {
-	if len(recovered) == 0 {
-		return
-	}
-	ctx, root := s.tracer.StartBackground(context.Background(), "recovery")
-	root.SetAttr("streams", strconv.Itoa(len(recovered)))
-	defer root.End()
-	for _, rec := range recovered {
-		_, sp := obs.StartSpan(ctx, "recover.stream")
-		sp.SetAttr("stream", rec.Name)
-		if rec.Err != nil {
-			sp.SetAttr("status", "failed")
-			sp.End()
-			s.logger.Error("recovery failed, stream set aside", "stream", rec.Name, "err", rec.Err)
-			s.markFailed(rec.Name, rec.Err.Error())
-			continue
-		}
-		st, err := s.rebuildStream(rec)
-		if err != nil {
-			sp.SetAttr("status", "failed")
-			sp.End()
-			s.logger.Error("recovery failed, stream set aside", "stream", rec.Name, "err", err)
-			if saErr := rec.Log.SetAside(); saErr != nil {
-				s.logger.Error("setting stream aside failed", "stream", rec.Name, "err", saErr)
+// splitRole pulls the -role flag (in any of its spellings: -role=x, -role x,
+// --role...) out of args, returning its value and the remaining arguments in
+// order.
+func splitRole(args []string) (role string, rest []string, err error) {
+	rest = make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name := strings.TrimPrefix(strings.TrimPrefix(a, "-"), "-")
+		switch {
+		case !strings.HasPrefix(a, "-"):
+			rest = append(rest, a)
+		case name == "role":
+			if i+1 >= len(args) {
+				return "", nil, fmt.Errorf("flag needs an argument: -role")
 			}
-			s.markFailed(rec.Name, err.Error())
-			continue
-		}
-		s.mu.Lock()
-		s.streams[rec.Name] = st
-		s.mu.Unlock()
-		sp.SetAttr("status", "ok")
-		sp.End()
-		s.logger.Info("recovered stream", "stream", rec.Name,
-			"snapshot", rec.Stats.SnapshotLoaded, "records", rec.Stats.RecordsReplayed,
-			"points", rec.Stats.PointsReplayed, "tornTail", rec.Stats.TornTail)
-	}
-}
-
-// rebuildStream revives one recovered stream: snapshot first, then the
-// journal tail on top, exactly the order the records were acknowledged in.
-func (s *server) rebuildStream(rec *persist.Recovered) (*namedStream, error) {
-	var (
-		core streamCore
-		meta persist.Meta
-		dim  int
-		err  error
-	)
-	if rec.Snapshot != nil {
-		var info *kcenter.SketchInfo
-		core, info, err = s.restoreCore(rec.Snapshot)
-		if err != nil {
-			return nil, fmt.Errorf("snapshot: %w", err)
-		}
-		meta = persist.Meta{
-			K:              info.K,
-			Z:              info.Z,
-			Budget:         info.Budget,
-			Space:          info.Distance,
-			WindowSize:     info.WindowSize,
-			WindowDuration: info.WindowDuration,
-		}
-		// The snapshot must describe the stream the journal was written for:
-		// a swapped or stale file silently changing k, the metric space or
-		// the window geometry would corrupt every later answer.
-		if rec.HaveMeta && meta != rec.Meta {
-			return nil, fmt.Errorf("snapshot metadata %+v does not match journaled metadata %+v", meta, rec.Meta)
-		}
-		if !rec.HaveMeta {
-			if err := rec.Log.AdoptMeta(meta); err != nil {
-				return nil, err
-			}
-		}
-		dim = info.Dimensions
-	} else {
-		meta = rec.Meta
-		core, err = s.newCore(meta.Space, meta.K, meta.Z, meta.Budget, meta.WindowSize, meta.WindowDuration)
-		if err != nil {
-			return nil, err
-		}
-	}
-	for i, r := range rec.Tail {
-		switch r.Op {
-		case persist.OpBatch:
-			if r.Timestamps != nil {
-				wc, ok := core.(windowCore)
-				if !ok {
-					return nil, fmt.Errorf("record %d: timestamped batch journaled for a non-window stream", i)
-				}
-				for j, p := range r.Points {
-					if err := wc.ObserveAt(p, r.Timestamps[j]); err != nil {
-						return nil, fmt.Errorf("record %d: replay: %w", i, err)
-					}
-				}
-			} else {
-				for _, p := range r.Points {
-					if err := core.Observe(p); err != nil {
-						return nil, fmt.Errorf("record %d: replay: %w", i, err)
-					}
-				}
-			}
-			if dim == 0 {
-				dim = r.Points.Dim()
-			}
-		case persist.OpAdvance:
-			wc, ok := core.(windowCore)
-			if !ok {
-				return nil, fmt.Errorf("record %d: advance journaled for a non-window stream", i)
-			}
-			if err := wc.Advance(r.AdvanceTo); err != nil {
-				return nil, fmt.Errorf("record %d: replay: %w", i, err)
-			}
+			i++
+			role = args[i]
+		case strings.HasPrefix(name, "role="):
+			role = strings.TrimPrefix(name, "role=")
 		default:
-			return nil, fmt.Errorf("record %d: unexpected op %v in replay tail", i, r.Op)
+			rest = append(rest, a)
 		}
 	}
-	stats := rec.Stats
-	st := &namedStream{
-		core:     core,
-		k:        meta.K,
-		z:        meta.Z,
-		budget:   meta.Budget,
-		space:    meta.Space,
-		winSize:  meta.WindowSize,
-		winDur:   meta.WindowDuration,
-		dim:      dim,
-		recovery: &stats,
-	}
-	st.log.Store(rec.Log)
-	st.publishLocked(s.metrics)
-	return st, nil
-}
-
-func (s *server) lookup(name string) (*namedStream, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.streams[name]
-	return st, ok
-}
-
-type ingestRequest struct {
-	Points kcenter.Dataset `json:"points"`
-	// Timestamps optionally carries one non-negative, non-decreasing int64
-	// per point (window streams only), in the same caller-defined units as
-	// the stream's ?windowDur= bound.
-	Timestamps []int64 `json:"timestamps,omitempty"`
-}
-
-type windowStats struct {
-	Size        int64 `json:"size,omitempty"`
-	Duration    int64 `json:"duration,omitempty"`
-	LiveBuckets int   `json:"liveBuckets"`
-	LivePoints  int64 `json:"livePoints"`
-}
-
-// durabilityStats surfaces the stream's journal state and, for streams that
-// survived a restart, what boot-time recovery did.
-type durabilityStats struct {
-	persist.LogStats
-	Fsync    string                 `json:"fsync"`
-	Recovery *persist.RecoveryStats `json:"recovery,omitempty"`
-}
-
-// cacheStats counts the stream's extraction-cache behaviour: a hit answers a
-// centers query from the published view's memo, a miss runs the extraction
-// (and primes the memo for the next query at the same version).
-type cacheStats struct {
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
-}
-
-type streamStats struct {
-	Name string `json:"name"`
-	// Status is "ok" for a live stream; /streams also lists set-aside streams
-	// with status "failed" and the failure reason.
-	Status        string           `json:"status"`
-	Reason        string           `json:"reason,omitempty"`
-	K             int              `json:"k"`
-	Z             int              `json:"z"`
-	Budget        int              `json:"budget"`
-	Space         string           `json:"space"`
-	Observed      int64            `json:"observed"`
-	WorkingMemory int              `json:"workingMemory"`
-	Version       int64            `json:"version"`
-	Cache         cacheStats       `json:"cache"`
-	Window        *windowStats     `json:"window,omitempty"`
-	Durability    *durabilityStats `json:"durability,omitempty"`
-}
-
-// statsFromView assembles the stats payload from a published view plus the
-// stream's lock-free counters — no stream mutex anywhere on the path (the
-// durability stats read the journal's lock-free snapshot too).
-func (s *server) statsFromView(name string, st *namedStream, v *queryView) streamStats {
-	stats := streamStats{
-		Name:          name,
-		Status:        "ok",
-		K:             st.k,
-		Z:             st.z,
-		Budget:        st.budget,
-		Space:         st.space,
-		Observed:      v.observed,
-		WorkingMemory: v.workingMemory,
-		Version:       v.version,
-		Cache:         cacheStats{Hits: st.cacheHits.Load(), Misses: st.cacheMisses.Load()},
-		Window:        v.window,
-	}
-	if lg := st.log.Load(); lg != nil {
-		stats.Durability = &durabilityStats{
-			LogStats: lg.Stats(),
-			Fsync:    s.cfg.fsync,
-			Recovery: st.recovery,
-		}
-	}
-	return stats
-}
-
-// validateBatch enforces every precondition of an ingest batch BEFORE any
-// point is applied, so a rejected batch never partially mutates the stream:
-// non-empty, finite coordinates, rectangular dimensions, and (when present)
-// one sorted non-negative timestamp per point.
-func validateBatch(req *ingestRequest) (status int, code string, err error) {
-	if len(req.Points) == 0 {
-		return http.StatusBadRequest, codeEmptyBatch, errors.New("empty batch")
-	}
-	if err := req.Points.Validate(); err != nil {
-		code := codeInvalidPoint
-		if errors.Is(err, metric.ErrDimensionMismatch) {
-			code = codeDimensionMismatch
-		}
-		return http.StatusBadRequest, code, err
-	}
-	if req.Points.Dim() == 0 {
-		// Zero-dimension points would collide with the "dimension not yet
-		// known" sentinel and poison later real batches.
-		return http.StatusBadRequest, codeInvalidPoint, errors.New("points must have at least one coordinate")
-	}
-	if req.Timestamps != nil {
-		if len(req.Timestamps) != len(req.Points) {
-			return http.StatusBadRequest, codeInvalidTimestamps,
-				fmt.Errorf("%d timestamps for %d points", len(req.Timestamps), len(req.Points))
-		}
-		for i, ts := range req.Timestamps {
-			if ts < 0 {
-				return http.StatusBadRequest, codeInvalidTimestamps, fmt.Errorf("timestamp %d is negative (%d)", i, ts)
-			}
-			if i > 0 && ts < req.Timestamps[i-1] {
-				return http.StatusBadRequest, codeInvalidTimestamps,
-					fmt.Errorf("timestamp %d (%d) precedes timestamp %d (%d)", i, ts, i-1, req.Timestamps[i-1])
-			}
-		}
-	}
-	return 0, "", nil
-}
-
-// decodeJSON strictly decodes a JSON request body: unknown fields are
-// rejected, trailing data after the document is rejected, and a body over
-// the -max-body cap maps to 413 body_too_large. It writes the error response
-// itself and reports whether decoding succeeded.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
-			return false
-		}
-		httpError(w, http.StatusBadRequest, codeInvalidJSON, fmt.Errorf("invalid JSON body: %w", err))
-		return false
-	}
-	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
-			return false
-		}
-		httpError(w, http.StatusBadRequest, codeInvalidJSON, errors.New("trailing data after JSON body"))
-		return false
-	}
-	return true
-}
-
-// handleIngest serves both ingest routes (/points and its alias /ingest),
-// negotiating the decoder by Content-Type: JSON stays the default, and
-// "application/x-kcenter-flat" selects the binary flat-frame decoder — no
-// JSON anywhere on that path. Both decoders feed the same ingestBatch core,
-// so validation, journaling, atomicity and the response shape are identical.
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	switch negotiateIngest(r) {
-	case mediaBinary:
-		s.handleIngestBinary(w, r)
-	case mediaJSON:
-		s.handleIngestJSON(w, r)
-	default:
-		httpError(w, http.StatusUnsupportedMediaType, codeUnsupportedMedia,
-			fmt.Errorf("unsupported Content-Type %q (use application/json or %s)",
-				r.Header.Get("Content-Type"), binaryContentType))
-	}
-}
-
-// handleIngestJSON is the JSON decode front end: pooled decode buffers (the
-// carrier), strict decoding, full up-front validation, then one contiguous
-// copy of the batch into stream-owned storage.
-func (s *server) handleIngestJSON(w http.ResponseWriter, r *http.Request) {
-	c := ingestPool.Get().(*ingestCarrier)
-	defer ingestPool.Put(c)
-	_, decode := obs.StartSpan(r.Context(), "decode")
-	decode.SetAttr("proto", "json")
-	ok := c.readIngestJSON(w, r)
-	decode.End()
-	if !ok {
-		return
-	}
-	_, validate := obs.StartSpan(r.Context(), "validate")
-	if status, code, err := validateBatch(&c.req); err != nil {
-		validate.End()
-		httpError(w, status, code, err)
-		return
-	}
-	// The pooled points are about to be reused by another request; what the
-	// stream keeps must be a private contiguous copy.
-	batch, err := compactBatch(c.req.Points)
-	validate.End()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, codeInternal, err)
-		return
-	}
-	s.ingestBatch(w, r, batch, c.req.Timestamps, -1)
-}
-
-// handleIngestBinary is the binary decode front end: the body is one flat
-// frame (plus optional timestamp trailer), decoded straight into contiguous
-// storage with zero per-point allocations and no JSON anywhere.
-func (s *server) handleIngestBinary(w http.ResponseWriter, r *http.Request) {
-	_, decode := obs.StartSpan(r.Context(), "decode")
-	decode.SetAttr("proto", "binary")
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		decode.End()
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
-			return
-		}
-		httpError(w, http.StatusBadRequest, codeInvalidFrame, fmt.Errorf("reading request body: %w", err))
-		return
-	}
-	f, ts, code, err := decodeBinaryIngest(body)
-	decode.End()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, code, err)
-		return
-	}
-	s.ingestBatch(w, r, f.Dataset(), ts, len(body))
-}
-
-// ingestBatch is the shared ingest core behind both decoders. The batch is
-// fully validated, dimensionally consistent and stream-owned when it arrives
-// here. Under group commit the WAL write (BeginBatch) is issued under the
-// stream mutex — so journal order equals apply order — but the covering
-// fsync is awaited AFTER the mutex is released: while this batch's fsync is
-// in flight, the next batches append their frames and join the same disk
-// flush, which is where the -fsync=always throughput multiple comes from.
-// The 200 still implies durability per the fsync mode; a Wait failure is a
-// 500 on a now-poisoned log, exactly like an inline fsync failure.
-func (s *server) ingestBatch(w http.ResponseWriter, r *http.Request, batch metric.Dataset, timestamps []int64, binaryBytes int) {
-	name := r.PathValue("name")
-	if timestamps != nil {
-		// Reject timestamps aimed at a non-window stream BEFORE getOrCreate
-		// runs: otherwise a first ingest that forgot ?window= would create a
-		// plain stream as a side effect of its own rejection, permanently
-		// locking the name to the wrong flavour. (The locked re-check below
-		// stays authoritative against creation races.)
-		if st, ok := s.lookup(name); ok {
-			if _, isWin := st.core.(windowCore); !isWin {
-				httpError(w, http.StatusBadRequest, codeNotWindowed,
-					errors.New("timestamps are only accepted by window streams (create with ?window= or ?windowDur=)"))
-				return
-			}
-		} else {
-			// == 0, not <= 0: explicitly negative bounds fall through to
-			// getOrCreate's own validation and report invalid_param instead
-			// of a misleading "add ?window=" hint.
-			winSize, err1 := queryInt64(r, "window", 0)
-			winDur, err2 := queryInt64(r, "windowDur", 0)
-			if err1 == nil && err2 == nil && winSize == 0 && winDur == 0 {
-				httpError(w, http.StatusBadRequest, codeNotWindowed,
-					errors.New("timestamped batches need a window stream: create it with ?window= or ?windowDur="))
-				return
-			}
-		}
-	}
-	st, err := s.getOrCreate(name, r)
-	if err != nil {
-		if errors.Is(err, errPersistFailed) {
-			httpError(w, http.StatusInternalServerError, codeInternal, err)
-		} else {
-			httpError(w, http.StatusBadRequest, codeInvalidParam, err)
-		}
-		return
-	}
-
-	st.mu.Lock()
-	if code, err := st.gateLocked(); err != nil {
-		st.mu.Unlock()
-		httpError(w, statusForGate(code), code, err)
-		return
-	}
-	if st.dim != 0 && batch.Dim() != st.dim {
-		st.mu.Unlock()
-		httpError(w, http.StatusBadRequest, codeDimensionMismatch,
-			fmt.Errorf("batch dimension %d does not match stream dimension %d", batch.Dim(), st.dim))
-		return
-	}
-	if timestamps != nil {
-		wc, ok := st.core.(windowCore)
-		if !ok {
-			st.mu.Unlock()
-			httpError(w, http.StatusBadRequest, codeNotWindowed,
-				errors.New("timestamps are only accepted by window streams (create with ?window= or ?windowDur=)"))
-			return
-		}
-		// The stream's clock only moves forward; checked up front so the
-		// whole batch is rejected before any point lands — and before it is
-		// journaled, so a record that would fail replay is never written.
-		if last := wc.LastTimestamp(); timestamps[0] < last {
-			st.mu.Unlock()
-			httpError(w, http.StatusBadRequest, codeInvalidTimestamps,
-				fmt.Errorf("batch starts at timestamp %d, stream is already at %d", timestamps[0], last))
-			return
-		}
-	}
-	// Journal, then apply: the batch has passed every validation that could
-	// reject it, so the WAL record and the in-memory mutation stand or fall
-	// together, and the acknowledgement below implies durability (per the
-	// fsync mode). The frame is written and sequenced here under st.mu —
-	// journal order equals apply order — but under group commit the covering
-	// fsync is awaited only after the mutex is released, so concurrent
-	// batches on this and other streams share disk flushes.
-	var pending *persist.Pending
-	if lg := st.log.Load(); lg != nil {
-		_, journal := obs.StartSpan(r.Context(), "journal")
-		p, err := lg.BeginBatch(batch, timestamps)
-		journal.End()
-		if err != nil {
-			st.mu.Unlock()
-			httpError(w, http.StatusInternalServerError, codeInternal, err)
-			return
-		}
-		pending = p
-	}
-	_, apply := obs.StartSpan(r.Context(), "apply")
-	apply.SetAttr("points", strconv.Itoa(len(batch)))
-	var applyErr error
-	if timestamps != nil {
-		wc := st.core.(windowCore)
-		for i, p := range batch {
-			if applyErr = applyPointHook(i); applyErr != nil {
-				break
-			}
-			if applyErr = wc.ObserveAt(p, timestamps[i]); applyErr != nil {
-				break
-			}
-		}
-	} else {
-		for i, p := range batch {
-			if applyErr = applyPointHook(i); applyErr != nil {
-				break
-			}
-			if applyErr = st.core.Observe(p); applyErr != nil {
-				break
-			}
-		}
-	}
-	apply.End()
-	if applyErr != nil {
-		// The journal acknowledged records the in-memory state no longer
-		// reflects (the batch was only partially applied): every later answer
-		// and every replay would silently diverge. Fail the stream — set it
-		// aside like an unrecoverable boot, free the name — instead of
-		// serving corrupt state.
-		st.failed.Store(true)
-		st.gone.Store(true)
-		st.mu.Unlock()
-		s.failStream(name, st, applyErr)
-		httpError(w, http.StatusInternalServerError, codeStreamFailed,
-			fmt.Errorf("batch failed to apply after it was journaled; %w: %v", errFailed, applyErr))
-		return
-	}
-	st.dim = batch.Dim()
-	st.version++
-	_, publish := obs.StartSpan(r.Context(), "publish")
-	st.publishLocked(s.metrics)
-	publish.End()
-	s.maybeCompactLocked(name, st)
-	stats := s.statsFromView(name, st, st.view.Load())
-	st.mu.Unlock()
-	// Block for durability OUTSIDE the stream mutex: this is the group-commit
-	// window — while this batch's fsync is in flight, the next requests take
-	// st.mu, journal their frames and join the next flush. A Wait failure
-	// means the fsync failed after the frame was written; the log is poisoned
-	// and the outcome is indeterminate (the frame may or may not survive
-	// recovery), so the client gets a 500, never a 200. The applied-but-
-	// unacked view state is the same transient recovery would produce.
-	// WaitCtx attributes the enqueue→ack time to this request's trace as a
-	// wal.wait span.
-	if pending != nil {
-		if err := pending.WaitCtx(r.Context()); err != nil {
-			httpError(w, http.StatusInternalServerError, codeInternal, err)
-			return
-		}
-	}
-	if m := s.metrics; m != nil {
-		m.ingestBatches.Add(1)
-		m.ingestPoints.Add(int64(len(batch)))
-		if binaryBytes >= 0 {
-			m.ingestBinaryBytes.Add(int64(binaryBytes))
-			m.ingestBinaryPoints.Add(int64(len(batch)))
-		}
-	}
-	writeJSON(w, http.StatusOK, stats)
-}
-
-// gateLocked rejects requests that raced a delete, restore or failure of the
-// stream. Callers hold st.mu (writers) or nothing at all (readers — the flags
-// are atomic and only ever flip one way).
-func (st *namedStream) gateLocked() (code string, err error) {
-	if st.failed.Load() {
-		return codeStreamFailed, errFailed
-	}
-	if st.gone.Load() {
-		return codeStreamGone, errGone
-	}
-	return "", nil
-}
-
-func statusForGate(code string) int {
-	if code == codeStreamFailed {
-		return http.StatusInternalServerError
-	}
-	return http.StatusConflict
-}
-
-// failStream sets a diverged stream aside (journal renamed *.failed, name
-// removed from the table). Called WITHOUT st.mu: the failed/gone flags are
-// already set, so every concurrent handler fails at its gate, and the map
-// removal needs the server lock (lock order is server -> stream).
-func (s *server) failStream(name string, st *namedStream, cause error) {
-	s.logger.Error("apply diverged from the journal, stream set aside", "stream", name, "err", cause)
-	if lg := st.log.Swap(nil); lg != nil {
-		if err := lg.SetAside(); err != nil {
-			s.logger.Error("setting stream aside failed", "stream", name, "err", err)
-		}
-	}
-	s.mu.Lock()
-	if cur, ok := s.streams[name]; ok && cur == st {
-		delete(s.streams, name)
-	}
-	s.mu.Unlock()
-	s.markFailed(name, cause.Error())
-}
-
-// applyPointHook is a test seam called before each point of a batch is
-// applied: a non-nil error simulates a mid-batch apply failure, which is
-// otherwise unreachable because batches are fully validated up front. The
-// default is free of overhead beyond one predictable branch.
-var applyPointHook = func(i int) error { return nil }
-
-// compactStartHook is a test seam called at the start of a background
-// compaction, before the view is serialized; tests block here to prove
-// ingest proceeds while a compaction is in flight.
-var compactStartHook = func() {}
-
-// maybeCompactLocked kicks off a background snapshot compaction when the
-// stream's journal has grown past the threshold. Caller holds st.mu and has
-// just published the current view, so the view's walSeq covers every
-// journaled record; the compaction itself captures that view and runs with NO
-// stream lock at all — serialization and the disk I/O (snapshot write, WAL
-// rewrite, fsyncs) happen entirely off the ingest path, and records appended
-// meanwhile are preserved by CompactAt. At most one compaction per stream is
-// in flight. Each compaction records a background trace of its own
-// (serialize + wal.compact stages), always retained.
-func (s *server) maybeCompactLocked(name string, st *namedStream) {
-	lg := st.log.Load()
-	if lg == nil || !lg.ShouldCompact() {
-		return
-	}
-	if !st.compacting.CompareAndSwap(false, true) {
-		return
-	}
-	v := st.view.Load()
-	go func() {
-		defer st.compacting.Store(false)
-		compactStartHook()
-		if st.gone.Load() {
-			return
-		}
-		ctx, root := s.tracer.StartBackground(context.Background(), "compact")
-		root.SetAttr("stream", name)
-		defer root.End()
-		_, serialize := obs.StartSpan(ctx, "serialize")
-		snap, _, err := v.snapshot()
-		serialize.End()
-		if err != nil {
-			root.SetAttr("error", err.Error())
-			s.logger.Error("compaction: serializing the view failed", "err", err)
-			return
-		}
-		_, compact := obs.StartSpan(ctx, "wal.compact")
-		err = lg.CompactAt(v.walSeq, snap)
-		compact.End()
-		if err != nil && !errors.Is(err, persist.ErrLogRemoved) {
-			root.SetAttr("error", err.Error())
-			s.logger.Error("compaction failed", "err", err)
-		}
-	}()
-}
-
-// advanceRequest moves a window stream's clock forward without observing a
-// point, evicting buckets that age out of a duration window.
-type advanceRequest struct {
-	To int64 `json:"to"`
-}
-
-func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
-	var req advanceRequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
-	name := r.PathValue("name")
-	st, ok := s.lookup(name)
-	if !ok {
-		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
-		return
-	}
-	st.mu.Lock()
-	if code, err := st.gateLocked(); err != nil {
-		st.mu.Unlock()
-		httpError(w, statusForGate(code), code, err)
-		return
-	}
-	wc, ok := st.core.(windowCore)
-	if !ok {
-		st.mu.Unlock()
-		httpError(w, http.StatusBadRequest, codeNotWindowed,
-			errors.New("only window streams have a clock to advance"))
-		return
-	}
-	// Validated before journaling, so a record that would fail replay is
-	// never written.
-	if req.To < 0 {
-		st.mu.Unlock()
-		httpError(w, http.StatusBadRequest, codeInvalidTimestamps, fmt.Errorf("advance target %d is negative", req.To))
-		return
-	}
-	if last := wc.LastTimestamp(); req.To < last {
-		st.mu.Unlock()
-		httpError(w, http.StatusBadRequest, codeInvalidTimestamps,
-			fmt.Errorf("advance target %d precedes the stream clock %d", req.To, last))
-		return
-	}
-	var pending *persist.Pending
-	if lg := st.log.Load(); lg != nil {
-		_, journal := obs.StartSpan(r.Context(), "journal")
-		p, err := lg.BeginAdvance(req.To)
-		journal.End()
-		if err != nil {
-			st.mu.Unlock()
-			httpError(w, http.StatusInternalServerError, codeInternal, err)
-			return
-		}
-		pending = p
-	}
-	_, apply := obs.StartSpan(r.Context(), "apply")
-	if err := wc.Advance(req.To); err != nil {
-		apply.End()
-		// Same divergence as a mid-batch apply failure: the journal holds a
-		// record the in-memory state rejected.
-		st.failed.Store(true)
-		st.gone.Store(true)
-		st.mu.Unlock()
-		s.failStream(name, st, err)
-		httpError(w, http.StatusInternalServerError, codeStreamFailed,
-			fmt.Errorf("advance failed to apply after it was journaled; %w: %v", errFailed, err))
-		return
-	}
-	apply.End()
-	st.version++
-	_, publish := obs.StartSpan(r.Context(), "publish")
-	st.publishLocked(s.metrics)
-	publish.End()
-	s.maybeCompactLocked(name, st)
-	stats := s.statsFromView(name, st, st.view.Load())
-	st.mu.Unlock()
-	// Same ordering as ingestBatch: durability is awaited outside st.mu so
-	// concurrent writers share the covering fsync.
-	if pending != nil {
-		if err := pending.WaitCtx(r.Context()); err != nil {
-			httpError(w, http.StatusInternalServerError, codeInternal, err)
-			return
-		}
-	}
-	writeJSON(w, http.StatusOK, stats)
-}
-
-// handleStats is the introspection endpoint: per-stream counters, working
-// memory, space name and (for window streams) the live window state. Answered
-// entirely from the published view and lock-free counters — it never takes
-// the stream's ingest mutex.
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	st, ok := s.lookup(name)
-	if !ok {
-		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
-		return
-	}
-	if code, err := st.gateLocked(); err != nil {
-		httpError(w, statusForGate(code), code, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, s.statsFromView(name, st, st.view.Load()))
-}
-
-type centersResponse struct {
-	streamStats
-	Centers kcenter.Dataset `json:"centers"`
-}
-
-// handleCenters extracts the current k centers from the newest published
-// view, never taking the stream's ingest mutex: the answer is a consistent
-// snapshot as of the view's version, and a repeated query at an unchanged
-// version is a cache hit (the view memoises its extraction).
-func (s *server) handleCenters(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	st, ok := s.lookup(name)
-	if !ok {
-		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
-		return
-	}
-	if code, err := st.gateLocked(); err != nil {
-		httpError(w, statusForGate(code), code, err)
-		return
-	}
-	v := st.view.Load()
-	_, extract := obs.StartSpan(r.Context(), "extract")
-	centers, hit, err := v.centers(extractKey{k: st.k, z: st.z})
-	if hit {
-		extract.SetAttr("cache", "hit")
-	} else {
-		extract.SetAttr("cache", "miss")
-	}
-	extract.End()
-	if hit {
-		st.cacheHits.Add(1)
-	} else {
-		st.cacheMisses.Add(1)
-	}
-	if m := s.metrics; m != nil {
-		if hit {
-			m.cacheHits.Add(1)
-		} else {
-			m.cacheMisses.Add(1)
-		}
-	}
-	if err != nil {
-		// A window stream whose every bucket has been evicted has nothing to
-		// answer with; other extraction failures are equally state conflicts.
-		httpError(w, http.StatusConflict, codeEmptyStream, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, centersResponse{
-		streamStats: s.statsFromView(name, st, v),
-		Centers:     centers,
-	})
-}
-
-// handleSnapshot serializes the newest published view — wait-free like the
-// other reads, and memoised, so back-to-back snapshots at an unchanged
-// version serialize once and answer byte-identically.
-func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	st, ok := s.lookup(name)
-	if !ok {
-		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
-		return
-	}
-	if code, err := st.gateLocked(); err != nil {
-		httpError(w, statusForGate(code), code, err)
-		return
-	}
-	_, serialize := obs.StartSpan(r.Context(), "snapshot")
-	snap, hit, err := st.view.Load().snapshot()
-	if hit {
-		serialize.SetAttr("cache", "hit")
-	} else {
-		serialize.SetAttr("cache", "miss")
-	}
-	serialize.End()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, codeInternal, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(len(snap)))
-	w.WriteHeader(http.StatusOK)
-	if n, err := w.Write(snap); err != nil {
-		// The response status is already on the wire; all that is left is to
-		// make the truncation observable on the server side too.
-		s.logger.Warn("snapshot: short write to client", "stream", name,
-			"written", n, "size", len(snap), "err", err)
-	}
-}
-
-func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	data, err := io.ReadAll(r.Body)
-	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
-			return
-		}
-		httpError(w, http.StatusBadRequest, codeInvalidParam, err)
-		return
-	}
-	core, info, err := s.restoreCore(data)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, codeBadSketch, err)
-		return
-	}
-	name := r.PathValue("name")
-	st := &namedStream{
-		core: core, k: info.K, z: info.Z, budget: info.Budget, dim: info.Dimensions,
-		space: info.Distance, winSize: info.WindowSize, winDur: info.WindowDuration,
-	}
-	// Durable restore: the restored state becomes the stream's snapshot and
-	// its journal starts fresh. The canonical re-snapshot (not the client's
-	// bytes) is persisted so later compactions are byte-identical to it.
-	var snap []byte
-	if s.store != nil {
-		if snap, err = core.Snapshot(); err != nil {
-			httpError(w, http.StatusInternalServerError, codeInternal, err)
-			return
-		}
-	}
-	s.mu.Lock()
-	if old, ok := s.streams[name]; ok {
-		// Mark the replaced stream dead under its own mutex so a handler
-		// that already looked it up fails with 409 instead of acknowledging
-		// a write into the orphan: taking old.mu waits out any in-flight
-		// append. (Lock order server->stream is safe: no handler acquires
-		// the server lock while holding a stream lock.)
-		old.mu.Lock()
-		old.gone.Store(true)
-		if lg := old.log.Swap(nil); lg != nil {
-			// The old journal dies with the old state; Replace below writes
-			// the new directory contents.
-			if err := lg.Remove(); err != nil {
-				s.logger.Error("restore: removing the old journal failed", "stream", name, "err", err)
-			}
-		}
-		old.mu.Unlock()
-	}
-	if s.store != nil {
-		lg, err := s.store.Replace(name, streamMeta(st), snap)
-		if err != nil {
-			// Neither the old nor the new state is trustworthy now; drop the
-			// name entirely rather than serving a stream that will not
-			// survive a restart.
-			delete(s.streams, name)
-			s.mu.Unlock()
-			httpError(w, http.StatusInternalServerError, codeInternal, err)
-			return
-		}
-		st.log.Store(lg)
-	}
-	st.publishLocked(s.metrics)
-	s.streams[name] = st
-	s.mu.Unlock()
-	s.clearFailed(name)
-	writeJSON(w, http.StatusOK, s.statsFromView(name, st, st.view.Load()))
-}
-
-// restoreCore revives a sketch of any kind — insertion-only or windowed,
-// plain or outlier-aware — as a live stream.
-func (s *server) restoreCore(data []byte) (streamCore, *kcenter.SketchInfo, error) {
-	info, err := kcenter.InspectSketch(data)
-	if err != nil {
-		return nil, nil, err
-	}
-	var core streamCore
-	switch {
-	case info.Window && info.Outliers:
-		core, err = kcenter.RestoreWindowedOutliers(data, kcenter.WithWorkers(s.cfg.workers))
-	case info.Window:
-		core, err = kcenter.RestoreWindowedKCenter(data, kcenter.WithWorkers(s.cfg.workers))
-	case info.Outliers:
-		core, err = kcenter.RestoreStreamingOutliers(data, kcenter.WithWorkers(s.cfg.workers))
-	default:
-		core, err = kcenter.RestoreStreamingKCenter(data, kcenter.WithWorkers(s.cfg.workers))
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	return core, info, nil
-}
-
-func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	s.mu.Lock()
-	st, ok := s.streams[name]
-	delete(s.streams, name)
-	var rmErr error
-	if ok {
-		// Tombstone the stream's directory while still holding the server
-		// lock: creation of the same name also runs under s.mu, so a racing
-		// re-create can never collide with the half-removed directory.
-		// Taking st.mu (server->stream order, same as restore) makes the
-		// delete wait for an in-flight append instead of yanking the journal
-		// out from under it; handlers that already hold a stale pointer see
-		// gone and answer 409. The map entry itself is removed above, so the
-		// per-stream mutex is garbage-collected with the stream — the stream
-		// table cannot accumulate mutexes for deleted names.
-		st.mu.Lock()
-		st.gone.Store(true)
-		if lg := st.log.Swap(nil); lg != nil {
-			rmErr = lg.Remove()
-		}
-		st.mu.Unlock()
-	}
-	s.mu.Unlock()
-	if !ok {
-		httpError(w, http.StatusNotFound, codeUnknownStream, fmt.Errorf("unknown stream %q", name))
-		return
-	}
-	if rmErr != nil {
-		httpError(w, http.StatusInternalServerError, codeInternal,
-			fmt.Errorf("stream dropped but its durable state could not be fully removed: %w", rmErr))
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
-}
-
-func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	names := make([]string, 0, len(s.streams))
-	for name := range s.streams {
-		names = append(names, name)
-	}
-	s.mu.RUnlock()
-	failed := s.failedStreams()
-	for name := range failed {
-		// A failed name that was since recreated is listed live, not failed.
-		if _, ok := s.lookup(name); ok {
-			delete(failed, name)
-		} else {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
-	out := make([]streamStats, 0, len(names))
-	for _, name := range names {
-		if reason, isFailed := failed[name]; isFailed {
-			out = append(out, streamStats{Name: name, Status: "failed", Reason: reason})
-			continue
-		}
-		if st, ok := s.lookup(name); ok {
-			out = append(out, s.statsFromView(name, st, st.view.Load()))
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"streams": out})
-}
-
-type mergeRequest struct {
-	Sketches []string `json:"sketches"`
-}
-
-type mergeResponse struct {
-	Sketch   string          `json:"sketch"`
-	Observed int64           `json:"observed"`
-	Centers  kcenter.Dataset `json:"centers"`
-}
-
-func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
-	var req mergeRequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
-	if len(req.Sketches) == 0 {
-		httpError(w, http.StatusBadRequest, codeEmptyBatch, errors.New("no sketches to merge"))
-		return
-	}
-	blobs := make([][]byte, len(req.Sketches))
-	for i, b64 := range req.Sketches {
-		blob, err := base64.StdEncoding.DecodeString(b64)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, codeBadSketch, fmt.Errorf("sketch %d: invalid base64: %w", i, err))
-			return
-		}
-		blobs[i] = blob
-	}
-	merged, err := kcenter.MergeSketches(blobs...)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, codeBadSketch, err)
-		return
-	}
-	core, info, err := s.restoreCore(merged)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, codeInternal, err)
-		return
-	}
-	resp := mergeResponse{
-		Sketch:   base64.StdEncoding.EncodeToString(merged),
-		Observed: info.Observed,
-	}
-	if info.Observed > 0 {
-		centers, err := core.Centers()
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, codeInternal, err)
-			return
-		}
-		resp.Centers = centers
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func queryInt(r *http.Request, key string, fallback int) (int, error) {
-	n, err := queryInt64(r, key, int64(fallback))
-	if err != nil {
-		return 0, err
-	}
-	if n < math.MinInt32 || n > math.MaxInt32 {
-		return 0, fmt.Errorf("%s=%d out of range", key, n)
-	}
-	return int(n), nil
-}
-
-func queryInt64(r *http.Request, key string, fallback int64) (int64, error) {
-	v := r.URL.Query().Get(key)
-	if v == "" {
-		return fallback, nil
-	}
-	n, err := strconv.ParseInt(v, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("invalid %s=%q", key, v)
-	}
-	return n, nil
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-// errorResponse is the uniform error body: a human-readable message plus a
-// stable machine-readable code clients can branch on.
-type errorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
-}
-
-func httpError(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
+	return role, rest, nil
 }

@@ -20,6 +20,14 @@
 // clock monotonicity is the daemon's documented contract). -json emits the
 // report as a single JSON object on stdout for scripted consumers (CI feeds
 // it into the ingest benchmark artifact).
+//
+// -targets takes a comma-separated list of daemon addresses and spreads the
+// load across them round-robin — point it at the shards of a cluster to
+// measure direct-ingest throughput, or at a router and shards side by side.
+// With more than one target the report carries a per-target ack-latency
+// breakdown (batches, points and p50/p95/p99 per address), so a slow or
+// overloaded backend is visible immediately instead of hiding inside the
+// aggregate percentiles.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +61,7 @@ func main() {
 // loadConfig is the parsed flag set of one run.
 type loadConfig struct {
 	addr      string
+	targets   []string // resolved ingest targets (-targets, or just -addr)
 	stream    string
 	proto     string
 	batch     int
@@ -91,6 +101,20 @@ type report struct {
 	// X-Trace-ID response header, worst first — the exact traces to pull
 	// from the daemon's /debug/traces/{id} after a run.
 	Slowest []slowSample `json:"slowest,omitempty"`
+	// Targets breaks the run down per backend address when -targets named
+	// more than one, so a slow backend cannot hide in the aggregate.
+	Targets []targetReport `json:"targets,omitempty"`
+}
+
+// targetReport is one backend's slice of a multi-target run.
+type targetReport struct {
+	Target       string  `json:"target"`
+	Batches      int64   `json:"batches"`
+	Points       int64   `json:"points"`
+	Errors       int64   `json:"errors,omitempty"`
+	LatencyMsP50 float64 `json:"latencyMsP50"`
+	LatencyMsP95 float64 `json:"latencyMsP95"`
+	LatencyMsP99 float64 `json:"latencyMsP99"`
 }
 
 // slowSample pairs one slow request's ack latency with the daemon-side trace
@@ -107,6 +131,7 @@ func parseFlags(args []string) (*loadConfig, error) {
 	cfg := &loadConfig{}
 	fs := flag.NewFlagSet("kcenterload", flag.ContinueOnError)
 	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "daemon host:port")
+	targets := fs.String("targets", "", "comma-separated daemon addresses; overrides -addr and spreads load round-robin with a per-target latency breakdown")
 	fs.StringVar(&cfg.stream, "stream", "load", "target stream name")
 	fs.StringVar(&cfg.proto, "proto", "binary", "wire protocol: json or binary")
 	fs.IntVar(&cfg.batch, "batch", 64, "points per batch")
@@ -137,13 +162,25 @@ func parseFlags(args []string) (*loadConfig, error) {
 	if cfg.batches == 0 && cfg.duration <= 0 {
 		return nil, errors.New("-duration must be positive when -batches is 0")
 	}
+	if *targets != "" {
+		for _, a := range strings.Split(*targets, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.targets = append(cfg.targets, a)
+			}
+		}
+		if len(cfg.targets) == 0 {
+			return nil, errors.New("-targets must name at least one address")
+		}
+	} else {
+		cfg.targets = []string{cfg.addr}
+	}
 	return cfg, nil
 }
 
-// ingestURL builds the target URL; creation parameters ride on every request
-// (the daemon only honours them on the creating one).
-func (cfg *loadConfig) ingestURL() string {
-	u := "http://" + cfg.addr + "/streams/" + cfg.stream + "/ingest"
+// ingestURL builds one target's URL; creation parameters ride on every
+// request (the daemon only honours them on the creating one).
+func (cfg *loadConfig) ingestURL(addr string) string {
+	u := "http://" + addr + "/streams/" + cfg.stream + "/ingest"
 	q := ""
 	add := func(k, v string) {
 		if q == "" {
@@ -176,7 +213,8 @@ func (cfg *loadConfig) ingestURL() string {
 type worker struct {
 	id       int
 	cfg      *loadConfig
-	url      string
+	urls     []string // one ingest URL per target, cycled round-robin
+	next     int
 	client   *http.Client
 	rng      *rand.Rand
 	buf      []byte
@@ -188,6 +226,12 @@ type worker struct {
 	rejected int64
 	errors   int64
 	firstErr string
+
+	// Per-target tallies, indexed like cfg.targets.
+	tLat     [][]time.Duration
+	tBatches []int64
+	tPoints  []int64
+	tErrors  []int64
 }
 
 // noteSlow keeps the worker's topSlow slowest acks that carried a trace ID
@@ -291,7 +335,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	url := cfg.ingestURL()
+	urls := make([]string, len(cfg.targets))
+	for i, a := range cfg.targets {
+		urls[i] = cfg.ingestURL(a)
+	}
 
 	var (
 		sent     atomic.Int64 // global batch budget when -batches is set
@@ -312,11 +359,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var wg sync.WaitGroup
 	for i := range workers {
 		w := &worker{
-			id:     i,
-			cfg:    cfg,
-			url:    url,
-			client: &http.Client{Timeout: cfg.timeout},
-			rng:    rand.New(rand.NewSource(int64(i) + 1)),
+			id:       i,
+			cfg:      cfg,
+			urls:     urls,
+			next:     i, // stagger the round-robin start across workers
+			client:   &http.Client{Timeout: cfg.timeout},
+			rng:      rand.New(rand.NewSource(int64(i) + 1)),
+			tLat:     make([][]time.Duration, len(urls)),
+			tBatches: make([]int64, len(urls)),
+			tPoints:  make([]int64, len(urls)),
+			tErrors:  make([]int64, len(urls)),
 		}
 		w.flat, err = metric.NewFlat(cfg.dim, cfg.batch)
 		if err != nil {
@@ -367,6 +419,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	rep.LatencyMsP95 = percentileMs(all, 0.95)
 	rep.LatencyMsP99 = percentileMs(all, 0.99)
 
+	// Per-target breakdown: only worth the noise when targets differ.
+	if len(cfg.targets) > 1 {
+		for ti, target := range cfg.targets {
+			tr := targetReport{Target: target}
+			var tlat []time.Duration
+			for _, w := range workers {
+				tr.Batches += w.tBatches[ti]
+				tr.Points += w.tPoints[ti]
+				tr.Errors += w.tErrors[ti]
+				tlat = append(tlat, w.tLat[ti]...)
+			}
+			sort.Slice(tlat, func(i, j int) bool { return tlat[i] < tlat[j] })
+			tr.LatencyMsP50 = percentileMs(tlat, 0.50)
+			tr.LatencyMsP95 = percentileMs(tlat, 0.95)
+			tr.LatencyMsP99 = percentileMs(tlat, 0.99)
+			rep.Targets = append(rep.Targets, tr)
+		}
+	}
+
 	if cfg.jsonOut {
 		enc := json.NewEncoder(out)
 		if err := enc.Encode(&rep); err != nil {
@@ -383,6 +454,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			rep.LatencyMsP50, rep.LatencyMsP95, rep.LatencyMsP99)
 		for i, s := range rep.Slowest {
 			fmt.Fprintf(out, "slowest[%d]: %.2fms trace=%s\n", i, s.LatencyMs, s.TraceID)
+		}
+		for _, tr := range rep.Targets {
+			fmt.Fprintf(out, "target %s: batches=%d points=%d errors=%d p50=%.2fms p95=%.2fms p99=%.2fms\n",
+				tr.Target, tr.Batches, tr.Points, tr.Errors,
+				tr.LatencyMsP50, tr.LatencyMsP95, tr.LatencyMsP99)
 		}
 	}
 	if rep.Batches == 0 {
@@ -418,15 +494,17 @@ func (w *worker) drive(ctx context.Context, cfg *loadConfig, sent *atomic.Int64,
 			}
 		}
 		tick := int64(time.Since(start) / (10 * time.Millisecond))
+		ti := w.next % len(w.urls)
+		w.next++
 		w.makeBatch()
 		body, contentType, err := w.encode(tick)
 		if err != nil {
-			w.fail(err.Error())
+			w.fail(ti, err.Error())
 			return
 		}
-		req, err := http.NewRequestWithContext(ctx, "POST", w.url, &bytesReader{b: body})
+		req, err := http.NewRequestWithContext(ctx, "POST", w.urls[ti], &bytesReader{b: body})
 		if err != nil {
-			w.fail(err.Error())
+			w.fail(ti, err.Error())
 			return
 		}
 		req.Header.Set("Content-Type", contentType)
@@ -437,7 +515,7 @@ func (w *worker) drive(ctx context.Context, cfg *loadConfig, sent *atomic.Int64,
 			if ctx.Err() != nil {
 				return // deadline hit mid-request, not a failure
 			}
-			w.fail(err.Error())
+			w.fail(ti, err.Error())
 			return
 		}
 		ack := time.Since(t0)
@@ -448,6 +526,9 @@ func (w *worker) drive(ctx context.Context, cfg *loadConfig, sent *atomic.Int64,
 			w.batches++
 			w.points += int64(cfg.batch)
 			w.lat = append(w.lat, ack)
+			w.tBatches[ti]++
+			w.tPoints[ti] += int64(cfg.batch)
+			w.tLat[ti] = append(w.tLat[ti], ack)
 			w.noteSlow(ack, resp.Header.Get("X-Trace-ID"))
 		case resp.StatusCode == http.StatusBadRequest && w.windowed():
 			// Expected under concurrent windowed load: this batch's tick
@@ -458,14 +539,15 @@ func (w *worker) drive(ctx context.Context, cfg *loadConfig, sent *atomic.Int64,
 		default:
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 			resp.Body.Close()
-			w.fail(fmt.Sprintf("status %d: %s", resp.StatusCode, msg))
+			w.fail(ti, fmt.Sprintf("status %d: %s", resp.StatusCode, msg))
 			return
 		}
 	}
 }
 
-func (w *worker) fail(msg string) {
+func (w *worker) fail(ti int, msg string) {
 	w.errors++
+	w.tErrors[ti]++
 	if w.firstErr == "" {
 		w.firstErr = msg
 	}

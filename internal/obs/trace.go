@@ -389,6 +389,27 @@ func (sp *Span) TraceID() string {
 	return sp.trace.id.String()
 }
 
+// Traceparent renders the span as an outbound W3C traceparent header
+// (00-<trace id>-<span id>-<flags>), the emitter half of ParseTraceparent:
+// a downstream daemon that honors the header joins this trace, with this
+// span as the remote parent. The sampled flag propagates the trace's own
+// keep decision (sampled or forced) so a fan-out is retained end to end or
+// not at all. Returns "" on a nil span.
+func (sp *Span) Traceparent() string {
+	if sp == nil {
+		return ""
+	}
+	tr := sp.trace
+	tr.mu.Lock()
+	kept := tr.sampled || tr.forced != ""
+	tr.mu.Unlock()
+	flags := "00"
+	if kept {
+		flags = "01"
+	}
+	return "00-" + tr.id.String() + "-" + sp.id.String() + "-" + flags
+}
+
 // Breakdown renders the durations of the span's ended direct children as
 // "name=dur name=dur ..." in recording order — the per-stage attribution
 // the slow-request log line carries.

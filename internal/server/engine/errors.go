@@ -1,0 +1,85 @@
+// Package engine is the transport-agnostic core of the kcenterd daemon: the
+// stream table, batch ingest and apply, published query views with their
+// extraction caches, journal-then-apply durability against internal/persist,
+// background compaction and boot recovery. It exposes every operation a
+// transport needs — ingest, advance, stats, centers, snapshot, restore,
+// delete, list, merge — as methods on Engine returning typed *Error values,
+// and knows nothing about HTTP: internal/server/httpapi translates Engine
+// errors to wire status codes, and internal/server/router composes many
+// engines' daemons into one cluster. The package must never import net/http.
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stable machine-readable error codes carried by every failed Engine
+// operation (and surfaced verbatim in every transport's error responses).
+const (
+	CodeInvalidJSON       = "invalid_json"
+	CodeEmptyBatch        = "empty_batch"
+	CodeInvalidPoint      = "invalid_point"
+	CodeDimensionMismatch = "dimension_mismatch"
+	CodeInvalidParam      = "invalid_param"
+	CodeInvalidTimestamps = "invalid_timestamps"
+	CodeNotWindowed       = "not_windowed"
+	CodeUnknownStream     = "unknown_stream"
+	CodeStreamGone        = "stream_gone"
+	CodeStreamFailed      = "stream_failed"
+	CodeBadSketch         = "bad_sketch"
+	CodeEmptyStream       = "empty_stream"
+	CodeBodyTooLarge      = "body_too_large"
+	CodeInvalidFrame      = "invalid_frame"
+	CodeUnsupportedMedia  = "unsupported_media_type"
+	CodeShardIncompatible = "shard_incompatible"
+	CodeShardUnavailable  = "shard_unavailable"
+	CodeInternal          = "internal"
+)
+
+// Error is the typed failure of an Engine operation: a stable machine-
+// readable code plus the underlying cause. Error() renders the cause alone,
+// so a transport that prints the message and the code separately produces
+// exactly the pre-refactor response bodies.
+type Error struct {
+	Code string
+	Err  error
+}
+
+func (e *Error) Error() string { return e.Err.Error() }
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// errf builds a typed Error from a format string.
+func errf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Err: fmt.Errorf(format, args...)}
+}
+
+// wrapErr types an existing error without re-wording it.
+func wrapErr(code string, err error) *Error {
+	return &Error{Code: code, Err: err}
+}
+
+// CodeOf extracts the machine-readable code of an Engine error; unexpected
+// (untyped) errors report CodeInternal.
+func CodeOf(err error) string {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return CodeInternal
+}
+
+// ErrGone is returned to clients whose request lost a race with a delete or
+// restore of the same stream; retrying observes the new state.
+var ErrGone = errors.New("stream was deleted or replaced concurrently; retry")
+
+// ErrFailed is returned for a stream whose in-memory state diverged from its
+// journal (an apply failure after the WAL acknowledged the batch): the stream
+// was set aside and the name is free again.
+var ErrFailed = errors.New("stream diverged from its journal and was set aside; recreate it")
+
+// ErrPersistFailed marks stream-creation failures of the durability layer,
+// so transports report an internal error instead of blaming the client's
+// params.
+var ErrPersistFailed = errors.New("durability layer failure")

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	kcenter "coresetclustering"
+	"coresetclustering/internal/obs"
+	"coresetclustering/internal/persist"
+)
+
+// AdoptRecovered installs the streams the durability layer recovered at
+// boot: restore the snapshot (or rebuild an empty core from the journaled
+// metadata), verify the snapshot against the metadata, replay the log tail,
+// and surface the recovery stats. Streams that fail above the persistence
+// layer are set aside (directory renamed *.failed) so the name stays usable.
+// Boot recovery records a background trace with one child span per stream,
+// always retained, so a slow boot is attributable after the fact.
+func (e *Engine) AdoptRecovered(recovered []*persist.Recovered) {
+	if len(recovered) == 0 {
+		return
+	}
+	ctx, root := e.Tracer.StartBackground(context.Background(), "recovery")
+	root.SetAttr("streams", strconv.Itoa(len(recovered)))
+	defer root.End()
+	for _, rec := range recovered {
+		_, sp := obs.StartSpan(ctx, "recover.stream")
+		sp.SetAttr("stream", rec.Name)
+		if rec.Err != nil {
+			sp.SetAttr("status", "failed")
+			sp.End()
+			e.Logger.Error("recovery failed, stream set aside", "stream", rec.Name, "err", rec.Err)
+			e.MarkFailed(rec.Name, rec.Err.Error())
+			continue
+		}
+		st, err := e.rebuildStream(rec)
+		if err != nil {
+			sp.SetAttr("status", "failed")
+			sp.End()
+			e.Logger.Error("recovery failed, stream set aside", "stream", rec.Name, "err", err)
+			if saErr := rec.Log.SetAside(); saErr != nil {
+				e.Logger.Error("setting stream aside failed", "stream", rec.Name, "err", saErr)
+			}
+			e.MarkFailed(rec.Name, err.Error())
+			continue
+		}
+		e.mu.Lock()
+		e.streams[rec.Name] = st
+		e.mu.Unlock()
+		sp.SetAttr("status", "ok")
+		sp.End()
+		e.Logger.Info("recovered stream", "stream", rec.Name,
+			"snapshot", rec.Stats.SnapshotLoaded, "records", rec.Stats.RecordsReplayed,
+			"points", rec.Stats.PointsReplayed, "tornTail", rec.Stats.TornTail)
+	}
+}
+
+// rebuildStream revives one recovered stream: snapshot first, then the
+// journal tail on top, exactly the order the records were acknowledged in.
+func (e *Engine) rebuildStream(rec *persist.Recovered) (*Stream, error) {
+	var (
+		core streamCore
+		meta persist.Meta
+		dim  int
+		err  error
+	)
+	if rec.Snapshot != nil {
+		var info *kcenter.SketchInfo
+		core, info, err = e.restoreCore(rec.Snapshot)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		meta = persist.Meta{
+			K:              info.K,
+			Z:              info.Z,
+			Budget:         info.Budget,
+			Space:          info.Distance,
+			WindowSize:     info.WindowSize,
+			WindowDuration: info.WindowDuration,
+		}
+		// The snapshot must describe the stream the journal was written for:
+		// a swapped or stale file silently changing k, the metric space or
+		// the window geometry would corrupt every later answer.
+		if rec.HaveMeta && meta != rec.Meta {
+			return nil, fmt.Errorf("snapshot metadata %+v does not match journaled metadata %+v", meta, rec.Meta)
+		}
+		if !rec.HaveMeta {
+			if err := rec.Log.AdoptMeta(meta); err != nil {
+				return nil, err
+			}
+		}
+		dim = info.Dimensions
+	} else {
+		meta = rec.Meta
+		core, err = e.newCore(meta.Space, meta.K, meta.Z, meta.Budget, meta.WindowSize, meta.WindowDuration)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, r := range rec.Tail {
+		switch r.Op {
+		case persist.OpBatch:
+			if r.Timestamps != nil {
+				wc, ok := core.(windowCore)
+				if !ok {
+					return nil, fmt.Errorf("record %d: timestamped batch journaled for a non-window stream", i)
+				}
+				for j, p := range r.Points {
+					if err := wc.ObserveAt(p, r.Timestamps[j]); err != nil {
+						return nil, fmt.Errorf("record %d: replay: %w", i, err)
+					}
+				}
+			} else {
+				for _, p := range r.Points {
+					if err := core.Observe(p); err != nil {
+						return nil, fmt.Errorf("record %d: replay: %w", i, err)
+					}
+				}
+			}
+			if dim == 0 {
+				dim = r.Points.Dim()
+			}
+		case persist.OpAdvance:
+			wc, ok := core.(windowCore)
+			if !ok {
+				return nil, fmt.Errorf("record %d: advance journaled for a non-window stream", i)
+			}
+			if err := wc.Advance(r.AdvanceTo); err != nil {
+				return nil, fmt.Errorf("record %d: replay: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("record %d: unexpected op %v in replay tail", i, r.Op)
+		}
+	}
+	stats := rec.Stats
+	st := &Stream{
+		core:     core,
+		K:        meta.K,
+		Z:        meta.Z,
+		Budget:   meta.Budget,
+		Space:    meta.Space,
+		WinSize:  meta.WindowSize,
+		WinDur:   meta.WindowDuration,
+		dim:      dim,
+		recovery: &stats,
+	}
+	st.log.Store(rec.Log)
+	st.publishLocked(e.Metrics)
+	return st, nil
+}

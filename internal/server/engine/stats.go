@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"sort"
+
+	"coresetclustering/internal/persist"
+)
+
+// WindowStats is the live-window slice of a stream's stats payload.
+type WindowStats struct {
+	Size        int64 `json:"size,omitempty"`
+	Duration    int64 `json:"duration,omitempty"`
+	LiveBuckets int   `json:"liveBuckets"`
+	LivePoints  int64 `json:"livePoints"`
+}
+
+// DurabilityStats surfaces the stream's journal state and, for streams that
+// survived a restart, what boot-time recovery did.
+type DurabilityStats struct {
+	persist.LogStats
+	Fsync    string                 `json:"fsync"`
+	Recovery *persist.RecoveryStats `json:"recovery,omitempty"`
+}
+
+// CacheStats counts the stream's extraction-cache behaviour: a hit answers a
+// centers query from the published view's memo, a miss runs the extraction
+// (and primes the memo for the next query at the same version).
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// StreamStats is the introspection payload of one stream — the exact wire
+// shape every transport serves.
+type StreamStats struct {
+	Name string `json:"name"`
+	// Status is "ok" for a live stream; listings also include set-aside
+	// streams with status "failed" and the failure reason.
+	Status        string           `json:"status"`
+	Reason        string           `json:"reason,omitempty"`
+	K             int              `json:"k"`
+	Z             int              `json:"z"`
+	Budget        int              `json:"budget"`
+	Space         string           `json:"space"`
+	Observed      int64            `json:"observed"`
+	WorkingMemory int              `json:"workingMemory"`
+	Version       int64            `json:"version"`
+	Cache         CacheStats       `json:"cache"`
+	Window        *WindowStats     `json:"window,omitempty"`
+	Durability    *DurabilityStats `json:"durability,omitempty"`
+}
+
+// StatsFromView assembles the stats payload from a published view plus the
+// stream's lock-free counters — no stream mutex anywhere on the path (the
+// durability stats read the journal's lock-free snapshot too).
+func (e *Engine) StatsFromView(name string, st *Stream, v *QueryView) StreamStats {
+	stats := StreamStats{
+		Name:          name,
+		Status:        "ok",
+		K:             st.K,
+		Z:             st.Z,
+		Budget:        st.Budget,
+		Space:         st.Space,
+		Observed:      v.Observed,
+		WorkingMemory: v.WorkingMemory,
+		Version:       v.Version,
+		Cache:         CacheStats{Hits: st.cacheHits.Load(), Misses: st.cacheMisses.Load()},
+		Window:        v.Window,
+	}
+	if lg := st.log.Load(); lg != nil {
+		stats.Durability = &DurabilityStats{
+			LogStats: lg.Stats(),
+			Fsync:    e.Cfg.Fsync,
+			Recovery: st.recovery,
+		}
+	}
+	return stats
+}
+
+// Stats answers the introspection query for one stream.
+func (e *Engine) Stats(name string) (StreamStats, error) {
+	st, ok := e.Lookup(name)
+	if !ok {
+		return StreamStats{}, errf(CodeUnknownStream, "unknown stream %q", name)
+	}
+	if err := st.gate(); err != nil {
+		return StreamStats{}, err
+	}
+	return e.StatsFromView(name, st, st.view.Load()), nil
+}
+
+// List returns the stats of every hosted stream — live ones from their
+// published views, set-aside ones as status "failed" — sorted by name.
+func (e *Engine) List() []StreamStats {
+	names := e.StreamNames()
+	failed := e.FailedStreams()
+	for name := range failed {
+		// A failed name that was since recreated is listed live, not failed.
+		if _, ok := e.Lookup(name); ok {
+			delete(failed, name)
+		} else {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]StreamStats, 0, len(names))
+	for _, name := range names {
+		if reason, isFailed := failed[name]; isFailed {
+			out = append(out, StreamStats{Name: name, Status: "failed", Reason: reason})
+			continue
+		}
+		if st, ok := e.Lookup(name); ok {
+			out = append(out, e.StatsFromView(name, st, st.view.Load()))
+		}
+	}
+	return out
+}

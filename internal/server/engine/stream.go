@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	kcenter "coresetclustering"
+	"coresetclustering/internal/persist"
+)
+
+// streamCore is the surface shared by the plain and the outlier-aware
+// streaming clusterers, windowed or not.
+type streamCore interface {
+	Observe(p kcenter.Point) error
+	Centers() (kcenter.Dataset, error)
+	Snapshot() ([]byte, error)
+	Observed() int64
+	WorkingMemory() int
+}
+
+// windowCore is the additional surface of sliding-window streams: timestamped
+// ingest, explicit clock advances and live-window introspection.
+type windowCore interface {
+	streamCore
+	ObserveAt(p kcenter.Point, ts int64) error
+	Advance(ts int64) error
+	LastTimestamp() int64
+	LiveBuckets() int
+	LivePoints() int64
+	EvictedBuckets() int64
+	EvictedPoints() int64
+}
+
+// cloneCore returns an independent copy-on-write copy of a core: the clone
+// answers Centers and Snapshot without touching the original, so it can be
+// published as an immutable query view while ingest keeps mutating the
+// original under the stream mutex.
+func cloneCore(c streamCore) streamCore {
+	switch v := c.(type) {
+	case *kcenter.StreamingKCenter:
+		return v.Clone()
+	case *kcenter.StreamingOutliers:
+		return v.Clone()
+	case *kcenter.WindowedKCenter:
+		return v.Clone()
+	case *kcenter.WindowedOutliers:
+		return v.Clone()
+	default:
+		panic(fmt.Sprintf("unclonable stream core %T", c))
+	}
+}
+
+// ExtractKey identifies one cached extraction within a view. Today the only
+// key in play is the stream's own (k, z) — the version axis of the cache is
+// the view itself, which dies on the next publish.
+type ExtractKey struct{ K, Z int }
+
+type extractResult struct {
+	centers kcenter.Dataset
+	err     error
+}
+
+// QueryView is the immutable published read side of a stream: a point-in-time
+// clone of the clusterer plus the scalar stats that describe it, swapped in
+// atomically after every acknowledged mutation. Readers answer from the
+// newest view without ever taking the stream's ingest mutex, so a query
+// observes the state exactly as of an acknowledged batch boundary (snapshot
+// isolation) and never stalls behind an in-flight append, fsync or
+// compaction.
+//
+// Extraction and serialization are memoised per view under the view's own
+// mutex (the clone's query paths share internal memos, so concurrent readers
+// of ONE view serialise on that short critical section — readers of different
+// views, and readers vs the writer, share nothing). A repeated query at an
+// unchanged version is therefore a cache hit, byte-identical to the first
+// answer; publishing a new view is the whole invalidation story.
+type QueryView struct {
+	core    streamCore
+	Version int64  // mutations applied in-process when this view was published
+	WalSeq  uint64 // newest journaled sequence folded into the view (0 without a log)
+
+	Observed      int64
+	WorkingMemory int
+	Dim           int
+	Window        *WindowStats // nil for insertion-only streams
+
+	mu          sync.Mutex
+	extractions map[ExtractKey]*extractResult
+	snap        []byte
+	snapErr     error
+	snapDone    bool
+}
+
+// Centers returns the view's extraction for the given parameters, memoised;
+// hit reports whether the cache already held it.
+func (v *QueryView) Centers(key ExtractKey) (centers kcenter.Dataset, hit bool, err error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if r, ok := v.extractions[key]; ok {
+		return r.centers, true, r.err
+	}
+	c, err := v.core.Centers()
+	if v.extractions == nil {
+		v.extractions = make(map[ExtractKey]*extractResult, 1)
+	}
+	v.extractions[key] = &extractResult{centers: c, err: err}
+	return c, false, err
+}
+
+// Snapshot returns the view's serialized sketch, memoised; hit reports
+// whether the cache already held it.
+func (v *QueryView) Snapshot() (snap []byte, hit bool, err error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.snapDone {
+		v.snap, v.snapErr = v.core.Snapshot()
+		v.snapDone = true
+		return v.snap, false, v.snapErr
+	}
+	return v.snap, true, v.snapErr
+}
+
+// Stream is one hosted stream, split into a mutable ingest side and an
+// immutable published read side. Mu serialises mutations only (the
+// clusterers are not safe for concurrent use): ingest and advance append
+// under Mu, bump version, and publish a fresh QueryView. Readers load the
+// view pointer and never touch Mu. gone flips when the stream is deleted or
+// replaced by a restore; failed flips when an applied batch diverged from the
+// journal — either way a caller that looked the stream up just before the
+// swap fails loudly instead of acknowledging a write into an orphaned object.
+type Stream struct {
+	Mu      sync.Mutex
+	core    streamCore // mutable ingest side; only touched under Mu
+	version int64      // mutations applied in-process; under Mu
+	dim     int        // fixed by the first batch (0 = not yet known); under Mu
+
+	// Stream parameters, immutable after creation: safe to read lock-free.
+	K, Z    int
+	Budget  int
+	Space   string
+	WinSize int64 // count window (0 = none)
+	WinDur  int64 // duration window (0 = none)
+
+	view   atomic.Pointer[QueryView]
+	gone   atomic.Bool
+	failed atomic.Bool
+
+	// log is the stream's durability handle (nil without a store); recovery
+	// carries the boot-time recovery stats of a recovered stream, and
+	// compacting guards the single in-flight background compaction.
+	log        atomic.Pointer[persist.Log]
+	recovery   *persist.RecoveryStats
+	compacting atomic.Bool
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	// Last published lifetime eviction counters, for per-publish deltas into
+	// the daemon metrics; under Mu.
+	lastEvictedBuckets int64
+	lastEvictedPoints  int64
+}
+
+// View returns the newest published query view; it never blocks on Mu.
+func (st *Stream) View() *QueryView { return st.view.Load() }
+
+// Log returns the stream's durability handle (nil without a store).
+func (st *Stream) Log() *persist.Log { return st.log.Load() }
+
+// publishLocked snapshots the ingest side into a fresh immutable QueryView
+// and swaps it in for readers, crediting the publish (and, for window
+// streams, the evictions since the last publish) to the daemon metrics.
+// Caller holds st.Mu (or has exclusive access during construction); m may be
+// nil for an uninstrumented engine.
+func (st *Stream) publishLocked(m *Metrics) {
+	v := &QueryView{
+		core:          cloneCore(st.core),
+		Version:       st.version,
+		Observed:      st.core.Observed(),
+		WorkingMemory: st.core.WorkingMemory(),
+		Dim:           st.dim,
+	}
+	if wc, ok := st.core.(windowCore); ok {
+		v.Window = &WindowStats{
+			Size:        st.WinSize,
+			Duration:    st.WinDur,
+			LiveBuckets: wc.LiveBuckets(),
+			LivePoints:  wc.LivePoints(),
+		}
+		eb, ep := wc.EvictedBuckets(), wc.EvictedPoints()
+		if m != nil {
+			m.EvictedBuckets.Add(eb - st.lastEvictedBuckets)
+			m.EvictedPoints.Add(ep - st.lastEvictedPoints)
+		}
+		st.lastEvictedBuckets, st.lastEvictedPoints = eb, ep
+	}
+	if lg := st.log.Load(); lg != nil {
+		v.WalSeq = lg.LastSeq()
+	}
+	st.view.Store(v)
+	if m != nil {
+		m.ViewPublishes.Add(1)
+	}
+}
+
+// gate rejects requests that raced a delete, restore or failure of the
+// stream. Callers hold st.Mu (writers) or nothing at all (readers — the flags
+// are atomic and only ever flip one way).
+func (st *Stream) gate() error {
+	if st.failed.Load() {
+		return wrapErr(CodeStreamFailed, ErrFailed)
+	}
+	if st.gone.Load() {
+		return wrapErr(CodeStreamGone, ErrGone)
+	}
+	return nil
+}

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -29,12 +29,12 @@ func newDurableServer(t *testing.T, dir string, cfg config, opts persist.Options
 		t.Fatal(err)
 	}
 	srv := newServer(cfg)
-	srv.store = store
+	srv.eng.Store = store
 	recovered, err := store.Recover()
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.adoptRecovered(recovered)
+	srv.eng.AdoptRecovered(recovered)
 	ds := &durableServer{srv: srv, store: store, http: httptest.NewServer(srv.routes())}
 	t.Cleanup(ds.close)
 	return ds

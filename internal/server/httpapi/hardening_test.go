@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -130,7 +130,7 @@ func TestDeleteIngestSnapshotRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer store.Close()
-	srv.store = store
+	srv.eng.Store = store
 	ts := httptestServer(t, srv)
 
 	const (
@@ -189,9 +189,7 @@ func TestDeleteIngestSnapshotRace(t *testing.T) {
 	for msg := range fail {
 		t.Error(msg)
 	}
-	srv.mu.RLock()
-	n := len(srv.streams)
-	srv.mu.RUnlock()
+	n := srv.eng.StreamCount()
 	if n > 1 {
 		t.Fatalf("stream table holds %d entries for one contested name (mutex leak)", n)
 	}

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -521,13 +521,16 @@ func TestWindowSnapshotRestoreHTTP(t *testing.T) {
 	if after.Observed != 610 {
 		t.Errorf("restored stream observed %d, want 610", after.Observed)
 	}
-	// Window sketches cannot be merged.
+	// Window sketches cannot be merged: the refusal is the typed
+	// incompatibility (kcenter.ErrMergeIncompatible), surfaced as 502
+	// shard_incompatible so a cluster operator can tell "these shards
+	// disagree" apart from "these bytes are garbage" (400 bad_sketch).
 	var er errorResponse
 	mresp := doJSON(t, "POST", ts.URL+"/merge", mergeRequest{Sketches: []string{
 		base64.StdEncoding.EncodeToString(blob),
 		base64.StdEncoding.EncodeToString(blob),
 	}}, &er)
-	if mresp.StatusCode != http.StatusBadRequest || er.Code != codeBadSketch {
+	if mresp.StatusCode != http.StatusBadGateway || er.Code != codeShardIncompatible {
 		t.Errorf("merging window sketches: status %d code %q", mresp.StatusCode, er.Code)
 	}
 }

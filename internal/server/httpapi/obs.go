@@ -1,0 +1,270 @@
+package httpapi
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"coresetclustering/internal/obs"
+)
+
+// statusWriter records the status code a handler sent (200 when the handler
+// wrote a body without an explicit WriteHeader).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// requestIDOK bounds what the daemon accepts as a caller-supplied
+// X-Request-ID: short, printable, no spaces — anything else is replaced so a
+// hostile header cannot inject log fields or unbounded bytes into every line.
+func requestIDOK(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '=' {
+			return false
+		}
+	}
+	return true
+}
+
+// withObs wraps the route mux with the daemon's request instrumentation:
+// every request gets an X-Request-ID (the caller's, when well-formed, so IDs
+// propagate through shard fan-outs; a fresh one otherwise) echoed on the
+// response, a root span honoring an inbound traceparent header (the trace ID
+// echoed as X-Trace-ID, so a load run or a router fan-out can pull the exact
+// trace from /debug/traces/{id}), per-route counters and latency histograms
+// keyed by the mux pattern that matched, and a warn-level log line — carrying
+// the trace ID and the per-stage breakdown — when the request exceeds the
+// -slow-request threshold. Runs inside MaxBytesHandler so the mux populates
+// r.Pattern on the very request this wrapper holds.
+func (s *server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if !requestIDOK(reqID) {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		m, t := s.eng.Metrics, s.eng.Tracer
+		if m == nil && t == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		var root *obs.Span
+		if t != nil {
+			var ctx = r.Context()
+			ctx, root = t.StartRoot(ctx, r.Method, r.Header.Get("traceparent"))
+			w.Header().Set("X-Trace-ID", root.TraceID())
+			r = r.WithContext(ctx)
+		}
+		if m != nil {
+			m.HTTPInFlight.Add(1)
+			defer m.HTTPInFlight.Add(-1)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		route := r.Pattern // set in place by the mux while routing
+		if route == "" {
+			route = "unmatched"
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		slow := s.cfg.slowReq > 0 && elapsed >= s.cfg.slowReq
+		if root != nil {
+			// A matched mux pattern already carries the method ("POST /x");
+			// only the "unmatched" fallback needs it prefixed.
+			if strings.Contains(route, " ") {
+				root.SetName(route)
+			} else {
+				root.SetName(r.Method + " " + route)
+			}
+			root.SetAttr("status", strconv.Itoa(status))
+			root.SetAttr("requestId", reqID)
+			if status >= http.StatusInternalServerError {
+				root.Force("error")
+			}
+			if slow {
+				root.Force("slow")
+			}
+			root.End()
+		}
+		if m != nil {
+			m.HTTPRequests.With(route, r.Method, fmt.Sprintf("%d", status)).Add(1)
+			m.HTTPDuration.With(route).ObserveDuration(elapsed)
+		}
+		if slow {
+			if m != nil {
+				m.HTTPSlow.Add(1)
+			}
+			s.eng.Logger.Warn("slow request",
+				"requestId", reqID, "traceId", root.TraceID(),
+				"method", r.Method, "route", route,
+				"status", status, "duration", elapsed,
+				"stages", root.Breakdown())
+		} else if s.eng.Logger.Enabled(obs.LevelDebug) {
+			s.eng.Logger.Debug("request",
+				"requestId", reqID, "method", r.Method, "route", route,
+				"status", status, "duration", elapsed)
+		}
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition: the process-lifetime
+// registry first, then scrape-time series (uptime, stream census, per-stream
+// gauges) rendered into a throwaway registry so they share the golden-tested
+// formatter. Per-stream series come exclusively from published query views
+// and atomic counters — scraping never touches a stream's ingest mutex, so
+// /metrics stays responsive while ingest, fsyncs or compactions are in
+// flight. Per-stream cardinality is capped at -obs-max-streams series
+// (alphabetically first names win, deterministically); the number omitted is
+// itself exported.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Metrics
+	if m == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	if r.Method == http.MethodHead {
+		// Probes want the headers, not a full render of every series.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	names := s.eng.StreamNames()
+	total := len(names)
+	omitted := 0
+	if max := s.cfg.obsMaxStreams; max >= 0 && total > max {
+		omitted = total - max
+		names = names[:max]
+	}
+
+	scrape := obs.NewRegistry()
+	scrape.Gauge("kcenterd_uptime_seconds",
+		"Seconds since the daemon started.").Set(time.Since(m.Start).Seconds())
+	scrape.Gauge("kcenterd_streams",
+		"Streams currently hosted.").Set(float64(total))
+	scrape.Gauge("kcenterd_streams_failed_current",
+		"Streams currently set aside as failed.").Set(float64(s.eng.FailedCount()))
+	scrape.Gauge("kcenterd_streams_omitted",
+		"Streams beyond the -obs-max-streams per-stream series cap.").Set(float64(omitted))
+
+	observed := scrape.GaugeVec("kcenterd_stream_observed_points",
+		"Lifetime points observed by the stream.", "stream")
+	working := scrape.GaugeVec("kcenterd_stream_working_memory_points",
+		"Points currently retained by the stream's sketch.", "stream")
+	version := scrape.GaugeVec("kcenterd_stream_version",
+		"Mutations applied to the stream in-process.", "stream")
+	livePts := scrape.GaugeVec("kcenterd_stream_live_points",
+		"Points summarised by the live window (window streams only).", "stream")
+	for _, name := range names {
+		st, ok := s.eng.Lookup(name)
+		if !ok {
+			continue
+		}
+		v := st.View()
+		observed.With(name).Set(float64(v.Observed))
+		working.With(name).Set(float64(v.WorkingMemory))
+		version.With(name).Set(float64(v.Version))
+		if v.Window != nil {
+			livePts.With(name).Set(float64(v.Window.LivePoints))
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := m.Reg.WritePrometheus(w); err != nil {
+		return // client went away; nothing sensible left to send
+	}
+	if err := scrape.WritePrometheus(w); err != nil && s.eng.Logger.Enabled(obs.LevelDebug) {
+		s.eng.Logger.Debug("metrics scrape write failed", "error", err)
+	}
+}
+
+// DebugRoutes builds the opt-in -debug-addr surface: pprof, expvar and the
+// retained-trace endpoints on their own mux, so profiling and trace data are
+// reachable only via the separate debug listener, never on the ingest port.
+// Exported because the router role serves the identical debug surface.
+func DebugRoutes(t *obs.Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) { handleTraceList(w, r, t) })
+	mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) { handleTraceByID(w, r, t) })
+	return mux
+}
+
+// debugRoutes keeps the pre-split name alive for the transport's own tests.
+func debugRoutes(t *obs.Tracer) http.Handler { return DebugRoutes(t) }
+
+// handleTraceList serves the retained traces newest first, optionally
+// filtered by ?route= (substring of the trace name, i.e. "METHOD /pattern")
+// and ?minDur= (a Go duration; traces at least this long).
+func handleTraceList(w http.ResponseWriter, r *http.Request, t *obs.Tracer) {
+	if t == nil {
+		httpError(w, http.StatusNotFound, "tracing_disabled", fmt.Errorf("tracing is disabled (-trace-buffer 0)"))
+		return
+	}
+	var minDur time.Duration
+	if v := r.URL.Query().Get("minDur"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad_min_dur", fmt.Errorf("minDur: %w", err))
+			return
+		}
+		minDur = d
+	}
+	route := r.URL.Query().Get("route")
+	out := make([]obs.TraceSummary, 0, 32)
+	for _, tr := range t.Recent() {
+		if route != "" && !strings.Contains(tr.Name(), route) {
+			continue
+		}
+		if tr.Duration() < minDur {
+			continue
+		}
+		out = append(out, tr.Summary())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+// handleTraceByID serves one retained trace's full span tree.
+func handleTraceByID(w http.ResponseWriter, r *http.Request, t *obs.Tracer) {
+	if t == nil {
+		httpError(w, http.StatusNotFound, "tracing_disabled", fmt.Errorf("tracing is disabled (-trace-buffer 0)"))
+		return
+	}
+	tr := t.Find(r.PathValue("id"))
+	if tr == nil {
+		httpError(w, http.StatusNotFound, "trace_not_found", fmt.Errorf("no retained trace %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Detail())
+}

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -9,8 +9,8 @@ import (
 )
 
 // benchIngestHandler builds a routed server with the instrumentation either
-// live or stripped (srv.metrics = nil turns every metric site into one nil
-// check; srv.tracer = nil does the same for every span site) and returns a
+// live or stripped (srv.eng.Metrics = nil turns every metric site into one nil
+// check; srv.eng.Tracer = nil does the same for every span site) and returns a
 // closure that drives one full ingest request — middleware, decode, validate,
 // apply, publish — through ServeHTTP in-process. A loopback socket would add
 // TCP/scheduler noise an order of magnitude larger than the instrumentation
@@ -18,10 +18,10 @@ import (
 func benchIngestHandler(b *testing.B, metrics, traced bool) func() {
 	srv := newServer(config{k: 8, budget: 64, workers: 1})
 	if !metrics {
-		srv.metrics = nil
+		srv.eng.Metrics = nil
 	}
 	if !traced {
-		srv.tracer = nil
+		srv.eng.Tracer = nil
 	}
 	handler := srv.routes()
 	body := benchIngestBody(b, 100, 8, 1)

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -14,6 +14,7 @@ import (
 
 	"coresetclustering/internal/obs"
 	"coresetclustering/internal/persist"
+	"coresetclustering/internal/server/engine"
 )
 
 // lockedBuf is an io.Writer test sink safe to read while handlers still log.
@@ -158,13 +159,13 @@ func TestMetricsPersistSeries(t *testing.T) {
 	store.Close()
 	store, err = persist.Open(dir, persist.Options{
 		Fsync: persist.FsyncAlways,
-		Hooks: srv.metrics.persistHooks(),
+		Hooks: srv.eng.Metrics.PersistHooks(),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer store.Close()
-	srv.store = store
+	srv.eng.Store = store
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 
@@ -195,12 +196,12 @@ func TestMetricsWaitFreeUnderIngestMutex(t *testing.T) {
 	if resp := doJSON(t, "POST", ts.URL+"/streams/locked/points", batch(blobs(60, 2, 8)), nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("ingest: status %d", resp.StatusCode)
 	}
-	st, ok := srv.lookup("locked")
+	st, ok := srv.eng.Lookup("locked")
 	if !ok {
 		t.Fatal("stream not found")
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.Mu.Lock()
+	defer st.Mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
@@ -264,13 +265,13 @@ func TestHealthzDegradedOnFailedStream(t *testing.T) {
 		t.Fatalf("healthz before failure: status %d", resp.StatusCode)
 	}
 
-	applyPointHook = func(i int) error {
+	engine.ApplyPointHook = func(i int) error {
 		if i == 3 {
 			return fmt.Errorf("injected apply failure at point %d", i)
 		}
 		return nil
 	}
-	defer func() { applyPointHook = func(int) error { return nil } }()
+	defer func() { engine.ApplyPointHook = func(int) error { return nil } }()
 	if resp := doJSON(t, "POST", url+"/points", batch(blobs(10, 2, 2)), nil); resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("diverged ingest: status %d, want 500", resp.StatusCode)
 	}
@@ -313,7 +314,7 @@ func TestHealthzDegradedOnFailedStream(t *testing.T) {
 	}
 
 	// Recreating the name clears the degradation.
-	applyPointHook = func(int) error { return nil }
+	engine.ApplyPointHook = func(int) error { return nil }
 	if resp := doJSON(t, "POST", url+"/points", batch(blobs(20, 2, 3)), nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("re-create after set-aside: status %d", resp.StatusCode)
 	}
@@ -361,7 +362,7 @@ func TestDebugSurfaceIsSeparate(t *testing.T) {
 func TestSlowRequestLog(t *testing.T) {
 	var buf lockedBuf
 	srv := newServer(config{k: 2, budget: 16, slowReq: time.Nanosecond})
-	srv.logger = obs.NewLogger(&buf, obs.LevelInfo)
+	srv.eng.Logger = obs.NewLogger(&buf, obs.LevelInfo)
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 
@@ -399,7 +400,7 @@ func TestSlowRequestLog(t *testing.T) {
 // baseline) must serve everything except /metrics, with no instrumentation.
 func TestBareServerStillServes(t *testing.T) {
 	srv := newServer(config{k: 2, budget: 16})
-	srv.metrics = nil
+	srv.eng.Metrics = nil
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	if resp := doJSON(t, "POST", ts.URL+"/streams/x/points", batch(blobs(10, 2, 1)), nil); resp.StatusCode != http.StatusOK {

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -17,6 +17,7 @@ import (
 
 	kcenter "coresetclustering"
 	"coresetclustering/internal/persist"
+	"coresetclustering/internal/server/engine"
 )
 
 // tryJSON is doJSON for helper goroutines: failures go through t.Error (never
@@ -321,13 +322,13 @@ func TestMidBatchApplyFailureSetsStreamAside(t *testing.T) {
 
 	doJSON(t, "POST", url+"/points", batch(blobs(50, 2, 1)), nil)
 
-	applyPointHook = func(i int) error {
+	engine.ApplyPointHook = func(i int) error {
 		if i == 3 {
 			return fmt.Errorf("injected apply failure at point %d", i)
 		}
 		return nil
 	}
-	defer func() { applyPointHook = func(int) error { return nil } }()
+	defer func() { engine.ApplyPointHook = func(int) error { return nil } }()
 
 	var errResp errorResponse
 	resp := doJSON(t, "POST", url+"/points", batch(blobs(10, 2, 2)), &errResp)
@@ -354,7 +355,7 @@ func TestMidBatchApplyFailureSetsStreamAside(t *testing.T) {
 		t.Fatalf("found %d .failed directories, want 1 (entries: %v)", failed, entries)
 	}
 	// ...and the name is free again.
-	applyPointHook = func(int) error { return nil }
+	engine.ApplyPointHook = func(int) error { return nil }
 	var stats streamStats
 	if resp := doJSON(t, "POST", url+"/points", batch(blobs(20, 2, 3)), &stats); resp.StatusCode != http.StatusOK {
 		t.Fatalf("re-create after set-aside: status %d", resp.StatusCode)
@@ -381,13 +382,13 @@ func TestIngestProceedsDuringCompaction(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	compactStartHook = func() {
+	engine.CompactStartHook = func() {
 		once.Do(func() {
 			close(entered)
 			<-release
 		})
 	}
-	defer func() { compactStartHook = func() {} }()
+	defer func() { engine.CompactStartHook = func() {} }()
 
 	// Cross the compaction threshold to trigger the (now blocked) background
 	// compaction.
@@ -487,12 +488,12 @@ func TestReadsDoNotTakeIngestMutex(t *testing.T) {
 		t.Fatalf("ingest: status %d", resp.StatusCode)
 	}
 
-	st, ok := srv.lookup("locked")
+	st, ok := srv.eng.Lookup("locked")
 	if !ok {
 		t.Fatal("stream not found")
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.Mu.Lock()
+	defer st.Mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"encoding/json"
@@ -14,7 +14,7 @@ import (
 )
 
 // tracedDaemon is a durable in-process daemon with tracing wired exactly as
-// run() wires it: the store's hooks come from srv.persistHooks() so the
+// run() wires it: the store's hooks come from srv.eng.PersistHooks() so the
 // group-commit wait is attributed, and the debug mux carries the tracer.
 type tracedDaemon struct {
 	srv   *server
@@ -27,21 +27,21 @@ func newTracedDaemon(t *testing.T, cfg config) *tracedDaemon {
 	t.Helper()
 	srv := newServer(cfg)
 	buf := &lockedBuf{}
-	srv.logger = obs.NewLogger(buf, obs.LevelInfo)
+	srv.eng.Logger = obs.NewLogger(buf, obs.LevelInfo)
 	store, err := persist.Open(t.TempDir(), persist.Options{
 		Fsync:       persist.FsyncAlways,
 		GroupCommit: true,
-		Hooks:       srv.persistHooks(),
+		Hooks:       srv.eng.PersistHooks(),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	srv.store = store
+	srv.eng.Store = store
 	d := &tracedDaemon{
 		srv:   srv,
 		http:  httptest.NewServer(srv.routes()),
-		debug: httptest.NewServer(debugRoutes(srv.tracer)),
+		debug: httptest.NewServer(debugRoutes(srv.eng.Tracer)),
 		log:   buf,
 	}
 	t.Cleanup(d.http.Close)
@@ -227,12 +227,12 @@ func TestUnsampledFastRequestNotRetained(t *testing.T) {
 // carry no X-Trace-ID.
 func TestTracesEndpointWithTracingDisabled(t *testing.T) {
 	srv := newServer(config{k: 2, budget: 16, traceBuffer: -1})
-	if srv.tracer != nil {
+	if srv.eng.Tracer != nil {
 		t.Fatal("negative traceBuffer must disable the tracer")
 	}
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
-	debug := httptest.NewServer(debugRoutes(srv.tracer))
+	debug := httptest.NewServer(debugRoutes(srv.eng.Tracer))
 	t.Cleanup(debug.Close)
 	resp := doJSON(t, "POST", ts.URL+"/streams/x/points", batch(blobs(2, 2, 1)), nil)
 	if resp.StatusCode != http.StatusOK {

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -182,4 +182,37 @@ func compactBatch(points metric.Dataset) (metric.Dataset, error) {
 		return nil, err
 	}
 	return f.Dataset(), nil
+}
+
+// Exported wire helpers: the router role speaks the daemon's exact ingest
+// encodings (it decodes client batches and re-encodes per-shard sub-batches
+// as binary frames), so the codec lives once, here.
+
+// BinaryContentType is the Content-Type of the KCFL binary ingest protocol.
+const BinaryContentType = binaryContentType
+
+// NegotiateIngestMedia reports the decoder an ingest request selects by
+// Content-Type: "json", "binary", or "" for an unsupported media type.
+func NegotiateIngestMedia(r *http.Request) string {
+	switch negotiateIngest(r) {
+	case mediaBinary:
+		return "binary"
+	case mediaJSON:
+		return "json"
+	default:
+		return ""
+	}
+}
+
+// DecodeBinaryIngest decodes a binary ingest body (flat frame + optional
+// timestamp trailer); on failure the returned code is the stable error code
+// the response should carry.
+func DecodeBinaryIngest(body []byte) (f *metric.Flat, ts []int64, code string, err error) {
+	return decodeBinaryIngest(body)
+}
+
+// EncodeBinaryIngest encodes a batch (and optional timestamps) as a binary
+// ingest body — the encoder half of DecodeBinaryIngest.
+func EncodeBinaryIngest(dst []byte, f *metric.Flat, ts []int64) []byte {
+	return appendBinaryIngest(dst, f, ts)
 }

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -270,13 +270,13 @@ func TestMetricsBinaryAndGroupCommitSeries(t *testing.T) {
 	store, err := persist.Open(dir, persist.Options{
 		Fsync:       persist.FsyncAlways,
 		GroupCommit: true,
-		Hooks:       srv.metrics.persistHooks(),
+		Hooks:       srv.eng.Metrics.PersistHooks(),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer store.Close()
-	srv.store = store
+	srv.eng.Store = store
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 

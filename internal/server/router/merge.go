@@ -1,0 +1,175 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	kcenter "coresetclustering"
+	"coresetclustering/internal/obs"
+	"coresetclustering/internal/server/engine"
+)
+
+// mergedView is the router's cached global view of one stream: the merged
+// sketch of every shard's snapshot, plus the centers extracted from it. One
+// refresh is in flight per stream at a time (the mutex doubles as a
+// singleflight), and a view is served from cache while younger than
+// -merge-interval — the router's consistency window: a fresh ingest is
+// visible cluster-wide only after the next refresh.
+type mergedView struct {
+	mu       sync.Mutex
+	at       time.Time // zero until the first successful refresh
+	sketch   []byte
+	observed int64
+	centers  kcenter.Dataset
+	shards   int // shard snapshots merged in
+}
+
+// mergedResult is one consistent read of a mergedView.
+type mergedResult struct {
+	sketch   []byte
+	observed int64
+	centers  kcenter.Dataset
+	shards   int
+	age      time.Duration
+}
+
+// view returns (creating if needed) the cache entry for one stream.
+func (s *server) view(name string) *mergedView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[name]
+	if !ok {
+		v = &mergedView{}
+		s.views[name] = v
+	}
+	return v
+}
+
+// getMerged answers a global-view query: from cache while fresh, otherwise
+// by pulling a snapshot from every shard and merging them. force (?refresh=1
+// or the background refresher) always re-pulls.
+func (s *server) getMerged(ctx context.Context, name string, force bool) (mergedResult, error) {
+	s.remember(name)
+	v := s.view(name)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !force && !v.at.IsZero() && time.Since(v.at) < s.cfg.mergeInterval {
+		if m := s.m; m != nil {
+			m.MergeCacheHits.Add(1)
+		}
+		return mergedResult{v.sketch, v.observed, v.centers, v.shards, time.Since(v.at)}, nil
+	}
+	return s.refreshLocked(ctx, name, v)
+}
+
+// refreshLocked re-pulls and re-merges one stream's global view. The caller
+// holds v.mu. Every reachable shard must answer (a shard that does not know
+// the stream is fine; an unreachable one fails the refresh): serving a merge
+// that silently dropped a shard would report a radius over a subset of the
+// data as if it covered all of it.
+func (s *server) refreshLocked(ctx context.Context, name string, v *mergedView) (mergedResult, error) {
+	if m := s.m; m != nil {
+		m.Merges.Add(1)
+	}
+	type pull struct {
+		blob   []byte
+		absent bool
+		err    error
+	}
+	pulls := make([]pull, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			_, span := obs.StartSpan(ctx, "shard.pull")
+			span.SetAttr("shard", sh.addr)
+			resp, err := s.sendShard(ctx, sh, http.MethodPost,
+				"/streams/"+url.PathEscape(name)+"/snapshot", "", nil, span)
+			span.End()
+			switch {
+			case err != nil:
+				pulls[i] = pull{err: fmt.Errorf("shard %s: %w", sh.addr, err)}
+			case resp.status == http.StatusOK:
+				pulls[i] = pull{blob: resp.body}
+			case resp.status == http.StatusNotFound:
+				pulls[i] = pull{absent: true}
+			default:
+				pulls[i] = pull{err: fmt.Errorf("shard %s: status %d: %s",
+					sh.addr, resp.status, shardErrText(resp.body))}
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+
+	blobs := make([][]byte, 0, len(pulls))
+	for _, p := range pulls {
+		if p.err != nil {
+			if m := s.m; m != nil {
+				m.MergeFailures.Add(1)
+			}
+			return mergedResult{}, &engine.Error{Code: engine.CodeShardUnavailable, Err: p.err}
+		}
+		if !p.absent {
+			blobs = append(blobs, p.blob)
+		}
+	}
+	if len(blobs) == 0 {
+		return mergedResult{}, &engine.Error{Code: engine.CodeUnknownStream,
+			Err: fmt.Errorf("unknown stream %q on every shard", name)}
+	}
+	_, span := obs.StartSpan(ctx, "merge")
+	span.SetAttr("sketches", strconv.Itoa(len(blobs)))
+	res, err := s.eng.Merge(blobs)
+	span.End()
+	if err != nil {
+		if m := s.m; m != nil {
+			m.MergeFailures.Add(1)
+		}
+		return mergedResult{}, err
+	}
+	v.at = time.Now()
+	v.sketch, v.observed, v.centers, v.shards = res.Sketch, res.Observed, res.Centers, len(blobs)
+	return mergedResult{res.Sketch, res.Observed, res.Centers, len(blobs), 0}, nil
+}
+
+// refreshLoop keeps every known stream's global view fresh: each
+// -merge-interval tick re-pulls and re-merges the streams the router has
+// seen, so an interactive /centers usually answers from a view at most one
+// interval old.
+func (s *server) refreshLoop() {
+	t := time.NewTicker(s.cfg.mergeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+		}
+		for _, name := range s.knownStreams() {
+			ctx, cancel := context.WithTimeout(context.Background(),
+				s.cfg.shardTimeout*time.Duration(s.cfg.retries+1)+time.Second)
+			var span *obs.Span
+			if s.tracer != nil {
+				ctx, span = s.tracer.StartBackground(ctx, "merge.refresh")
+				span.SetAttr("stream", name)
+			}
+			_, err := s.getMerged(ctx, name, true)
+			if span != nil {
+				if err != nil {
+					span.SetAttr("error", err.Error())
+				}
+				span.End()
+			}
+			cancel()
+			if err != nil && s.logger.Enabled(obs.LevelDebug) {
+				s.logger.Debug("background merge refresh failed", "stream", name, "err", err)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package kcenter
 
 import (
+	"errors"
 	"fmt"
 
 	"coresetclustering/internal/sketch"
@@ -29,6 +30,27 @@ var (
 	// wrong stream kind.
 	ErrSketchIncompatible = sketch.ErrIncompatible
 )
+
+// ErrMergeIncompatible marks a MergeSketches failure caused by the sketches
+// themselves being unmergeable — window sketches, or mismatched kind,
+// distance, parameters or dimensionality — as opposed to bytes that are not
+// a valid sketch at all. It always wraps the sketch-level cause, so
+// errors.Is against both ErrMergeIncompatible and ErrSketchIncompatible
+// holds; a coordinator can branch on it to report "these shards cannot be
+// composed" distinctly from "this shard sent garbage".
+var ErrMergeIncompatible = errors.New("kcenter: sketches are incompatible for merging")
+
+// mergeIncompatibleError tags an incompatibility cause with
+// ErrMergeIncompatible without altering its message: Error() renders the
+// cause alone, so existing callers that surface the text see exactly the
+// pre-typed wording.
+type mergeIncompatibleError struct{ cause error }
+
+func (e *mergeIncompatibleError) Error() string { return e.cause.Error() }
+
+func (e *mergeIncompatibleError) Unwrap() error { return e.cause }
+
+func (e *mergeIncompatibleError) Is(target error) bool { return target == ErrMergeIncompatible }
 
 // Snapshot serializes the complete state of the streaming clusterer into a
 // compact, self-describing binary sketch: the doubling-algorithm state
@@ -149,19 +171,30 @@ func MergeSketches(sketches ...[]byte) ([]byte, error) {
 			// Window sketches summarise different time ranges of different
 			// streams; unioning their buckets has no coherent window
 			// semantics, so the merge is refused rather than silently wrong.
-			return nil, fmt.Errorf("sketch %d: %w: window sketches cannot be merged", i, ErrSketchIncompatible)
+			return nil, &mergeIncompatibleError{
+				fmt.Errorf("sketch %d: %w: window sketches cannot be merged", i, ErrSketchIncompatible)}
 		}
 		s, err := sketch.Decode(data)
 		if err != nil {
-			return nil, fmt.Errorf("sketch %d: %w", i, err)
+			return nil, typedMergeError(fmt.Errorf("sketch %d: %w", i, err))
 		}
 		decoded[i] = s
 	}
 	merged, err := sketch.Merge(decoded...)
 	if err != nil {
-		return nil, err
+		return nil, typedMergeError(err)
 	}
 	return sketch.Encode(merged)
+}
+
+// typedMergeError tags incompatibility failures with ErrMergeIncompatible
+// and passes every other failure (corrupt bytes, truncation, ...) through
+// untouched.
+func typedMergeError(err error) error {
+	if errors.Is(err, ErrSketchIncompatible) {
+		return &mergeIncompatibleError{err}
+	}
+	return err
 }
 
 // SketchInfo summarises a sketch without restoring it.
